@@ -1,0 +1,69 @@
+//! Criterion benchmarks for the Jacobi solver: Fig. 6 data points on the
+//! simulated T2 (optimized vs plain, static vs static,1) and the host
+//! solver's sweep rate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use t2opt_kernels::jacobi::{run_sim, JacobiConfig, JacobiHost, JacobiLayout};
+use t2opt_parallel::{Placement, Schedule, ThreadPool};
+use t2opt_sim::ChipConfig;
+
+fn bench_sim_points(c: &mut Criterion) {
+    let chip = ChipConfig::ultrasparc_t2();
+    let mut group = c.benchmark_group("fig6_sim_points");
+    group.sample_size(10);
+    let n = 256;
+    group.bench_function("optimized_64T", |b| {
+        b.iter(|| {
+            black_box(
+                run_sim(&JacobiConfig::optimized(n, 64), &chip, &Placement::t2_scatter())
+                    .mlups,
+            )
+        })
+    });
+    group.bench_function("plain_64T", |b| {
+        b.iter(|| {
+            black_box(
+                run_sim(&JacobiConfig::plain(n, 64), &chip, &Placement::t2_scatter()).mlups,
+            )
+        })
+    });
+    group.bench_function("optimized_static_not_static1", |b| {
+        b.iter(|| {
+            let cfg = JacobiConfig {
+                n,
+                threads: 64,
+                schedule: Schedule::Static,
+                layout: JacobiLayout::Optimized,
+                sweeps: 2,
+            };
+            black_box(run_sim(&cfg, &chip, &Placement::t2_scatter()).mlups)
+        })
+    });
+    group.finish();
+}
+
+fn bench_host_solver(c: &mut Criterion) {
+    let pool = ThreadPool::new(
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+    );
+    let mut group = c.benchmark_group("host_jacobi");
+    group.sample_size(10);
+    let n = 257;
+    let mut solver = JacobiHost::new(n, |i, _| if i == 0 { 1.0 } else { 0.0 });
+    group.bench_function("sweep_513_static1", |b| {
+        b.iter(|| {
+            solver.run(1, &pool, Schedule::StaticChunk(1));
+            black_box(solver.get(1, 1))
+        })
+    });
+    group.bench_function("sweep_513_static", |b| {
+        b.iter(|| {
+            solver.run(1, &pool, Schedule::Static);
+            black_box(solver.get(1, 1))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_points, bench_host_solver);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benchmarks for the D3Q19 LBM: Fig. 7 data points on the
+//! simulated T2 (IJKv vs IvJK, fused vs not) and the host solver's
+//! site-update rate for both layouts.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use t2opt_kernels::lbm::{run_sim, LbmConfig, LbmHost, LbmLayout};
+use t2opt_parallel::{Placement, Schedule, ThreadPool};
+use t2opt_sim::ChipConfig;
+
+fn bench_sim_points(c: &mut Criterion) {
+    let chip = ChipConfig::ultrasparc_t2();
+    let mut group = c.benchmark_group("fig7_sim_points");
+    group.sample_size(10);
+    let n = 48;
+    for (label, layout, fused) in [
+        ("IJKv_64T", LbmLayout::IJKv, false),
+        ("IvJK_64T", LbmLayout::IvJK, false),
+        ("IvJK_fused_64T", LbmLayout::IvJK, true),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let cfg = LbmConfig::new(n, layout, 64, fused);
+                black_box(run_sim(&cfg, &chip, &Placement::t2_scatter()).mlups)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_host_step(c: &mut Criterion) {
+    let pool = ThreadPool::new(
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+    );
+    let mut group = c.benchmark_group("host_lbm_step");
+    group.sample_size(10);
+    for layout in [LbmLayout::IJKv, LbmLayout::IvJK] {
+        let mut lbm = LbmHost::new(32, layout, 1.2);
+        lbm.cavity(0.05);
+        group.bench_function(layout.label(), |b| {
+            b.iter(|| {
+                lbm.step(&pool, Schedule::Static, true);
+                black_box(lbm.get_f(1, 1, 1, 0))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_points, bench_host_step);
+criterion_main!(benches);

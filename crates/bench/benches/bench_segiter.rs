@@ -1,0 +1,118 @@
+//! Criterion micro-benchmarks for the segmented-iterator machinery — the
+//! host-side counterpart of Fig. 5: the hierarchical (segment-wise) loop
+//! must match a plain slice loop, while the element-wise flat iterator
+//! shows the `operator++` branch cost the paper warns about.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use t2opt_core::iter::{seg_zip4, HierExt};
+use t2opt_core::layout::LayoutSpec;
+use t2opt_core::seg_array::SegArray;
+
+fn make(n: usize, segs: usize) -> SegArray<f64> {
+    let mut a = SegArray::<f64>::builder(n)
+        .segments(segs)
+        .spec(LayoutSpec::t2_rotating())
+        .build();
+    a.fill_with(|i| i as f64);
+    a
+}
+
+fn bench_triad_styles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("triad_kernel_style");
+    for &n in &[10_000usize, 400_000] {
+        group.throughput(Throughput::Bytes(n as u64 * 32));
+        // Plain contiguous slices — the baseline the paper compares against.
+        let b: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let cc: Vec<f64> = (0..n).map(|i| (i % 5) as f64).collect();
+        let d: Vec<f64> = (0..n).map(|i| 1.0 / (i + 1) as f64).collect();
+        let mut a = vec![0.0f64; n];
+        group.bench_with_input(BenchmarkId::new("plain_slices", n), &n, |bench, _| {
+            bench.iter(|| {
+                for i in 0..n {
+                    a[i] = b[i] + cc[i] * d[i];
+                }
+                black_box(a[n - 1])
+            })
+        });
+
+        // Hierarchical segmented loop (8 segments).
+        let sb = make(n, 8);
+        let sc = make(n, 8);
+        let sd = make(n, 8);
+        let mut sa = SegArray::<f64>::builder(n)
+            .segments(8)
+            .spec(LayoutSpec::t2_rotating())
+            .build();
+        group.bench_with_input(BenchmarkId::new("segmented_hier", n), &n, |bench, _| {
+            bench.iter(|| {
+                seg_zip4(&mut sa, &sb, &sc, &sd, |a, b, c, d| {
+                    for i in 0..a.len() {
+                        a[i] = b[i] + c[i] * d[i];
+                    }
+                });
+                black_box(sa.segment(7)[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_iteration_styles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iteration_style");
+    let n = 400_000;
+    let arr = make(n, 8);
+    group.throughput(Throughput::Elements(n as u64));
+
+    group.bench_function("hier_fold_sum", |bench| {
+        bench.iter(|| black_box(arr.hier_fold(0.0f64, |acc, x| acc + x)))
+    });
+
+    // The branchy element-wise iterator the paper discourages.
+    group.bench_function("flat_iter_sum", |bench| {
+        bench.iter(|| black_box(arr.flat_iter().sum::<f64>()))
+    });
+
+    // Reference: plain Vec sum.
+    let v: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    group.bench_function("vec_sum", |bench| {
+        bench.iter(|| black_box(v.iter().sum::<f64>()))
+    });
+    group.finish();
+}
+
+fn bench_build_and_layout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seg_array_build");
+    group.bench_function("build_1M_8seg_rotating", |bench| {
+        bench.iter(|| {
+            black_box(
+                SegArray::<f64>::builder(1 << 20)
+                    .segments(8)
+                    .spec(LayoutSpec::t2_rotating())
+                    .build()
+                    .base_addr(),
+            )
+        })
+    });
+    group.bench_function("plan_2000_rows", |bench| {
+        let spec = LayoutSpec::new().base_align(8192).seg_align(512).shift(128);
+        bench.iter(|| {
+            black_box(
+                spec.plan(
+                    2000 * 2000,
+                    8,
+                    &t2opt_core::layout::SegmentPlan::Sizes(vec![2000; 2000]),
+                )
+                .total_bytes,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_triad_styles,
+    bench_iteration_styles,
+    bench_build_and_layout
+);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benchmarks regenerating the Fig. 2 data points on the
+//! simulated T2: STREAM triad/copy at the characteristic offsets (worst,
+//! half-recovered, best), plus the host STREAM for reference.
+//!
+//! These run small problem instances so `cargo bench` stays fast; the
+//! `fig2_stream` binary produces the full sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use t2opt_kernels::stream::{run_host, run_sim, StreamConfig, StreamKernel};
+use t2opt_parallel::{Placement, ThreadPool};
+use t2opt_sim::ChipConfig;
+
+fn bench_sim_offsets(c: &mut Criterion) {
+    let chip = ChipConfig::ultrasparc_t2();
+    let mut group = c.benchmark_group("fig2_sim_points");
+    group.sample_size(10);
+    for &(label, offset) in
+        &[("offset0_worst", 0usize), ("offset32_half", 32), ("offset16_best", 16)]
+    {
+        group.bench_with_input(BenchmarkId::new("triad_64T", label), &offset, |b, &off| {
+            b.iter(|| {
+                let cfg = StreamConfig::fig2(1 << 15, off, 64);
+                black_box(
+                    run_sim(&cfg, StreamKernel::Triad, &chip, &Placement::t2_scatter())
+                        .reported_gbs,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_host_stream(c: &mut Criterion) {
+    let pool = ThreadPool::new(
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+    );
+    let mut group = c.benchmark_group("host_stream");
+    group.sample_size(10);
+    for kernel in [StreamKernel::Copy, StreamKernel::Triad] {
+        group.bench_function(kernel.name(), |b| {
+            b.iter(|| {
+                let cfg = StreamConfig { n: 1 << 20, offset: 0, threads: 0, ntimes: 1 };
+                black_box(run_host(&cfg, kernel, &pool))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_offsets, bench_host_stream);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! # t2opt-bench
+//!
+//! Figure-regeneration harness for Hager, Zeiser & Wellein (2008): shared
+//! infrastructure (CLI parsing, table/JSON output, experiment drivers) for
+//! the `fig2_stream` … `fig7_lbm` binaries and the `ablation_*` studies.
+//!
+//! Each binary prints the same series the corresponding paper figure plots
+//! (bandwidth vs offset, MLUPs/s vs domain size, …) as an aligned text
+//! table, and optionally dumps JSON via `--json <path>`. Use `--full` for
+//! paper-scale problem sizes (slower) — the defaults are scaled down but
+//! preserve every qualitative feature (the aliasing period depends on
+//! addresses mod 512 B, not on total size, as long as arrays dwarf the
+//! 4 MB L2).
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod cli;
+pub mod experiments;
+pub mod output;
+
+pub use cli::Args;
+pub use output::{to_json_string, write_json, Table};

@@ -1,0 +1,469 @@
+//! Analytic layout advisor.
+//!
+//! §2.3 of the paper stresses that the optimal layout parameters "can be
+//! obtained by analyzing the data access properties of the loop kernel,
+//! together with some knowledge about the mapping between addresses and
+//! memory controllers. No 'trial and error' is required."
+//!
+//! [`LayoutAdvisor`] is that analysis as a library: describe the concurrent
+//! access streams of a kernel as [`StreamDesc`]s, and the advisor predicts
+//! the controller-utilization efficiency of a candidate layout
+//! ([`LayoutAdvisor::predict`]) and derives optimal byte offsets and shifts
+//! ([`LayoutAdvisor::suggest_offsets`], [`LayoutAdvisor::suggest_shift`])
+//! directly from the mapping geometry.
+//!
+//! # The prediction model
+//!
+//! All streams advance in lockstep, one cache line per *phase*. Each stream
+//! contributes per line:
+//!
+//! * a **blocking** unit (a load or a read-for-ownership) that the issuing
+//!   thread must wait for — on the T2 every thread is limited to a single
+//!   outstanding miss, so blocking units cannot be smoothed across phases:
+//!   a phase lasts at least as long as the most-loaded controller's blocking
+//!   work (`max_c blocking_c`, the convoy constraint);
+//! * optionally **buffered** units (write-backs) that drain through the
+//!   controller queues whenever their controller is free — they constrain
+//!   only the long-run per-controller and aggregate throughput.
+//!
+//! Total time over one mapping period is therefore
+//!
+//! ```text
+//! T = max( Σ_p max_c blocking(c,p),   // convoy
+//!          total_work / n_mc,         // aggregate capacity
+//!          max_c Σ_p work(c,p) )      // per-controller capacity
+//! ```
+//!
+//! and efficiency = `(total_work / n_mc) / T ∈ (0, 1]`. With every stream
+//! congruent mod 512 B the convoy term dominates and efficiency collapses
+//! toward `1/n_mc` — the Fig. 2/Fig. 4 dips; with the suggested offsets all
+//! three terms coincide and efficiency is 1.
+
+use crate::mapping::MapPolicy;
+use serde::{Deserialize, Serialize};
+
+/// Direction of an access stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StreamKind {
+    /// Pure load stream: one blocking unit per line.
+    Read,
+    /// Store stream through a write-allocate cache: one blocking
+    /// read-for-ownership unit plus a buffered write-back per line.
+    Write,
+    /// Pure write-back / non-temporal store stream: buffered units only
+    /// (e.g. architectures that claim ownership without a prior read,
+    /// footnote 1 of the paper).
+    Writeback,
+}
+
+impl StreamKind {
+    /// Blocking units per line (loads the thread must wait on).
+    #[inline]
+    pub fn blocking(self) -> u32 {
+        match self {
+            StreamKind::Read | StreamKind::Write => 1,
+            StreamKind::Writeback => 0,
+        }
+    }
+
+    /// Buffered units per line, in read-service equivalents. The T2's
+    /// FB-DIMM channels write at half the read bandwidth (21 vs 42 GB/s
+    /// nominal), so one written line costs two units.
+    #[inline]
+    pub fn buffered(self) -> u32 {
+        match self {
+            StreamKind::Read => 0,
+            StreamKind::Write | StreamKind::Writeback => 2,
+        }
+    }
+
+    /// Total controller occupancy per line.
+    #[inline]
+    pub fn weight(self) -> u32 {
+        self.blocking() + self.buffered()
+    }
+}
+
+/// One unit-stride access stream of a loop kernel: a base byte address (or
+/// base offset within an allocation) plus its direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamDesc {
+    /// Byte address of the stream's first element.
+    pub base: u64,
+    /// Access direction.
+    pub kind: StreamKind,
+}
+
+impl StreamDesc {
+    /// A read stream at `base`.
+    pub fn read(base: u64) -> Self {
+        StreamDesc { base, kind: StreamKind::Read }
+    }
+
+    /// A store stream (RFO + write-back) at `base`.
+    pub fn write(base: u64) -> Self {
+        StreamDesc { base, kind: StreamKind::Write }
+    }
+
+    /// A pure write-back / non-temporal store stream at `base`.
+    pub fn writeback(base: u64) -> Self {
+        StreamDesc { base, kind: StreamKind::Writeback }
+    }
+}
+
+/// Result of a layout prediction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Controller-utilization efficiency in (0, 1]. 1.0 = all controllers
+    /// saturated; `→ 1/n_mc` = full convoy on a single controller.
+    pub efficiency: f64,
+    /// Which of the three constraints set the time (for diagnostics).
+    pub bound: Bound,
+    /// Total occupancy units per controller over one period (who is the
+    /// hotspot).
+    pub controller_load: Vec<u64>,
+    /// Mean number of distinct controllers hit by blocking units per phase —
+    /// the paper's informal "how many controllers are addressed
+    /// concurrently".
+    pub concurrent_controllers: f64,
+}
+
+/// Which constraint bounds the runtime in a [`Prediction`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Bound {
+    /// Convoy: blocking units concentrate on few controllers per phase.
+    Convoy,
+    /// Aggregate controller bandwidth.
+    Aggregate,
+    /// A single controller's long-run occupancy.
+    Hotspot,
+}
+
+/// The analytic advisor for a given controller mapping policy.
+#[derive(Debug, Clone)]
+pub struct LayoutAdvisor {
+    policy: MapPolicy,
+}
+
+impl LayoutAdvisor {
+    /// Advisor for the given mapping policy.
+    pub fn new(policy: MapPolicy) -> Self {
+        LayoutAdvisor { policy }
+    }
+
+    /// Advisor for the real UltraSPARC T2 mapping.
+    pub fn t2() -> Self {
+        LayoutAdvisor::new(MapPolicy::t2())
+    }
+
+    /// The mapping policy in use.
+    pub fn policy(&self) -> &MapPolicy {
+        &self.policy
+    }
+
+    /// Predicts the controller-utilization efficiency of a set of lockstep
+    /// streams. See the module docs for the model.
+    pub fn predict(&self, streams: &[StreamDesc]) -> Prediction {
+        let geo = self.policy.geometry();
+        let n_mc = geo.num_controllers() as usize;
+        let line = geo.line_size();
+        // One full mapping period for bit-sliced maps; a longer averaging
+        // window for hashed policies.
+        let phases = match self.policy {
+            MapPolicy::Sliced(_) => (geo.super_line() / line) as usize,
+            _ => 4 * (geo.super_line() / line) as usize * n_mc,
+        };
+        let mut load = vec![0u64; n_mc];
+        let mut convoy_time = 0u64;
+        let mut distinct_sum = 0usize;
+        for p in 0..phases {
+            let mut blocking = vec![0u64; n_mc];
+            for s in streams {
+                let addr = s.base + p as u64 * line;
+                let mc = self.policy.controller(addr) as usize;
+                blocking[mc] += u64::from(s.kind.blocking());
+                load[mc] += u64::from(s.kind.weight());
+            }
+            convoy_time += *blocking.iter().max().unwrap();
+            distinct_sum += blocking.iter().filter(|&&b| b > 0).count();
+        }
+        let total: u64 = load.iter().sum();
+        let ideal = total as f64 / n_mc as f64;
+        let hotspot = *load.iter().max().unwrap() as f64;
+        let convoy = convoy_time as f64;
+        let actual = convoy.max(ideal).max(hotspot);
+        let bound = if actual == convoy && convoy >= hotspot && convoy > ideal {
+            Bound::Convoy
+        } else if actual == hotspot && hotspot > ideal {
+            Bound::Hotspot
+        } else {
+            Bound::Aggregate
+        };
+        Prediction {
+            efficiency: if total == 0 { 1.0 } else { ideal / actual },
+            bound,
+            controller_load: load,
+            concurrent_controllers: distinct_sum as f64 / phases as f64,
+        }
+    }
+
+    /// Suggested byte offsets for `n` equally-important streams so that at
+    /// every phase the streams spread maximally over the controllers: stream
+    /// `i` is offset by `(i mod n_mc) · super_line / n_mc` bytes.
+    ///
+    /// For four streams on the T2 this yields the paper's optimum
+    /// `[0, 128, 256, 384]` (§2.2: offsets 128/256/384 for B, C, D with A at
+    /// the page boundary).
+    pub fn suggest_offsets(&self, n: usize) -> Vec<usize> {
+        let geo = self.policy.geometry();
+        let n_mc = geo.num_controllers() as usize;
+        let step = (geo.super_line() as usize) / n_mc;
+        (0..n).map(|i| (i % n_mc) * step).collect()
+    }
+
+    /// Suggested per-segment shift so that successive segments rotate through
+    /// the controllers: `super_line / n_mc` (128 B on the T2, the paper's
+    /// Jacobi choice).
+    pub fn suggest_shift(&self) -> usize {
+        let geo = self.policy.geometry();
+        geo.super_line() as usize / geo.num_controllers() as usize
+    }
+
+    /// Suggested segment alignment: the super-line (512 B on the T2), so
+    /// that shifts translate exactly into controller rotation.
+    pub fn suggest_seg_align(&self) -> usize {
+        self.policy.geometry().super_line() as usize
+    }
+
+    /// Brute-force check of the analytic suggestion: searches offsets over
+    /// multiples of `granularity` bytes within one super-line for the
+    /// stream combination maximizing predicted efficiency. Stream 0's offset
+    /// varies too (only relative placement matters, but the search space is
+    /// cheap). Returns (offsets, efficiency).
+    ///
+    /// Exponential in the number of streams — intended for ≤ 4 streams, as a
+    /// validation that the closed-form [`LayoutAdvisor::suggest_offsets`] is
+    /// optimal, not as a production path.
+    pub fn search_offsets(
+        &self,
+        kinds: &[StreamKind],
+        granularity: usize,
+    ) -> (Vec<usize>, f64) {
+        assert!(!kinds.is_empty());
+        assert!(granularity > 0);
+        let period = self.policy.geometry().super_line() as usize;
+        let choices = period / granularity;
+        let n = kinds.len();
+        let mut best = (vec![0usize; n], f64::NEG_INFINITY);
+        let mut current = vec![0usize; n];
+        self.search_rec(kinds, granularity, choices, 0, &mut current, &mut best);
+        best
+    }
+
+    fn search_rec(
+        &self,
+        kinds: &[StreamKind],
+        granularity: usize,
+        choices: usize,
+        depth: usize,
+        current: &mut Vec<usize>,
+        best: &mut (Vec<usize>, f64),
+    ) {
+        if depth == kinds.len() {
+            let streams: Vec<StreamDesc> = kinds
+                .iter()
+                .zip(current.iter())
+                .map(|(&kind, &off)| StreamDesc { base: off as u64, kind })
+                .collect();
+            let eff = self.predict(&streams).efficiency;
+            if eff > best.1 {
+                *best = (current.clone(), eff);
+            }
+            return;
+        }
+        for c in 0..choices {
+            current[depth] = c * granularity;
+            self.search_rec(kinds, granularity, choices, depth + 1, current, best);
+        }
+    }
+}
+
+impl Default for LayoutAdvisor {
+    fn default() -> Self {
+        LayoutAdvisor::t2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Vector triad A = B + C·D: store A, load B, C, D.
+    fn triad_streams(offsets: [u64; 4]) -> Vec<StreamDesc> {
+        vec![
+            StreamDesc::write(offsets[0]),
+            StreamDesc::read(offsets[1]),
+            StreamDesc::read(offsets[2]),
+            StreamDesc::read(offsets[3]),
+        ]
+    }
+
+    #[test]
+    fn congruent_streams_convoy() {
+        // All four arrays congruent mod 512 B — the Fig. 4 "align 8k" floor.
+        // Blocking units pile 4-deep on a single controller every phase.
+        let adv = LayoutAdvisor::t2();
+        let p = adv.predict(&triad_streams([0, 0, 0, 0]));
+        assert_eq!(p.bound, Bound::Convoy);
+        assert!((p.concurrent_controllers - 1.0).abs() < 1e-12);
+        // total work/phase = 3 reads + 1 rfo + 2 wb = 6; ideal 1.5; convoy 4.
+        assert!((p.efficiency - 1.5 / 4.0).abs() < 1e-12, "got {}", p.efficiency);
+    }
+
+    #[test]
+    fn suggested_offsets_reach_full_efficiency() {
+        let adv = LayoutAdvisor::t2();
+        let offs = adv.suggest_offsets(4);
+        assert_eq!(offs, vec![0, 128, 256, 384]);
+        let p = adv.predict(&triad_streams([
+            offs[0] as u64,
+            offs[1] as u64,
+            offs[2] as u64,
+            offs[3] as u64,
+        ]));
+        assert!(
+            (p.efficiency - 1.0).abs() < 1e-12,
+            "paper's optimal offsets must saturate all controllers, got {}",
+            p.efficiency
+        );
+        assert!((p.concurrent_controllers - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn congruent_vs_optimal_ratio_matches_fig4() {
+        // Fig. 4: hard limits at ~16 and ~3.7 GB/s — a factor ≈ 4.3. Our
+        // model predicts optimal/congruent = 1.0 / 0.375 ≈ 2.7 from
+        // bandwidth terms alone (the rest is latency serialization, which
+        // the simulator adds). Require at least the 2.5× bandwidth part.
+        let adv = LayoutAdvisor::t2();
+        let worst = adv.predict(&triad_streams([0, 0, 0, 0])).efficiency;
+        let best = adv
+            .predict(&triad_streams([0, 128, 256, 384]))
+            .efficiency;
+        assert!(best / worst > 2.5, "ratio {}", best / worst);
+    }
+
+    #[test]
+    fn offset_64_words_is_as_bad_as_zero() {
+        // Fig. 2: performance "returns to the same level at an offset of 64
+        // [DP words]" = 512 B.
+        let adv = LayoutAdvisor::t2();
+        let zero = adv.predict(&triad_streams([0, 0, 0, 0])).efficiency;
+        let off512 = adv
+            .predict(&triad_streams([0, 512, 1024, 1536]))
+            .efficiency;
+        assert!((zero - off512).abs() < 1e-12);
+    }
+
+    #[test]
+    fn odd_multiple_of_32_words_improves() {
+        // Fig. 2: "At odd multiples of 32, the situation is improved because
+        // bit 8 is different for array B's base and thus two controllers are
+        // addressed" — the paper expects up to 100%; the bandwidth part of
+        // our model gives 1.5×, the rest is latency (simulator territory).
+        let adv = LayoutAdvisor::t2();
+        // STREAM triad A = B + s·C with COMMON-block layout: B and C offset
+        // from A by k and 2k DP words.
+        let stream_triad = |k: u64| {
+            vec![
+                StreamDesc::write(0),
+                StreamDesc::read(k * 8),
+                StreamDesc::read(2 * k * 8),
+            ]
+        };
+        let zero = adv.predict(&stream_triad(0));
+        let thirty_two = adv.predict(&stream_triad(32));
+        assert!((zero.concurrent_controllers - 1.0).abs() < 1e-12);
+        assert!((thirty_two.concurrent_controllers - 2.0).abs() < 1e-12);
+        assert!(
+            thirty_two.efficiency > 1.45 * zero.efficiency,
+            "offset 32 should improve efficiency: {} -> {}",
+            zero.efficiency,
+            thirty_two.efficiency
+        );
+    }
+
+    #[test]
+    fn shift_suggestion_is_128_bytes_on_t2() {
+        let adv = LayoutAdvisor::t2();
+        assert_eq!(adv.suggest_shift(), 128);
+        assert_eq!(adv.suggest_seg_align(), 512);
+    }
+
+    #[test]
+    fn search_confirms_analytic_offsets() {
+        // Exhaustive search at 128 B granularity over 4 read streams must
+        // find a layout with all controllers concurrently busy
+        // (efficiency 1.0), matching the closed form.
+        let adv = LayoutAdvisor::t2();
+        let kinds = [StreamKind::Read; 4];
+        let (offs, eff) = adv.search_offsets(&kinds, 128);
+        assert!((eff - 1.0).abs() < 1e-12, "search should reach 1.0, got {eff}");
+        let mut mcs: Vec<u32> = offs
+            .iter()
+            .map(|&o| adv.policy().controller(o as u64))
+            .collect();
+        mcs.sort_unstable();
+        assert_eq!(mcs, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn controller_load_histogram_accounts_all_units() {
+        let adv = LayoutAdvisor::t2();
+        let streams = triad_streams([0, 128, 256, 384]);
+        let p = adv.predict(&streams);
+        // 8 phases × (write 3 + read 1 × 3) = 48.
+        assert_eq!(p.controller_load.iter().sum::<u64>(), 48);
+    }
+
+    #[test]
+    fn writeback_only_streams_never_convoy() {
+        // Pure write-back traffic is buffered: even congruent streams rotate
+        // through all controllers over the period and the queues smooth them
+        // out, so there is no convoy and no hotspot — this is why footnote 1
+        // of the paper notes that non-temporal stores help on x86.
+        let adv = LayoutAdvisor::t2();
+        let streams = vec![
+            StreamDesc::writeback(0),
+            StreamDesc::writeback(0),
+            StreamDesc::writeback(0),
+        ];
+        let p = adv.predict(&streams);
+        assert_ne!(p.bound, Bound::Convoy);
+        assert!((p.efficiency - 1.0).abs() < 1e-12, "got {}", p.efficiency);
+    }
+
+    #[test]
+    fn empty_streams_are_trivially_efficient() {
+        let adv = LayoutAdvisor::t2();
+        assert_eq!(adv.predict(&[]).efficiency, 1.0);
+    }
+
+    #[test]
+    fn xor_fold_policy_makes_congruent_streams_benign() {
+        use crate::mapping::{AddressMap, MapPolicy};
+        let adv = LayoutAdvisor::new(MapPolicy::XorFold {
+            base: AddressMap::ultrasparc_t2(),
+            folds: 8, // folds cover bits 7..23, reaching the 2^20 separation
+        });
+        // Large power-of-two separations, congruent mod 512 — catastrophic
+        // on the sliced map, mostly fine under the fold.
+        let sep = 1u64 << 20;
+        let streams: Vec<StreamDesc> =
+            (0..4).map(|i| StreamDesc::read(i as u64 * sep)).collect();
+        let folded = adv.predict(&streams).efficiency;
+        let sliced = LayoutAdvisor::t2().predict(&streams).efficiency;
+        assert!((sliced - 0.25).abs() < 1e-12);
+        assert!(folded > 0.5, "fold should spread congruent streams, got {folded}");
+    }
+}

@@ -1,0 +1,471 @@
+//! [`SegArray`] — a segmented array placed by a [`LayoutSpec`].
+//!
+//! This is the Rust counterpart of the paper's C++ `seg_array` (§2.2): one
+//! aligned allocation carved into segments whose base addresses are
+//! controlled to the byte, so that concurrent access streams can be spread
+//! across all memory controllers. Segments can be borrowed as independent
+//! mutable slices ([`SegArray::segments_mut`]) for data-parallel kernels —
+//! each worker thread gets the segment(s) it owns, with no aliasing and no
+//! locks.
+
+use crate::alloc::AlignedBuf;
+use crate::layout::{LayoutSpec, SegLayout, SegmentPlan};
+
+/// Element types storable in a [`SegArray`]: plain-old-data values that can
+/// live in zero-initialized memory.
+///
+/// Implemented for the primitive numeric types and `bool`-free POD wrappers;
+/// implement it for your own `#[repr(C)]` copy types when all-zero bytes are
+/// a valid value.
+pub unsafe trait Pod: Copy + Default + 'static {}
+
+// SAFETY: all-zero bytes are valid for every primitive numeric type.
+unsafe impl Pod for f32 {}
+unsafe impl Pod for f64 {}
+unsafe impl Pod for u8 {}
+unsafe impl Pod for u16 {}
+unsafe impl Pod for u32 {}
+unsafe impl Pod for u64 {}
+unsafe impl Pod for usize {}
+unsafe impl Pod for i8 {}
+unsafe impl Pod for i16 {}
+unsafe impl Pod for i32 {}
+unsafe impl Pod for i64 {}
+unsafe impl Pod for isize {}
+
+/// A segmented array of `T` with byte-exact layout control.
+///
+/// ```
+/// use t2opt_core::prelude::*;
+///
+/// let mut a = SegArray::<f64>::builder(1000)
+///     .segments(8)
+///     .spec(LayoutSpec::t2_rotating())
+///     .build();
+/// a.fill_with(|i| i as f64);
+/// assert_eq!(a.get(999), 999.0);
+/// assert_eq!(a.num_segments(), 8);
+/// // Successive segments rotate through the four T2 memory controllers:
+/// let map = AddressMap::ultrasparc_t2();
+/// assert_ne!(map.controller(a.segment_base_addr(0) as u64),
+///            map.controller(a.segment_base_addr(1) as u64));
+/// ```
+pub struct SegArray<T: Pod> {
+    buf: AlignedBuf,
+    layout: SegLayout,
+    /// Prefix sums of segment sizes: `prefix[s]` = global index of the first
+    /// element of segment `s`; `prefix[num_segments]` = len.
+    prefix: Vec<usize>,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Pod> SegArray<T> {
+    /// Starts building a segmented array of `len` elements.
+    pub fn builder(len: usize) -> SegArrayBuilder<T> {
+        SegArrayBuilder {
+            len,
+            plan: SegmentPlan::Single,
+            spec: LayoutSpec::new(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Builds directly from a precomputed [`SegLayout`].
+    ///
+    /// # Panics
+    /// Panics if the layout's element size does not match `T`, or if any
+    /// segment start is not aligned for `T` (shift/offset values must be
+    /// multiples of `align_of::<T>()` for host arrays; arbitrary byte
+    /// offsets are only meaningful for simulator traces).
+    pub fn from_layout(layout: SegLayout) -> Self {
+        assert_eq!(
+            layout.elem_size,
+            std::mem::size_of::<T>(),
+            "layout element size does not match T"
+        );
+        layout.validate();
+        for (s, &start) in layout.seg_byte_starts.iter().enumerate() {
+            assert_eq!(
+                start % std::mem::align_of::<T>(),
+                0,
+                "segment {s} starts at byte {start}, misaligned for the element type; \
+                 use shift/offset values that are multiples of {}",
+                std::mem::align_of::<T>()
+            );
+        }
+        let buf = AlignedBuf::new(layout.total_bytes, layout.spec.base_align.max(64));
+        let mut prefix = Vec::with_capacity(layout.seg_sizes.len() + 1);
+        let mut acc = 0;
+        prefix.push(0);
+        for &n in &layout.seg_sizes {
+            acc += n;
+            prefix.push(acc);
+        }
+        SegArray {
+            buf,
+            layout,
+            prefix,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.layout.len
+    }
+
+    /// Whether the array holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.layout.len == 0
+    }
+
+    /// Number of segments.
+    #[inline]
+    pub fn num_segments(&self) -> usize {
+        self.layout.num_segments()
+    }
+
+    /// The byte-level layout of this array.
+    #[inline]
+    pub fn layout(&self) -> &SegLayout {
+        &self.layout
+    }
+
+    /// Host virtual address of the first element of segment `s` — feed this
+    /// to [`AddressMap`](crate::mapping::AddressMap) to see which controller
+    /// the segment starts on.
+    #[inline]
+    pub fn segment_base_addr(&self, s: usize) -> usize {
+        self.buf.base_addr() + self.layout.seg_byte_starts[s]
+    }
+
+    /// Host virtual address of the allocation base (aligned to
+    /// `spec.base_align`).
+    #[inline]
+    pub fn base_addr(&self) -> usize {
+        self.buf.base_addr()
+    }
+
+    /// Immutable view of segment `s`.
+    #[inline]
+    pub fn segment(&self, s: usize) -> &[T] {
+        self.buf
+            .typed(self.layout.seg_byte_starts[s], self.layout.seg_sizes[s])
+    }
+
+    /// Mutable view of segment `s`.
+    #[inline]
+    pub fn segment_mut(&mut self, s: usize) -> &mut [T] {
+        self.buf
+            .typed_mut(self.layout.seg_byte_starts[s], self.layout.seg_sizes[s])
+    }
+
+    /// Iterator over all segments as immutable slices.
+    pub fn segments(&self) -> impl ExactSizeIterator<Item = &[T]> + '_ {
+        (0..self.num_segments()).map(move |s| self.segment(s))
+    }
+
+    /// All segments as *independent* mutable slices, for handing to parallel
+    /// workers. Sound because segment byte ranges are disjoint by
+    /// construction ([`SegLayout::validate`]).
+    pub fn segments_mut(&mut self) -> Vec<&mut [T]> {
+        let base = self.buf.as_mut_ptr();
+        self.layout
+            .seg_byte_starts
+            .iter()
+            .zip(self.layout.seg_sizes.iter())
+            .map(|(&start, &n)| {
+                // SAFETY: ranges [start, start + n*size_of::<T>()) are
+                // pairwise disjoint and in bounds (validated at build time);
+                // alignment follows from elem_size-multiple starts over an
+                // aligned base; &mut self guarantees no other borrows.
+                unsafe { std::slice::from_raw_parts_mut(base.add(start) as *mut T, n) }
+            })
+            .collect()
+    }
+
+    /// Element at global index `idx` (segments scanned in order).
+    #[inline]
+    pub fn get(&self, idx: usize) -> T {
+        let (s, i) = self.locate(idx);
+        self.segment(s)[i]
+    }
+
+    /// Sets the element at global index `idx`.
+    #[inline]
+    pub fn set(&mut self, idx: usize, value: T) {
+        let (s, i) = self.locate(idx);
+        self.segment_mut(s)[i] = value;
+    }
+
+    /// (segment, local index) of a global index, via binary search on the
+    /// segment prefix sums — O(log segments).
+    #[inline]
+    pub fn locate(&self, idx: usize) -> (usize, usize) {
+        assert!(idx < self.len(), "index {idx} out of bounds (len {})", self.len());
+        let s = match self.prefix.binary_search(&idx) {
+            Ok(mut s) => {
+                // Land on the first non-empty segment starting at idx.
+                while self.layout.seg_sizes[s] == 0 {
+                    s += 1;
+                }
+                s
+            }
+            Err(ins) => ins - 1,
+        };
+        (s, idx - self.prefix[s])
+    }
+
+    /// Global index of the first element of segment `s`.
+    #[inline]
+    pub fn segment_start_index(&self, s: usize) -> usize {
+        self.prefix[s]
+    }
+
+    /// Fills the array from a function of the global index.
+    pub fn fill_with(&mut self, mut f: impl FnMut(usize) -> T) {
+        let mut idx = 0;
+        for s in 0..self.num_segments() {
+            for x in self.segment_mut(s).iter_mut() {
+                *x = f(idx);
+                idx += 1;
+            }
+        }
+    }
+
+    /// Sets every element to `value`.
+    pub fn fill(&mut self, value: T) {
+        for s in 0..self.num_segments() {
+            self.segment_mut(s).fill(value);
+        }
+    }
+
+    /// Copies all elements out into a plain `Vec`, in global order.
+    pub fn to_vec(&self) -> Vec<T> {
+        let mut v = Vec::with_capacity(self.len());
+        for seg in self.segments() {
+            v.extend_from_slice(seg);
+        }
+        v
+    }
+
+    /// Copies from a slice of exactly `len` elements, in global order.
+    pub fn copy_from_slice(&mut self, src: &[T]) {
+        assert_eq!(src.len(), self.len(), "length mismatch");
+        let mut off = 0;
+        for s in 0..self.num_segments() {
+            let n = self.layout.seg_sizes[s];
+            self.segment_mut(s).copy_from_slice(&src[off..off + n]);
+            off += n;
+        }
+    }
+
+    /// Element-wise iterator across segment boundaries (a "segmented
+    /// iterator" flattened; prefer segment-wise loops in hot kernels, see
+    /// [`crate::iter`]).
+    pub fn iter(&self) -> impl Iterator<Item = &T> + '_ {
+        self.segments().flatten()
+    }
+}
+
+impl<T: Pod + std::fmt::Debug> std::fmt::Debug for SegArray<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegArray")
+            .field("len", &self.len())
+            .field("segments", &self.num_segments())
+            .field("base", &format_args!("{:#x}", self.base_addr()))
+            .field("spec", &self.layout.spec)
+            .finish()
+    }
+}
+
+/// Builder for [`SegArray`]; see [`SegArray::builder`].
+pub struct SegArrayBuilder<T: Pod> {
+    len: usize,
+    plan: SegmentPlan,
+    spec: LayoutSpec,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Pod> SegArrayBuilder<T> {
+    /// Splits into `t` segments with the paper's ⌊N/t⌋+1 / ⌊N/t⌋ rule.
+    pub fn segments(mut self, t: usize) -> Self {
+        self.plan = SegmentPlan::Count(t);
+        self
+    }
+
+    /// Uses explicit per-segment sizes (must sum to the total length).
+    pub fn segment_sizes(mut self, sizes: Vec<usize>) -> Self {
+        self.plan = SegmentPlan::Sizes(sizes);
+        self
+    }
+
+    /// Sets the full layout spec.
+    pub fn spec(mut self, spec: LayoutSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Sets the base alignment (shorthand for editing the spec).
+    pub fn base_align(mut self, align: usize) -> Self {
+        self.spec = self.spec.base_align(align);
+        self
+    }
+
+    /// Sets the per-segment alignment (shorthand).
+    pub fn seg_align(mut self, align: usize) -> Self {
+        self.spec = self.spec.seg_align(align);
+        self
+    }
+
+    /// Sets the per-segment shift (shorthand).
+    pub fn shift(mut self, shift: usize) -> Self {
+        self.spec = self.spec.shift(shift);
+        self
+    }
+
+    /// Sets the whole-block offset (shorthand).
+    pub fn block_offset(mut self, offset: usize) -> Self {
+        self.spec = self.spec.block_offset(offset);
+        self
+    }
+
+    /// Allocates and zero-initializes the array.
+    pub fn build(self) -> SegArray<T> {
+        let layout = self
+            .spec
+            .plan(self.len, std::mem::size_of::<T>(), &self.plan);
+        SegArray::from_layout(layout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_fill_read_back() {
+        let mut a = SegArray::<f64>::builder(1000).segments(7).build();
+        a.fill_with(|i| (i * 2) as f64);
+        for i in (0..1000).step_by(97) {
+            assert_eq!(a.get(i), (i * 2) as f64);
+        }
+        assert_eq!(a.to_vec(), (0..1000).map(|i| (i * 2) as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn segments_cover_exactly() {
+        let a = SegArray::<f64>::builder(100).segments(8).build();
+        let total: usize = a.segments().map(|s| s.len()).sum();
+        assert_eq!(total, 100);
+        assert_eq!(a.segment(0).len(), 13);
+        assert_eq!(a.segment(7).len(), 12);
+    }
+
+    #[test]
+    fn segments_mut_are_disjoint_and_writable() {
+        let mut a = SegArray::<u64>::builder(64).segments(4).build();
+        {
+            let segs = a.segments_mut();
+            assert_eq!(segs.len(), 4);
+            for (s, seg) in segs.into_iter().enumerate() {
+                for x in seg.iter_mut() {
+                    *x = s as u64;
+                }
+            }
+        }
+        for s in 0..4 {
+            assert!(a.segment(s).iter().all(|&x| x == s as u64));
+        }
+    }
+
+    #[test]
+    fn rotating_layout_hits_all_controllers() {
+        use crate::mapping::AddressMap;
+        let a = SegArray::<f64>::builder(4096)
+            .segments(8)
+            .spec(LayoutSpec::t2_rotating())
+            .build();
+        let map = AddressMap::ultrasparc_t2();
+        let mcs: Vec<u32> = (0..8)
+            .map(|s| map.controller(a.segment_base_addr(s) as u64))
+            .collect();
+        // Base is 8 kB aligned → MC 0; rotation 0,1,2,3,0,1,2,3.
+        assert_eq!(mcs, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn block_offset_moves_base() {
+        let a = SegArray::<f64>::builder(64)
+            .base_align(8192)
+            .block_offset(256)
+            .build();
+        assert_eq!(a.base_addr() % 8192, 0);
+        assert_eq!(a.segment_base_addr(0) - a.base_addr(), 256);
+    }
+
+    #[test]
+    fn locate_round_trip() {
+        let a = SegArray::<f64>::builder(997).segments(13).build();
+        for idx in 0..997 {
+            let (s, i) = a.locate(idx);
+            assert_eq!(a.segment_start_index(s) + i, idx);
+        }
+    }
+
+    #[test]
+    fn copy_from_slice_round_trip() {
+        let src: Vec<f64> = (0..500).map(|i| i as f64 * 0.5).collect();
+        let mut a = SegArray::<f64>::builder(500).segments(9).seg_align(512).build();
+        a.copy_from_slice(&src);
+        assert_eq!(a.to_vec(), src);
+    }
+
+    #[test]
+    fn explicit_row_sizes() {
+        // One segment per matrix row, as in the Jacobi solver.
+        let n = 33;
+        let a = SegArray::<f64>::builder(n * n)
+            .segment_sizes(vec![n; n])
+            .seg_align(512)
+            .shift(128)
+            .build();
+        assert_eq!(a.num_segments(), n);
+        for s in 0..n {
+            assert_eq!(a.segment(s).len(), n);
+        }
+    }
+
+    #[test]
+    fn iter_matches_to_vec() {
+        let mut a = SegArray::<u32>::builder(77).segments(5).build();
+        a.fill_with(|i| i as u32);
+        let via_iter: Vec<u32> = a.iter().copied().collect();
+        assert_eq!(via_iter, a.to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let a = SegArray::<f64>::builder(10).build();
+        let _ = a.get(10);
+    }
+
+    #[test]
+    fn empty_array() {
+        let a = SegArray::<f64>::builder(0).build();
+        assert!(a.is_empty());
+        assert_eq!(a.num_segments(), 1);
+        assert_eq!(a.to_vec(), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn more_segments_than_elements() {
+        let a = SegArray::<f64>::builder(3).segments(8).build();
+        let sizes: Vec<usize> = a.segments().map(|s| s.len()).collect();
+        assert_eq!(sizes, vec![1, 1, 1, 0, 0, 0, 0, 0]);
+        assert_eq!(a.len(), 3);
+    }
+}

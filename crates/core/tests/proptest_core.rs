@@ -1,0 +1,163 @@
+//! Property-based tests for the core layout machinery.
+
+use proptest::prelude::*;
+use t2opt_core::advisor::{LayoutAdvisor, StreamDesc, StreamKind};
+use t2opt_core::layout::{LayoutSpec, SegmentPlan};
+use t2opt_core::mapping::AddressMap;
+use t2opt_core::seg_array::SegArray;
+
+/// Arbitrary layout specs. Shifts/offsets are multiples of 8 so the
+/// layouts stay element-aligned for `u64`/`f64` host arrays (byte-granular
+/// values are legal for trace-only layouts; `SegArray` rejects them).
+fn arb_spec() -> impl Strategy<Value = LayoutSpec> {
+    (
+        prop_oneof![Just(64usize), Just(128), Just(512), Just(4096), Just(8192)],
+        prop_oneof![Just(0usize), Just(1), Just(64), Just(512), Just(4096)],
+        0usize..75,
+        0usize..75,
+    )
+        .prop_map(|(base_align, seg_align, shift, offset)| {
+            LayoutSpec::new()
+                .base_align(base_align)
+                .seg_align(seg_align)
+                .shift(shift * 8)
+                .block_offset(offset * 8)
+        })
+}
+
+proptest! {
+    /// Any (spec, len, segments) combination yields a valid layout:
+    /// disjoint, ordered, exactly covering `len` elements.
+    #[test]
+    fn layout_plan_always_valid(
+        spec in arb_spec(),
+        len in 0usize..10_000,
+        segs in 1usize..40,
+    ) {
+        let layout = spec.plan(len, 8, &SegmentPlan::Count(segs));
+        layout.validate();
+        prop_assert_eq!(layout.seg_sizes.iter().sum::<usize>(), len);
+        // The paper's size rule: ⌊N/t⌋+1 for the first N mod t, ⌊N/t⌋ after.
+        for (s, &size) in layout.seg_sizes.iter().enumerate() {
+            let expected = len / segs + usize::from(s < len % segs);
+            prop_assert_eq!(size, expected);
+        }
+    }
+
+    /// Per-segment alignment (pre-shift) holds for every segment after the
+    /// first, and the cumulative shift is exactly s·shift.
+    #[test]
+    fn shift_and_alignment_arithmetic(
+        len in 1usize..5_000,
+        segs in 1usize..30,
+        shift in 0usize..300,
+    ) {
+        let spec = LayoutSpec::new().seg_align(512).shift(shift);
+        let layout = spec.plan(len, 8, &SegmentPlan::Count(segs));
+        for (s, &start) in layout.seg_byte_starts.iter().enumerate() {
+            let unshifted = start - s * shift;
+            if s > 0 {
+                prop_assert_eq!(unshifted % 512, 0, "segment {} misaligned", s);
+            }
+        }
+    }
+
+    /// A built SegArray stores and retrieves every element faithfully for
+    /// arbitrary layouts (no overlap, no loss).
+    #[test]
+    fn seg_array_round_trip(
+        spec in arb_spec(),
+        len in 0usize..4_096,
+        segs in 1usize..20,
+    ) {
+        let mut arr = SegArray::<u64>::builder(len).segments(segs).spec(spec).build();
+        arr.fill_with(|i| (i as u64).wrapping_mul(0x9E37_79B9) ^ 0xABCD);
+        for i in (0..len).step_by(97.max(len / 50 + 1)) {
+            prop_assert_eq!(arr.get(i), (i as u64).wrapping_mul(0x9E37_79B9) ^ 0xABCD);
+        }
+        let v = arr.to_vec();
+        prop_assert_eq!(v.len(), len);
+        for (i, &x) in v.iter().enumerate() {
+            prop_assert_eq!(x, (i as u64).wrapping_mul(0x9E37_79B9) ^ 0xABCD);
+        }
+    }
+
+    /// segments_mut hands out genuinely disjoint slices: writing a marker
+    /// through one never shows through another.
+    #[test]
+    fn segments_mut_disjoint(
+        len in 1usize..2_048,
+        segs in 1usize..16,
+        shift in 0usize..25,
+    ) {
+        let spec = LayoutSpec::new().seg_align(512).shift(shift * 8);
+        let mut arr = SegArray::<u64>::builder(len).segments(segs).spec(spec).build();
+        {
+            let slices = arr.segments_mut();
+            for (k, sl) in slices.into_iter().enumerate() {
+                for x in sl.iter_mut() {
+                    *x = k as u64 + 1;
+                }
+            }
+        }
+        for k in 0..arr.num_segments() {
+            prop_assert!(arr.segment(k).iter().all(|&x| x == k as u64 + 1));
+        }
+    }
+
+    /// The T2 mapping is a balanced 4-way split of any 512-aligned window:
+    /// each controller serves exactly 2 of every 8 consecutive lines.
+    #[test]
+    fn mapping_balanced_over_any_window(start_line in 0u64..1_000_000) {
+        let map = AddressMap::ultrasparc_t2();
+        let base = start_line * 512; // super-line aligned
+        let mut counts = [0u32; 4];
+        for l in 0..8 {
+            counts[map.controller(base + l * 64) as usize] += 1;
+        }
+        prop_assert_eq!(counts, [2, 2, 2, 2]);
+    }
+
+    /// Advisor efficiency is always in (0, 1], and adding 512 B to every
+    /// base never changes the prediction (periodicity).
+    #[test]
+    fn advisor_bounds_and_periodicity(
+        bases in proptest::collection::vec(0u64..4096, 1..6),
+        write_mask in 0u32..64,
+    ) {
+        let advisor = LayoutAdvisor::t2();
+        let streams: Vec<StreamDesc> = bases
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| StreamDesc {
+                base: b,
+                kind: if write_mask & (1 << i) != 0 {
+                    StreamKind::Write
+                } else {
+                    StreamKind::Read
+                },
+            })
+            .collect();
+        let p = advisor.predict(&streams);
+        prop_assert!(p.efficiency > 0.0 && p.efficiency <= 1.0 + 1e-12);
+        let shifted: Vec<StreamDesc> = streams
+            .iter()
+            .map(|s| StreamDesc { base: s.base + 512, kind: s.kind })
+            .collect();
+        let q = advisor.predict(&shifted);
+        prop_assert!((p.efficiency - q.efficiency).abs() < 1e-12);
+    }
+
+    /// The closed-form offset suggestion is never beaten by exhaustive
+    /// search at 128 B granularity (read streams).
+    #[test]
+    fn suggestion_is_optimal_for_reads(n in 1usize..5) {
+        let advisor = LayoutAdvisor::t2();
+        let offs = advisor.suggest_offsets(n);
+        let streams: Vec<StreamDesc> =
+            offs.iter().map(|&o| StreamDesc::read(o as u64)).collect();
+        let suggested = advisor.predict(&streams).efficiency;
+        let (_, searched) = advisor.search_offsets(&vec![StreamKind::Read; n], 128);
+        prop_assert!(suggested >= searched - 1e-12);
+    }
+}

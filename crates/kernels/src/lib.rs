@@ -1,0 +1,28 @@
+//! # t2opt-kernels
+//!
+//! The benchmark kernels of Hager, Zeiser & Wellein (2008), each in two
+//! forms:
+//!
+//! * a **host implementation** exercising the real `t2opt-core` data
+//!   structures and the `t2opt-parallel` runtime (used for correctness
+//!   tests, the Fig. 5 software-overhead measurement, and the examples);
+//! * a **trace builder** that lays the kernel's arrays out in a synthetic
+//!   address space and emits per-thread cache-line access programs for the
+//!   `t2opt-sim` UltraSPARC T2 simulator (used to regenerate the paper's
+//!   figures).
+//!
+//! | Module | Paper section | Figures |
+//! |---|---|---|
+//! | [`stream`] | §2.1 McCalpin STREAM | Fig. 2 |
+//! | [`triad`] | §2.2 vector triad + segmented iterators | Figs. 4, 5 |
+//! | [`jacobi`] | §2.3 2-D relaxation solver | Fig. 6 |
+//! | [`lbm`] | §2.4 D3Q19 lattice-Boltzmann | Fig. 7 |
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod common;
+pub mod jacobi;
+pub mod lbm;
+pub mod stream;
+pub mod triad;

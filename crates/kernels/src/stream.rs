@@ -1,0 +1,391 @@
+//! The McCalpin STREAM benchmark (§2.1) — host execution and T2-simulator
+//! traces.
+//!
+//! STREAM measures sustainable memory bandwidth with four OpenMP-parallel
+//! vector operations over arrays far larger than any cache:
+//!
+//! * copy:  `C(:) = A(:)`
+//! * scale: `B(:) = s·C(:)`
+//! * add:   `C(:) = A(:) + B(:)`
+//! * triad: `A(:) = B(:) + s·C(:)`
+//!
+//! The Fortran reference puts A, B, C in a COMMON block with a configurable
+//! *offset*: `a(ndim), b(ndim), c(ndim)` with `ndim = N + offset`, so the
+//! base-address separation between consecutive arrays is `(N + offset)·8`
+//! bytes. With `N` a power of two, that separation mod 512 B is just
+//! `offset·8` — which is how Fig. 2 turns the offset dial into a memory-
+//! controller aliasing dial.
+//!
+//! Reported bandwidth follows the STREAM convention: write-allocate RFO
+//! traffic is *not* counted, so e.g. triad's actual DRAM traffic is 4/3 of
+//! the reported figure.
+
+use crate::common::{place_threads, VirtualAlloc};
+use serde::{Deserialize, Serialize};
+use t2opt_parallel::{chunk_assignment, Placement, Schedule, ThreadPool};
+use t2opt_sim::trace::{chain_with_barriers, Program, StreamLoop, StreamSpec};
+use t2opt_sim::{ChipConfig, SimStats, Simulation};
+
+/// Which STREAM kernel to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StreamKernel {
+    /// `C(:) = A(:)`
+    Copy,
+    /// `B(:) = s·C(:)`
+    Scale,
+    /// `C(:) = A(:) + B(:)`
+    Add,
+    /// `A(:) = B(:) + s·C(:)`
+    Triad,
+}
+
+impl StreamKernel {
+    /// Name as printed by the STREAM benchmark.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StreamKernel::Copy => "copy",
+            StreamKernel::Scale => "scale",
+            StreamKernel::Add => "add",
+            StreamKernel::Triad => "triad",
+        }
+    }
+
+    /// Floating-point operations per element.
+    pub fn flops_per_elem(&self) -> f64 {
+        match self {
+            StreamKernel::Copy => 0.0,
+            StreamKernel::Scale | StreamKernel::Add => 1.0,
+            StreamKernel::Triad => 2.0,
+        }
+    }
+
+    /// Bytes counted per element by the STREAM reporting convention
+    /// (one word per participating array; RFO not counted).
+    pub fn reported_bytes_per_elem(&self) -> u64 {
+        match self {
+            StreamKernel::Copy | StreamKernel::Scale => 16,
+            StreamKernel::Add | StreamKernel::Triad => 24,
+        }
+    }
+
+    /// The load/store stream pattern given the three array bases, in
+    /// program order (loads first).
+    fn streams(&self, a: u64, b: u64, c: u64) -> Vec<StreamSpec> {
+        match self {
+            StreamKernel::Copy => vec![StreamSpec::load(a), StreamSpec::store(c)],
+            StreamKernel::Scale => vec![StreamSpec::load(c), StreamSpec::store(b)],
+            StreamKernel::Add => {
+                vec![StreamSpec::load(a), StreamSpec::load(b), StreamSpec::store(c)]
+            }
+            StreamKernel::Triad => {
+                vec![StreamSpec::load(b), StreamSpec::load(c), StreamSpec::store(a)]
+            }
+        }
+    }
+}
+
+/// Configuration of a STREAM experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Array length N in double-precision words (paper: 2²⁵ for Fig. 2).
+    pub n: usize,
+    /// COMMON-block offset in DP words (the Fig. 2 x-axis).
+    pub offset: usize,
+    /// Number of OpenMP threads.
+    pub threads: usize,
+    /// Measured sweeps (the paper uses ntimes = 10; shape needs ≥ 2).
+    pub ntimes: usize,
+}
+
+impl StreamConfig {
+    /// The Fig. 2 setup at a given offset and thread count, with a reduced
+    /// default N (the periodicity only needs N ≫ cache and N·8 ≡ 0 mod 512;
+    /// use `n = 1 << 25` to match the paper exactly).
+    pub fn fig2(n: usize, offset: usize, threads: usize) -> Self {
+        StreamConfig { n, offset, threads, ntimes: 2 }
+    }
+
+    /// Total bytes the benchmark reports moving per measured sweep.
+    pub fn reported_bytes_per_sweep(&self, kernel: StreamKernel) -> u64 {
+        self.n as u64 * kernel.reported_bytes_per_elem()
+    }
+}
+
+/// Builds the per-thread simulator programs for one STREAM run: a warm-up
+/// sweep, a barrier (id 0, where the measurement window opens), then
+/// `ntimes` measured sweeps separated by barriers.
+pub fn build_trace(cfg: &StreamConfig, kernel: StreamKernel, chip: &ChipConfig) -> Vec<Program> {
+    // COMMON block: one contiguous region, page-aligned (Fortran storage
+    // sequence); each array is ndim = N + offset words long.
+    let ndim = (cfg.n + cfg.offset) as u64 * 8;
+    let mut va = VirtualAlloc::new();
+    let a = va.alloc(3 * ndim, 8192, 0);
+    let b = a + ndim;
+    let c = a + 2 * ndim;
+    let line = chip.l2.line;
+
+    let assignment = chunk_assignment(Schedule::Static, cfg.n, cfg.threads);
+    (0..cfg.threads)
+        .map(|tid| {
+            let chunks = assignment[tid].clone();
+            let kernel_streams = kernel.streams(a, b, c);
+            let flops = kernel.flops_per_elem();
+            let mut sweeps = Vec::new();
+            for _ in 0..=cfg.ntimes {
+                // One sweep = this thread's chunks in order.
+                let mut per_chunk: Vec<StreamLoop> = Vec::new();
+                for ch in &chunks {
+                    let bases: Vec<StreamSpec> = kernel_streams
+                        .iter()
+                        .map(|s| StreamSpec {
+                            base: s.base + ch.start as u64 * 8,
+                            dir: s.dir,
+                        })
+                        .collect();
+                    per_chunk.push(StreamLoop::new(bases, ch.len(), 8, flops, line));
+                }
+                sweeps.push(per_chunk.into_iter().flatten());
+            }
+            chain_with_barriers(sweeps, 0)
+        })
+        .collect()
+}
+
+/// Result of a simulated STREAM run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamResult {
+    /// Reported bandwidth (STREAM convention, RFO not counted), GB/s.
+    pub reported_gbs: f64,
+    /// Actual DRAM bandwidth including RFO and write-backs, GB/s.
+    pub actual_gbs: f64,
+    /// Controller busy-cycle balance (1.0 = even).
+    pub mc_balance: f64,
+    /// Raw statistics.
+    pub stats: SimStats,
+}
+
+/// Runs one STREAM configuration on the T2 simulator.
+pub fn run_sim(
+    cfg: &StreamConfig,
+    kernel: StreamKernel,
+    chip: &ChipConfig,
+    placement: &Placement,
+) -> StreamResult {
+    let programs = build_trace(cfg, kernel, chip);
+    let threads = place_threads(programs, placement, chip.core.n_cores);
+    let sim = Simulation::new(chip.clone()).measure_after_barrier(0);
+    let stats = sim.run(threads);
+    let reported = cfg.reported_bytes_per_sweep(kernel) * cfg.ntimes as u64;
+    StreamResult {
+        reported_gbs: stats.reported_bandwidth_gbs(chip, reported),
+        actual_gbs: stats.actual_bandwidth_gbs(chip),
+        mc_balance: stats.mc_balance(),
+        stats,
+    }
+}
+
+/// Host-side STREAM (plain slices + thread pool), returning the reported
+/// bandwidth in GB/s. Used for API demonstrations and correctness tests —
+/// host hardware does not exhibit the T2 aliasing.
+pub fn run_host(cfg: &StreamConfig, kernel: StreamKernel, pool: &ThreadPool) -> f64 {
+    let ndim = cfg.n + cfg.offset;
+    let mut a = vec![1.0f64; ndim];
+    let mut b = vec![2.0f64; ndim];
+    let mut c = vec![0.0f64; ndim];
+    let scalar = 3.0f64;
+    let n = cfg.n;
+
+    let mut best = f64::INFINITY;
+    for _ in 0..=cfg.ntimes {
+        let t0 = std::time::Instant::now();
+        match kernel {
+            StreamKernel::Copy => {
+                let (src, dst) = (&a, &mut c);
+                host_sweep2(pool, n, src, dst, |x| x);
+            }
+            StreamKernel::Scale => {
+                let (src, dst) = (&c, &mut b);
+                host_sweep2(pool, n, src, dst, move |x| scalar * x);
+            }
+            StreamKernel::Add => {
+                let (s1, s2, dst) = (&a, &b, &mut c);
+                host_sweep3(pool, n, s1, s2, dst, |x, y| x + y);
+            }
+            StreamKernel::Triad => {
+                let (s1, s2, dst) = (&b, &c, &mut a);
+                host_sweep3(pool, n, s1, s2, dst, move |x, y| x + scalar * y);
+            }
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    cfg.reported_bytes_per_sweep(kernel) as f64 / best / 1e9
+}
+
+fn host_sweep2(
+    pool: &ThreadPool,
+    n: usize,
+    src: &[f64],
+    dst: &mut [f64],
+    f: impl Fn(f64) -> f64 + Sync,
+) {
+    let dst_ptr = SendPtr(dst.as_mut_ptr());
+    pool.parallel_for(0..n, Schedule::Static, |_tid, range| {
+        // SAFETY: chunks are disjoint across threads (exact cover), so each
+        // dst element is written by exactly one thread.
+        let dst = unsafe { std::slice::from_raw_parts_mut(dst_ptr.get(), n) };
+        for i in range {
+            dst[i] = f(src[i]);
+        }
+    });
+}
+
+fn host_sweep3(
+    pool: &ThreadPool,
+    n: usize,
+    s1: &[f64],
+    s2: &[f64],
+    dst: &mut [f64],
+    f: impl Fn(f64, f64) -> f64 + Sync,
+) {
+    let dst_ptr = SendPtr(dst.as_mut_ptr());
+    pool.parallel_for(0..n, Schedule::Static, |_tid, range| {
+        // SAFETY: chunks are disjoint across threads (exact cover).
+        let dst = unsafe { std::slice::from_raw_parts_mut(dst_ptr.get(), n) };
+        for i in range {
+            dst[i] = f(s1[i], s2[i]);
+        }
+    });
+}
+
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f64);
+
+impl SendPtr {
+    /// Accessor so closures capture the (Send + Sync) wrapper, not the raw
+    /// pointer field (edition-2021 disjoint captures).
+    fn get(&self) -> *mut f64 {
+        self.0
+    }
+}
+// SAFETY: the pointer is only used inside `parallel_for` on disjoint index
+// ranges while the caller holds the unique borrow.
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_chip() -> ChipConfig {
+        ChipConfig::ultrasparc_t2()
+    }
+
+    #[test]
+    fn trace_touches_expected_volume() {
+        let chip = small_chip();
+        let cfg = StreamConfig { n: 1 << 12, offset: 0, threads: 8, ntimes: 1 };
+        let res = run_sim(&cfg, StreamKernel::Triad, &chip, &Placement::t2_scatter());
+        // Warm-up + 1 measured sweep; measured window sees one sweep of
+        // demand reads: arrays ≫ L2 is not true here, but with offset 0 and
+        // 3 arrays × 32 KiB = 96 KiB it all fits — so the measured sweep can
+        // hit. Just sanity-check the plumbing produced *some* traffic and a
+        // positive bandwidth.
+        assert!(res.reported_gbs > 0.0);
+        assert!(res.stats.mem_ops > 0);
+    }
+
+    #[test]
+    fn triad_beats_copy_on_t2() {
+        // §2.1: copy suffers more from bidirectional transfer overhead
+        // (1 write per read vs 1 write per 2 reads).
+        let chip = small_chip();
+        // Arrays must dwarf the 4 MB L2 (3 arrays × 8 MiB here).
+        let cfg = StreamConfig { n: 1 << 20, offset: 37, threads: 64, ntimes: 1 };
+        let copy = run_sim(&cfg, StreamKernel::Copy, &chip, &Placement::t2_scatter());
+        let triad = run_sim(&cfg, StreamKernel::Triad, &chip, &Placement::t2_scatter());
+        assert!(
+            triad.reported_gbs > copy.reported_gbs,
+            "triad {:.1} should beat copy {:.1}",
+            triad.reported_gbs,
+            copy.reported_gbs
+        );
+    }
+
+    #[test]
+    fn offset_zero_is_a_deep_minimum() {
+        // The Fig. 2 signature: offset 0 ≪ offset 16 (= optimal 128 B), and
+        // offset 64 (≡ 0 mod 512 B) is as bad as offset 0.
+        let chip = small_chip();
+        let n = 1 << 20;
+        let bw = |off| {
+            run_sim(
+                &StreamConfig { n, offset: off, threads: 64, ntimes: 1 },
+                StreamKernel::Triad,
+                &chip,
+                &Placement::t2_scatter(),
+            )
+            .reported_gbs
+        };
+        let at0 = bw(0);
+        let at16 = bw(16);
+        let at64 = bw(64);
+        assert!(at16 > 1.4 * at0, "offset 16 {at16:.1} vs offset 0 {at0:.1}");
+        assert!(
+            (at64 - at0).abs() / at0 < 0.25,
+            "offset 64 {at64:.1} must be ≈ offset 0 {at0:.1}"
+        );
+    }
+
+    #[test]
+    fn host_stream_produces_correct_values() {
+        let pool = ThreadPool::new(4);
+        let cfg = StreamConfig { n: 10_000, offset: 0, threads: 4, ntimes: 1 };
+        // Just verify all four kernels run; value checks below.
+        for k in [StreamKernel::Copy, StreamKernel::Scale, StreamKernel::Add, StreamKernel::Triad]
+        {
+            let gbs = run_host(&cfg, k, &pool);
+            assert!(gbs > 0.0, "{} produced non-positive bandwidth", k.name());
+        }
+    }
+
+    #[test]
+    fn host_sweeps_compute_correctly() {
+        let pool = ThreadPool::new(3);
+        let src: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let mut dst = vec![0.0; 1000];
+        host_sweep2(&pool, 1000, &src, &mut dst, |x| 2.0 * x);
+        assert!(dst.iter().enumerate().all(|(i, &v)| v == 2.0 * i as f64));
+        let s2: Vec<f64> = (0..1000).map(|i| (1000 - i) as f64).collect();
+        let mut dst3 = vec![0.0; 1000];
+        host_sweep3(&pool, 1000, &src, &s2, &mut dst3, |x, y| x + y);
+        assert!(dst3.iter().all(|&v| v == 1000.0));
+    }
+
+    #[test]
+    fn reported_convention_excludes_rfo() {
+        let cfg = StreamConfig { n: 100, offset: 0, threads: 1, ntimes: 1 };
+        assert_eq!(cfg.reported_bytes_per_sweep(StreamKernel::Triad), 2400);
+        assert_eq!(cfg.reported_bytes_per_sweep(StreamKernel::Copy), 1600);
+    }
+
+    #[test]
+    fn common_block_layout_congruence() {
+        // With N·8 ≡ 0 (mod 512), array separations mod 512 are offset·8.
+        let chip = small_chip();
+        let cfg = StreamConfig { n: 1 << 12, offset: 32, threads: 1, ntimes: 1 };
+        let programs = build_trace(&cfg, StreamKernel::Triad, &chip);
+        assert_eq!(programs.len(), 1);
+        // First ops: load B, load C, (compute), store A. B's base mod 512 =
+        // (N+32)·8 mod 512 = 256.
+        use t2opt_sim::trace::Op;
+        let ops: Vec<_> = programs.into_iter().next().unwrap().take(2).collect();
+        match ops[0] {
+            Op::Read(addr) => assert_eq!(addr % 512, 256),
+            ref other => panic!("expected read, got {other:?}"),
+        }
+        match ops[1] {
+            Op::Read(addr) => assert_eq!(addr % 512, 0), // C: 2·(N+32)·8 ≡ 0
+            ref other => panic!("expected read, got {other:?}"),
+        }
+    }
+}

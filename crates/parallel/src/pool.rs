@@ -1,0 +1,383 @@
+//! A persistent, pinnable worker-thread pool with OpenMP-style
+//! `parallel_for`.
+//!
+//! The pool is created once with a fixed team size (and optionally a
+//! [`Placement`]), mirroring OpenMP's thread team: work is broadcast to all
+//! workers, the caller blocks until the team finishes (an implicit barrier,
+//! like the end of an `omp parallel for`). Keeping the team alive across
+//! loops is essential for the small-N end of the Fig. 5 overhead
+//! measurement — thread creation would otherwise dominate.
+
+use crate::placement::{pin_current_thread, Placement};
+use crate::schedule::{chunk_assignment, Chunk, ChunkCursor, Schedule};
+use parking_lot::{Condvar, Mutex};
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Type-erased pointer to the job closure currently being broadcast.
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (asserted at creation in `run`) and is kept
+// alive by `run` blocking until every worker is done with it.
+unsafe impl Send for JobPtr {}
+
+struct State {
+    generation: u64,
+    job: Option<JobPtr>,
+    remaining: usize,
+    panicked: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    start: Condvar,
+    done: Condvar,
+}
+
+/// A fixed team of worker threads; see the module docs.
+///
+/// ```
+/// use t2opt_parallel::{ThreadPool, Schedule};
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// let pool = ThreadPool::new(8);
+/// let sum = AtomicU64::new(0);
+/// pool.parallel_for(0..100, Schedule::Static, |_tid, range| {
+///     let local: u64 = range.map(|i| i as u64).sum();
+///     sum.fetch_add(local, Ordering::Relaxed);
+/// });
+/// assert_eq!(sum.load(Ordering::Relaxed), 99 * 100 / 2);
+/// ```
+pub struct ThreadPool {
+    n: usize,
+    placement: Placement,
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Creates a pool of `n` unpinned workers (`n = 0` is promoted to 1).
+    pub fn new(n: usize) -> Self {
+        Self::with_placement(n, Placement::None)
+    }
+
+    /// Creates a pool of `n` workers pinned according to `placement`.
+    pub fn with_placement(n: usize, placement: Placement) -> Self {
+        let n = n.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                generation: 0,
+                job: None,
+                remaining: 0,
+                panicked: 0,
+                shutdown: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let workers = (0..n)
+            .map(|tid| {
+                let shared = Arc::clone(&shared);
+                let core = placement.core_of(tid);
+                std::thread::Builder::new()
+                    .name(format!("t2opt-worker-{tid}"))
+                    .spawn(move || worker_loop(tid, core, shared))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        ThreadPool { n, placement, shared, workers }
+    }
+
+    /// Team size.
+    pub fn num_threads(&self) -> usize {
+        self.n
+    }
+
+    /// The placement the team was created with.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Runs `f(tid)` once on every worker and blocks until all are done
+    /// (the OpenMP `parallel` region). Panics in workers are collected and
+    /// re-raised here after the barrier.
+    pub fn run(&self, f: impl Fn(usize) + Sync) {
+        let f_ref: &(dyn Fn(usize) + Sync) = &f;
+        // SAFETY: we erase the lifetime of `f_ref`, but `run` does not
+        // return until `remaining == 0`, i.e. until no worker will touch the
+        // pointer again, so the pointee outlives all uses.
+        let ptr = JobPtr(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(f_ref as *const _)
+        });
+        let mut state = self.shared.state.lock();
+        debug_assert_eq!(state.remaining, 0, "pool::run is not reentrant");
+        state.generation += 1;
+        state.job = Some(ptr);
+        state.remaining = self.n;
+        state.panicked = 0;
+        self.shared.start.notify_all();
+        while state.remaining > 0 {
+            self.shared.done.wait(&mut state);
+        }
+        state.job = None;
+        let panicked = state.panicked;
+        drop(state);
+        assert!(
+            panicked == 0,
+            "{panicked} worker thread(s) panicked inside ThreadPool::run"
+        );
+    }
+
+    /// OpenMP-style `parallel for` over `range` with the given schedule.
+    /// `f(tid, chunk_range)` is called once per assigned chunk; the call
+    /// returns after the implicit barrier.
+    pub fn parallel_for(
+        &self,
+        range: Range<usize>,
+        schedule: Schedule,
+        f: impl Fn(usize, Range<usize>) + Sync,
+    ) {
+        let offset = range.start;
+        let n = range.end.saturating_sub(range.start);
+        if schedule.is_deterministic() {
+            let assignment = chunk_assignment(schedule, n, self.n);
+            self.run(|tid| {
+                for ch in &assignment[tid] {
+                    f(tid, offset + ch.start..offset + ch.end);
+                }
+            });
+        } else {
+            let cursor = ChunkCursor::new(schedule, n, self.n);
+            self.run(|tid| {
+                while let Some(Chunk { start, end }) = cursor.claim(tid) {
+                    f(tid, offset + start..offset + end);
+                }
+            });
+        }
+    }
+
+    /// Like [`ThreadPool::parallel_for`] but hands each worker its full
+    /// pre-computed chunk list once (deterministic schedules only) — useful
+    /// when per-chunk dispatch overhead matters.
+    pub fn parallel_for_chunks(
+        &self,
+        n: usize,
+        schedule: Schedule,
+        f: impl Fn(usize, &[Chunk]) + Sync,
+    ) {
+        let assignment = chunk_assignment(schedule, n, self.n);
+        self.run(|tid| f(tid, &assignment[tid]));
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock();
+            state.shutdown = true;
+            self.shared.start.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(tid: usize, core: Option<usize>, shared: Arc<Shared>) {
+    if let Some(core) = core {
+        // Best-effort: pinning failures are tolerated on the host (the
+        // simulator is where placement is exact).
+        let _ = pin_current_thread(core);
+    }
+    let mut seen_generation = 0u64;
+    loop {
+        let job = {
+            let mut state = shared.state.lock();
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if state.generation != seen_generation && state.job.is_some() {
+                    seen_generation = state.generation;
+                    break state.job.unwrap();
+                }
+                shared.start.wait(&mut state);
+            }
+        };
+        // SAFETY: `run` keeps the closure alive until `remaining == 0`,
+        // which we only signal after the call returns.
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(tid) }));
+        let mut state = shared.state.lock();
+        if result.is_err() {
+            state.panicked += 1;
+        }
+        state.remaining -= 1;
+        if state.remaining == 0 {
+            shared.done.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_worker_runs_exactly_once_per_run() {
+        let pool = ThreadPool::new(8);
+        let counts: Vec<AtomicUsize> = (0..8).map(|_| AtomicUsize::new(0)).collect();
+        for _ in 0..10 {
+            pool.run(|tid| {
+                counts[tid].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        for c in &counts {
+            assert_eq!(c.load(Ordering::Relaxed), 10);
+        }
+    }
+
+    #[test]
+    fn parallel_for_static_covers_range() {
+        let pool = ThreadPool::new(4);
+        let n = 10_001;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for(0..n, Schedule::Static, |_tid, range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_dynamic_covers_range() {
+        let pool = ThreadPool::new(4);
+        let n = 5000;
+        let total = AtomicUsize::new(0);
+        pool.parallel_for(0..n, Schedule::Dynamic(17), |_tid, range| {
+            total.fetch_add(range.len(), Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), n);
+    }
+
+    #[test]
+    fn parallel_for_guided_covers_offset_range() {
+        let pool = ThreadPool::new(3);
+        let total = AtomicUsize::new(0);
+        let lo = AtomicUsize::new(usize::MAX);
+        pool.parallel_for(100..1100, Schedule::Guided(8), |_tid, range| {
+            total.fetch_add(range.len(), Ordering::Relaxed);
+            lo.fetch_min(range.start, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 1000);
+        assert_eq!(lo.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn static_one_interleaves_threads() {
+        let pool = ThreadPool::new(4);
+        let owner: Vec<AtomicUsize> = (0..16).map(|_| AtomicUsize::new(99)).collect();
+        pool.parallel_for(0..16, Schedule::StaticChunk(1), |tid, range| {
+            for i in range {
+                owner[i].store(tid, Ordering::Relaxed);
+            }
+        });
+        let owners: Vec<usize> = owner.iter().map(|o| o.load(Ordering::Relaxed)).collect();
+        assert_eq!(owners, vec![0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn disjoint_mutable_output_via_chunks() {
+        // The idiomatic kernel pattern: split the output first, then let
+        // each thread write its own part.
+        let pool = ThreadPool::new(8);
+        let mut data = vec![0u64; 4096];
+        let chunks: Vec<&mut [u64]> = data.chunks_mut(512).collect();
+        // chunks are moved into per-slot Mutex-free cells via simple index
+        // partition: one chunk per thread id here.
+        let cells: Vec<parking_lot::Mutex<&mut [u64]>> =
+            chunks.into_iter().map(parking_lot::Mutex::new).collect();
+        pool.run(|tid| {
+            let mut guard = cells[tid].lock();
+            for (i, x) in guard.iter_mut().enumerate() {
+                *x = (tid * 10_000 + i) as u64;
+            }
+        });
+        drop(cells);
+        assert_eq!(data[0], 0);
+        assert_eq!(data[512], 10_000);
+        assert_eq!(data[4095], 70_511);
+    }
+
+    #[test]
+    fn pool_is_reusable_many_times() {
+        let pool = ThreadPool::new(2);
+        let total = AtomicUsize::new(0);
+        for _ in 0..500 {
+            pool.run(|_tid| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn zero_threads_promoted_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.num_threads(), 1);
+        let ran = AtomicUsize::new(0);
+        pool.run(|tid| {
+            assert_eq!(tid, 0);
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn worker_panic_propagates_after_barrier() {
+        let pool = ThreadPool::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|tid| {
+                if tid == 2 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // Pool must still be usable afterwards.
+        let ok = AtomicUsize::new(0);
+        pool.run(|_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn pinned_pool_runs() {
+        let pool = ThreadPool::with_placement(4, Placement::t2_scatter());
+        let total = AtomicUsize::new(0);
+        pool.parallel_for(0..100, Schedule::Static, |_t, r| {
+            total.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn empty_range_is_fine() {
+        let pool = ThreadPool::new(4);
+        pool.parallel_for(5..5, Schedule::Static, |_t, _r| {
+            panic!("must not be called");
+        });
+        pool.parallel_for(5..5, Schedule::Dynamic(4), |_t, _r| {
+            panic!("must not be called");
+        });
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for schedules, coalescing and the pool.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use t2opt_parallel::schedule::{assert_exact_cover, ChunkCursor};
+use t2opt_parallel::{chunk_assignment, Coalesce2, Coalesce3, Schedule, ThreadPool};
+
+proptest! {
+    /// Static schedules cover every iteration exactly once for arbitrary
+    /// (n, t, chunk).
+    #[test]
+    fn static_schedules_exact_cover(
+        n in 0usize..5_000,
+        t in 1usize..70,
+        chunk in 1usize..100,
+    ) {
+        let a = chunk_assignment(Schedule::Static, n, t);
+        assert_exact_cover(&a, n);
+        let a = chunk_assignment(Schedule::StaticChunk(chunk), n, t);
+        assert_exact_cover(&a, n);
+    }
+
+    /// Static split sizes differ by at most one (the ⌊N/t⌋ / ⌊N/t⌋+1 law).
+    #[test]
+    fn static_split_is_balanced(n in 0usize..10_000, t in 1usize..100) {
+        let a = chunk_assignment(Schedule::Static, n, t);
+        let sizes: Vec<usize> = a.iter().map(|c| c.iter().map(|ch| ch.len()).sum()).collect();
+        let max = sizes.iter().copied().max().unwrap();
+        let min = sizes.iter().copied().min().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    /// Dynamic and guided cursors dispense every iteration exactly once.
+    #[test]
+    fn cursors_exact_cover(
+        n in 0usize..3_000,
+        t in 1usize..32,
+        chunk in 1usize..50,
+        guided in proptest::bool::ANY,
+    ) {
+        let schedule = if guided { Schedule::Guided(chunk) } else { Schedule::Dynamic(chunk) };
+        let cur = ChunkCursor::new(schedule, n, t);
+        let mut seen = vec![false; n];
+        while let Some(ch) = cur.claim(0) {
+            for i in ch.range() {
+                prop_assert!(!seen[i], "iteration {} dispensed twice", i);
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Coalesce2/3 are bijections between the flat space and index tuples.
+    #[test]
+    fn coalesce_bijections(n1 in 1usize..30, n2 in 1usize..30, n3 in 1usize..20) {
+        let c2 = Coalesce2::new(n1, n2);
+        for flat in 0..c2.len() {
+            let (i, j) = c2.decode(flat);
+            prop_assert_eq!(c2.encode(i, j), flat);
+        }
+        let c3 = Coalesce3::new(n1, n2, n3);
+        for flat in (0..c3.len()).step_by(7) {
+            let (i, j, k) = c3.decode(flat);
+            prop_assert_eq!(c3.encode(i, j, k), flat);
+        }
+    }
+}
+
+/// Pool execution visits every index exactly once, for a sampling of
+/// schedules and team sizes (kept small: spawns threads).
+#[test]
+fn pool_visits_everything_once() {
+    for &(threads, n, schedule) in &[
+        (3usize, 1000usize, Schedule::Static),
+        (7, 999, Schedule::StaticChunk(5)),
+        (4, 1234, Schedule::Dynamic(7)),
+        (5, 777, Schedule::Guided(3)),
+    ] {
+        let pool = ThreadPool::new(threads);
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for(0..n, schedule, |_tid, range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(
+            hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+            "schedule {schedule:?} on {threads} threads missed or repeated an index"
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Demonstrates the convoy effect at the engine level: 64 threads with a
+//! STREAM-triad access pattern, with array bases congruent modulo 512 B
+//! (one memory controller at a time) versus spread with the paper's
+//! optimal 128-byte offsets (all four controllers).
+//!
+//! Run with: `cargo run --release -p t2opt-sim --example convoy_debug`
+
+use t2opt_sim::prelude::*;
+
+fn run(label: &str, offs: [u64; 3]) {
+    let sim = Simulation::t2();
+    let n = 1 << 13; // elements per thread chunk
+    let chunk_bytes = (n * 8) as u64;
+    let threads: Vec<ThreadSpec> = (0..64)
+        .map(|t| {
+            let a = offs[0] + t as u64 * chunk_bytes;
+            let b = (1 << 30) + offs[1] + t as u64 * chunk_bytes;
+            let c = (2 << 30) + offs[2] + t as u64 * chunk_bytes;
+            ThreadSpec::new(
+                (t % 8) as usize,
+                Box::new(StreamLoop::new(
+                    vec![
+                        StreamSpec::load(b),
+                        StreamSpec::load(c),
+                        StreamSpec::store(a),
+                    ],
+                    n,
+                    8,
+                    2.0,
+                    64,
+                )) as Program,
+            )
+        })
+        .collect();
+    let st = sim.run(threads);
+    let cfg = sim.config();
+    let util = st.mc_busy_cycles.iter().sum::<u64>() as f64
+        / (cfg.n_controllers() as u64 * st.cycles().max(1)) as f64;
+    println!(
+        "{label}: {:>6.2} GB/s actual | controller busy {:.0}% | nacks {}",
+        st.actual_bandwidth_gbs(cfg),
+        util * 100.0,
+        st.nacks
+    );
+}
+
+fn main() {
+    println!("STREAM-triad pattern, 64 threads, simulated UltraSPARC T2:");
+    run("congruent mod 512 B (offset 0)", [0, 0, 0]);
+    run("paper's offsets 0/128/256    ", [0, 128, 256]);
+    println!("\nThe congruent case batches every thread onto one controller at a");
+    println!("time — the aliasing collapse of Hager et al. 2008, Fig. 2.");
+}

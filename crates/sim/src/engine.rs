@@ -1,0 +1,806 @@
+//! The discrete-event simulation engine.
+//!
+//! Each simulated hardware thread executes its [`Program`] op by op. The
+//! engine keeps a priority queue of thread wake-ups and models five
+//! resource classes:
+//!
+//! * per-core **memory pipes** (2 on the T2) — every memory op takes an
+//!   issue slot;
+//! * per-core **FPU** (one shared unit) — `Compute` ops serialize on it,
+//!   which is what caps the LBM at low bytes/flop (§2.4);
+//! * **L2 banks** — each access occupies its bank for `bank_cycles`, and
+//!   each bank tracks a finite number of outstanding misses (MSHRs);
+//! * **memory controllers** — dual-channel FB-DIMM links (see
+//!   [`crate::mc`]): reads pipeline on the northbound channel, write-backs
+//!   and read commands share the southbound channel, with finite input
+//!   queues;
+//! * per-thread **load/miss and store-buffer budgets** — a thread blocks on
+//!   every L2 *load* miss until the line returns (the T2's single
+//!   outstanding miss per thread; configurable for the ablation study),
+//!   while *stores* retire through an 8-entry TSO store buffer whose
+//!   read-for-ownerships drain asynchronously.
+//!
+//! Because every channel serves FIFO, a request's completion time is known
+//! the moment it is admitted; the engine therefore schedules exact thread
+//! wake-ups and needs no server-side events at all. Full controller queues
+//! and full bank miss buffers NACK the request; the thread retries when the
+//! blocking entry completes (also a known time). Everything is
+//! deterministically seeded, so simulations are bit-reproducible.
+//!
+//! ## Why the gang window exists
+//!
+//! The paper's central observation — at aliased offsets "all threads hit
+//! exactly one memory controller at a time. As the loop count proceeds,
+//! successive controllers are of course used in turn, but not concurrently"
+//! (§2.1) — is a statement about *convoy stability*. An idealized
+//! infinite-FIFO queue model does not produce it: the initial service order
+//! smears the threads into a stable, perfectly staggered conveyor that
+//! covers all controllers and hides the aliasing entirely (we verified
+//! this; configure `gang_window: None` to get that machine, or run the
+//! `ablation_outstanding` binary). On the real chip, fair round-robin
+//! crossbar arbitration, NACK storms and retry congestion keep the threads
+//! of a bulk-synchronous loop batched, and the measured 3–4× collapse
+//! follows. The engine models that net effect directly: no thread may
+//! commit more than `gang_window` memory operations beyond the slowest
+//! still-running thread (threads leave the gang at barriers and at program
+//! end, so the window cannot deadlock).
+
+use crate::cache::{Access, L2Cache};
+use crate::config::ChipConfig;
+use crate::mc::MemController;
+use crate::stats::SimStats;
+use crate::trace::{Op, Program};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+
+/// One simulated hardware thread: which core it is pinned to and what it
+/// executes.
+pub struct ThreadSpec {
+    /// Core index in `0..cfg.core.n_cores`.
+    pub core: usize,
+    /// The thread's op stream.
+    pub program: Program,
+}
+
+impl ThreadSpec {
+    /// Creates a thread spec.
+    pub fn new(core: usize, program: Program) -> Self {
+        ThreadSpec { core, program }
+    }
+}
+
+/// A configured simulation, ready to run.
+pub struct Simulation {
+    cfg: ChipConfig,
+    measure_after_barrier: Option<u32>,
+}
+
+/// Drops completed entries (≤ now) from the front of a completion-time
+/// queue.
+#[inline]
+fn prune(q: &mut VecDeque<u64>, now: u64) {
+    while q.front().is_some_and(|&c| c <= now) {
+        q.pop_front();
+    }
+}
+
+impl Simulation {
+    /// A simulation of the given chip.
+    pub fn new(cfg: ChipConfig) -> Self {
+        cfg.validate().expect("invalid chip configuration");
+        Simulation { cfg, measure_after_barrier: None }
+    }
+
+    /// A simulation of the calibrated UltraSPARC T2.
+    pub fn t2() -> Self {
+        Simulation::new(ChipConfig::ultrasparc_t2())
+    }
+
+    /// Starts the measurement window when barrier `id` releases: all
+    /// counters collected before it are discarded. Use the warm-up sweep +
+    /// barrier pattern from [`crate::trace::chain_with_barriers`].
+    pub fn measure_after_barrier(mut self, id: u32) -> Self {
+        self.measure_after_barrier = Some(id);
+        self
+    }
+
+    /// The chip configuration.
+    pub fn config(&self) -> &ChipConfig {
+        &self.cfg
+    }
+
+    /// Runs the given threads to completion and returns the statistics.
+    ///
+    /// # Panics
+    /// Panics if a thread's core index is out of range, if a core's
+    /// hardware-thread capacity is exceeded, or on inconsistent barrier use
+    /// (deadlock: some threads finished while others wait).
+    pub fn run(&self, threads: Vec<ThreadSpec>) -> SimStats {
+        let cfg = &self.cfg;
+        let n_threads = threads.len();
+        assert!(n_threads > 0, "need at least one thread");
+        let mut occupancy = vec![0usize; cfg.core.n_cores];
+        for t in &threads {
+            assert!(
+                t.core < cfg.core.n_cores,
+                "core index {} out of range ({} cores)",
+                t.core,
+                cfg.core.n_cores
+            );
+            occupancy[t.core] += 1;
+            assert!(
+                occupancy[t.core] <= cfg.core.threads_per_core,
+                "core {} oversubscribed (> {} hardware threads)",
+                t.core,
+                cfg.core.threads_per_core
+            );
+        }
+
+        let line_bytes = cfg.l2.line as u64;
+        let mut stats = SimStats::new(cfg.n_controllers(), cfg.n_banks());
+        let mut cache = L2Cache::new(&cfg.l2);
+        let mut mcs: Vec<MemController> = (0..cfg.n_controllers())
+            .map(|i| MemController::new_seeded(&cfg.mem, i as u64 + 1))
+            .collect();
+        // Completion times of requests admitted to each controller's finite
+        // input queue (occupancy + NACK wake times).
+        let mut mc_admitted: Vec<VecDeque<u64>> =
+            vec![VecDeque::new(); cfg.n_controllers()];
+        // Completion times of outstanding misses per L2 bank (MSHRs).
+        let mut bank_inflight: Vec<VecDeque<u64>> = vec![VecDeque::new(); cfg.n_banks()];
+        let queue_depth = cfg.mem.queue_depth;
+        let mshr_per_bank = cfg.l2.mshr_per_bank.max(1);
+        let mut bank_busy = vec![0u64; cfg.n_banks()];
+        let mut fpu_busy = vec![0u64; cfg.core.n_cores];
+        let mut pipes: Vec<Vec<u64>> =
+            vec![vec![0u64; cfg.core.mem_pipes]; cfg.core.n_cores];
+
+        /// Why a thread currently has no scheduled wake-up.
+        #[derive(PartialEq, Eq)]
+        enum Wait {
+            /// Runnable (wake-up scheduled).
+            None,
+            /// Parked at a barrier (woken by the last arriver).
+            Barrier,
+            /// Parked by the gang drift window (woken by gang progress).
+            Drift,
+        }
+        struct ThreadState {
+            core: usize,
+            program: Program,
+            pending: Option<Op>,
+            /// Completion times of outstanding load misses.
+            loads: VecDeque<u64>,
+            /// Completion times of in-flight store RFOs (buffer entries).
+            stores: VecDeque<u64>,
+            /// Latest completion over everything this thread issued.
+            drain_until: u64,
+            wait: Wait,
+            finished: bool,
+        }
+        let mut ts: Vec<ThreadState> = threads
+            .into_iter()
+            .map(|t| ThreadState {
+                core: t.core,
+                program: t.program,
+                pending: None,
+                loads: VecDeque::new(),
+                stores: VecDeque::new(),
+                drain_until: 0,
+                wait: Wait::None,
+                finished: false,
+            })
+            .collect();
+        let store_buffer = cfg.core.store_buffer.max(1);
+        let outstanding_limit = cfg.core.outstanding_misses;
+
+        struct BarrierState {
+            arrivals: usize,
+            release: u64,
+            waiters: Vec<u32>,
+        }
+        let mut barriers: std::collections::HashMap<u32, BarrierState> =
+            std::collections::HashMap::new();
+
+        let mut heap: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let push = |heap: &mut BinaryHeap<Reverse<(u64, u64, u32)>>,
+                    seq: &mut u64,
+                    time: u64,
+                    tid: u32| {
+            *seq += 1;
+            heap.push(Reverse((time, *seq, tid)));
+        };
+        for tid in 0..n_threads {
+            push(&mut heap, &mut seq, 0, tid as u32);
+        }
+        let mut live = n_threads;
+
+        // Gang drift window: per-thread memory-op counts, gang membership,
+        // and the current minimum over members. Threads leave the gang when
+        // they finish or park at a barrier (else a short-program thread
+        // would freeze the window and deadlock the rest).
+        let gang_window = cfg.core.gang_window.map(u64::from);
+        let mut gang_count = vec![0u64; n_threads];
+        let mut in_gang = vec![true; n_threads];
+        let mut gang_min = 0u64;
+        let mut drift_parked: Vec<u32> = Vec::new();
+
+        // Recomputes the gang minimum and wakes drift-parked threads that
+        // are back inside the window. Invoked whenever a count or a
+        // membership changes at the current minimum.
+        macro_rules! gang_update {
+            ($now:expr) => {{
+                let new_min = gang_count
+                    .iter()
+                    .zip(in_gang.iter())
+                    .filter(|&(_, &g)| g)
+                    .map(|(&c, _)| c)
+                    .min()
+                    .unwrap_or(u64::MAX);
+                if new_min != gang_min {
+                    gang_min = new_min;
+                    if let Some(w) = gang_window {
+                        let now = $now;
+                        drift_parked.retain(|&p| {
+                            if gang_count[p as usize] < gang_min.saturating_add(w) {
+                                ts[p as usize].wait = Wait::None;
+                                push(&mut heap, &mut seq, now, p);
+                                false
+                            } else {
+                                true
+                            }
+                        });
+                    }
+                }
+            }};
+        }
+
+        while let Some(Reverse((now, _s, tid))) = heap.pop() {
+            let op = match ts[tid as usize].pending.take() {
+                Some(op) => op,
+                None => match ts[tid as usize].program.next() {
+                    Some(op) => op,
+                    None => {
+                        {
+                            let t = &mut ts[tid as usize];
+                            t.finished = true;
+                            live -= 1;
+                            stats.end_cycle =
+                                stats.end_cycle.max(now).max(t.drain_until);
+                        }
+                        in_gang[tid as usize] = false;
+                        gang_update!(now);
+                        continue;
+                    }
+                },
+            };
+            let core = ts[tid as usize].core;
+            match op {
+                Op::Delay(c) => {
+                    push(&mut heap, &mut seq, now + c as u64, tid);
+                }
+                Op::Compute(flops) => {
+                    let cycles =
+                        (flops as f64 / cfg.core.fpu_flops_per_cycle).ceil().max(1.0) as u64;
+                    let start = now.max(fpu_busy[core]);
+                    fpu_busy[core] = start + cycles;
+                    stats.flops += flops as u64;
+                    push(&mut heap, &mut seq, start + cycles, tid);
+                }
+                Op::Barrier(id) => {
+                    let b = barriers.entry(id).or_insert(BarrierState {
+                        arrivals: 0,
+                        release: 0,
+                        waiters: Vec::new(),
+                    });
+                    b.arrivals += 1;
+                    b.release = b.release.max(now);
+                    if b.arrivals == n_threads {
+                        let release = b.release;
+                        let waiters = std::mem::take(&mut b.waiters);
+                        for &w in &waiters {
+                            ts[w as usize].wait = Wait::None;
+                            in_gang[w as usize] = true;
+                            push(&mut heap, &mut seq, release, w);
+                        }
+                        push(&mut heap, &mut seq, release, tid);
+                        if self.measure_after_barrier == Some(id) {
+                            stats.reset_window(release);
+                        }
+                        gang_update!(release);
+                    } else {
+                        ts[tid as usize].wait = Wait::Barrier;
+                        b.waiters.push(tid);
+                        // Leave the gang while parked, else a straggler on
+                        // the way to the barrier could deadlock the window.
+                        in_gang[tid as usize] = false;
+                        gang_update!(now);
+                    }
+                }
+                Op::Read(addr) | Op::Write(addr) => {
+                    let is_write = matches!(op, Op::Write(_));
+                    // Gang drift window: a thread too far ahead of the
+                    // slowest gang member parks until the gang catches up.
+                    if let Some(w) = gang_window {
+                        if in_gang[tid as usize]
+                            && gang_count[tid as usize] >= gang_min.saturating_add(w)
+                        {
+                            ts[tid as usize].pending = Some(op);
+                            ts[tid as usize].wait = Wait::Drift;
+                            drift_parked.push(tid);
+                            continue;
+                        }
+                    }
+                    // Loads: outstanding-miss budget; wait for the oldest
+                    // miss to land.
+                    if !is_write {
+                        let t = &mut ts[tid as usize];
+                        prune(&mut t.loads, now);
+                        if t.loads.len() >= outstanding_limit {
+                            let wake = *t.loads.front().unwrap();
+                            t.pending = Some(op);
+                            push(&mut heap, &mut seq, wake, tid);
+                            continue;
+                        }
+                    } else {
+                        // Stores: TSO store buffer; wait for the oldest RFO.
+                        let t = &mut ts[tid as usize];
+                        prune(&mut t.stores, now);
+                        if t.stores.len() >= store_buffer {
+                            let wake = *t.stores.front().unwrap();
+                            t.pending = Some(op);
+                            push(&mut heap, &mut seq, wake, tid);
+                            continue;
+                        }
+                    }
+                    // Memory-pipe issue slot.
+                    let (pipe_idx, &pipe_free) = pipes[core]
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, &b)| b)
+                        .expect("mem_pipes > 0");
+                    if pipe_free > now {
+                        ts[tid as usize].pending = Some(op);
+                        push(&mut heap, &mut seq, pipe_free, tid);
+                        continue;
+                    }
+                    // NACK checks: a miss needs a controller-queue slot and
+                    // a bank miss buffer; if either is full the request is
+                    // rejected and retried when the blocking entry
+                    // completes. The probe occupies the pipe like any other
+                    // access.
+                    let bank = cfg.map.bank(addr) as usize;
+                    let mc = cfg.map.controller(addr) as usize;
+                    if !cache.contains(addr) {
+                        prune(&mut mc_admitted[mc], now);
+                        prune(&mut bank_inflight[bank], now);
+                        let mc_full = mc_admitted[mc].len() >= queue_depth;
+                        let bank_full = bank_inflight[bank].len() >= mshr_per_bank;
+                        if mc_full || bank_full {
+                            stats.nacks += 1;
+                            let wake = if mc_full {
+                                mc_admitted[mc][mc_admitted[mc].len() - queue_depth]
+                            } else {
+                                bank_inflight[bank]
+                                    [bank_inflight[bank].len() - mshr_per_bank]
+                            };
+                            ts[tid as usize].pending = Some(op);
+                            pipes[core][pipe_idx] = now + 2;
+                            push(&mut heap, &mut seq, wake.max(now + 1), tid);
+                            continue;
+                        }
+                    }
+                    pipes[core][pipe_idx] = now + 1;
+                    // L2 bank access.
+                    let bank_start = (now + 1).max(bank_busy[bank]);
+                    bank_busy[bank] = bank_start + cfg.l2.bank_cycles;
+                    stats.bank_accesses[bank] += 1;
+                    stats.mem_ops += 1;
+                    // The op is committed: advance this thread's gang
+                    // progress.
+                    let old_count = gang_count[tid as usize];
+                    gang_count[tid as usize] += 1;
+                    if old_count == gang_min {
+                        gang_update!(now);
+                    }
+                    let bank_done = bank_start + cfg.l2.bank_cycles;
+                    match cache.access(addr, is_write) {
+                        Access::Hit => {
+                            stats.l2_hits += 1;
+                            // A store hit retires through the store buffer:
+                            // the thread moves on at once.
+                            let resume = if is_write {
+                                bank_done
+                            } else {
+                                bank_start + cfg.l2.hit_latency
+                            };
+                            push(&mut heap, &mut seq, resume, tid);
+                        }
+                        Access::Miss { writeback } => {
+                            stats.l2_misses += 1;
+                            if let Some(victim) = writeback {
+                                // Write-backs come from the L2's eviction
+                                // buffers: southbound transfer, no bank
+                                // MSHR, no thread wait.
+                                let vmc = cfg.map.controller(victim) as usize;
+                                let out = mcs[vmc].service_write(bank_done);
+                                stats.mc_write_bytes[vmc] += line_bytes;
+                                stats.mc_busy_cycles[vmc] += out.busy_added;
+                                stats.l2_writebacks += 1;
+                                mc_admitted[vmc].push_back(out.completion);
+                            }
+                            let out = mcs[mc].service_read(bank_done);
+                            stats.mc_read_bytes[mc] += line_bytes;
+                            stats.mc_busy_cycles[mc] += out.busy_added;
+                            mc_admitted[mc].push_back(out.completion);
+                            bank_inflight[bank].push_back(out.completion);
+                            let t = &mut ts[tid as usize];
+                            if is_write {
+                                // Store miss: the RFO drains from the store
+                                // buffer; the thread is not blocked.
+                                t.stores.push_back(out.completion);
+                                t.drain_until = t.drain_until.max(out.completion);
+                                push(&mut heap, &mut seq, bank_done, tid);
+                            } else {
+                                let data_ready = out.completion + cfg.mem.extra_latency;
+                                t.loads.push_back(data_ready);
+                                t.drain_until = t.drain_until.max(data_ready);
+                                if t.loads.len() >= outstanding_limit {
+                                    // Budget full (the T2 case): block until
+                                    // the data returns.
+                                    let wake = *t.loads.front().unwrap();
+                                    push(&mut heap, &mut seq, wake, tid);
+                                } else {
+                                    // Hit-under-miss headroom (ablations).
+                                    push(&mut heap, &mut seq, bank_done, tid);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        assert_eq!(
+            live, 0,
+            "deadlock: {live} thread(s) never finished (barrier mismatch?)"
+        );
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{chain_with_barriers, StreamLoop, StreamSpec};
+
+    fn ops(v: Vec<Op>) -> Program {
+        Box::new(v.into_iter())
+    }
+
+    /// A T2 config with jitter disabled, for cycle-exact unit tests.
+    fn exact_cfg() -> ChipConfig {
+        let mut cfg = ChipConfig::ultrasparc_t2();
+        cfg.mem.service_jitter = 0.0;
+        cfg
+    }
+
+    #[test]
+    fn single_read_latency() {
+        let cfg = exact_cfg();
+        let sim = Simulation::new(cfg.clone());
+        let stats = sim.run(vec![ThreadSpec::new(0, ops(vec![Op::Read(0)]))]);
+        // issue(1) + bank(2) + command(3) + read_service(12) + extra(100).
+        let expected = 1
+            + cfg.l2.bank_cycles
+            + cfg.mem.command_cycles
+            + cfg.mem.read_service
+            + cfg.mem.extra_latency;
+        assert_eq!(stats.end_cycle, expected);
+        assert_eq!(stats.l2_misses, 1);
+        assert_eq!(stats.total_read_bytes(), 64);
+    }
+
+    #[test]
+    fn hit_is_much_faster_than_miss() {
+        let sim = Simulation::new(exact_cfg());
+        let miss = sim.run(vec![ThreadSpec::new(0, ops(vec![Op::Read(0)]))]);
+        let hit = sim.run(vec![ThreadSpec::new(0, ops(vec![Op::Read(0), Op::Read(8)]))]);
+        let hit_cost = hit.end_cycle - miss.end_cycle;
+        assert!(hit_cost < 40, "hit cost {hit_cost} should be ~hit_latency");
+        assert_eq!(hit.l2_hits, 1);
+    }
+
+    #[test]
+    fn write_allocates_and_writes_back_on_eviction() {
+        let sim = Simulation::new(exact_cfg());
+        let cfg = sim.config().clone();
+        // Dirty a line, then stream enough lines through its set to evict.
+        let set_stride = (cfg.l2.sets() * cfg.l2.line) as u64;
+        let mut v = vec![Op::Write(0)];
+        for w in 1..=cfg.l2.ways as u64 {
+            v.push(Op::Read(w * set_stride));
+        }
+        let stats = sim.run(vec![ThreadSpec::new(0, ops(v))]);
+        assert_eq!(stats.l2_writebacks, 1);
+        assert_eq!(stats.total_write_bytes(), 64);
+    }
+
+    #[test]
+    fn store_misses_do_not_block_the_thread() {
+        // A burst of store misses (fitting the store buffer) costs far less
+        // thread time than the same number of load misses.
+        let sim = Simulation::new(exact_cfg());
+        let stores: Vec<Op> = (0..8u64).map(|i| Op::Write(i * 4096)).collect();
+        let loads: Vec<Op> = (0..8u64).map(|i| Op::Read((i + 100) * 4096)).collect();
+        let s = sim.run(vec![ThreadSpec::new(0, ops(stores))]);
+        let l = sim.run(vec![ThreadSpec::new(0, ops(loads))]);
+        assert!(
+            s.end_cycle * 2 < l.end_cycle,
+            "stores ({}) should overlap, loads ({}) serialize",
+            s.end_cycle,
+            l.end_cycle
+        );
+    }
+
+    #[test]
+    fn full_store_buffer_stalls() {
+        let mut cfg = exact_cfg();
+        cfg.core.store_buffer = 2;
+        let sim = Simulation::new(cfg);
+        let many: Vec<Op> = (0..16u64).map(|i| Op::Write(i * 4096)).collect();
+        let few: Vec<Op> = (0..2u64).map(|i| Op::Write(i * 4096)).collect();
+        let many_t = sim.run(vec![ThreadSpec::new(0, ops(many))]).end_cycle;
+        let few_t = sim.run(vec![ThreadSpec::new(0, ops(few))]).end_cycle;
+        assert!(
+            many_t > 4 * few_t,
+            "16 stores through a 2-entry buffer must serialize: {few_t} vs {many_t}"
+        );
+    }
+
+    #[test]
+    fn compute_serializes_on_shared_fpu() {
+        let sim = Simulation::new(exact_cfg());
+        // 8 threads on one core, 100 flops each, FPU does 1 flop/cycle:
+        // must take ≈ 800 cycles, not 100.
+        let threads: Vec<ThreadSpec> =
+            (0..8).map(|_| ThreadSpec::new(0, ops(vec![Op::Compute(100)]))).collect();
+        let stats = sim.run(threads);
+        assert!(stats.end_cycle >= 800, "got {}", stats.end_cycle);
+        assert_eq!(stats.flops, 800);
+    }
+
+    #[test]
+    fn compute_scales_across_cores() {
+        let sim = Simulation::new(exact_cfg());
+        let threads: Vec<ThreadSpec> =
+            (0..8).map(|c| ThreadSpec::new(c, ops(vec![Op::Compute(100)]))).collect();
+        let stats = sim.run(threads);
+        assert!(stats.end_cycle < 200, "independent FPUs, got {}", stats.end_cycle);
+    }
+
+    #[test]
+    fn barrier_synchronizes_and_opens_window() {
+        let sim = Simulation::new(exact_cfg()).measure_after_barrier(0);
+        let mk = |delay: u32| ops(vec![Op::Delay(delay), Op::Barrier(0), Op::Delay(50)]);
+        let stats =
+            sim.run(vec![ThreadSpec::new(0, mk(1000)), ThreadSpec::new(1, mk(10))]);
+        // Window starts when the slowest thread reaches the barrier.
+        assert_eq!(stats.start_cycle, 1000);
+        assert_eq!(stats.end_cycle, 1050);
+        assert_eq!(stats.cycles(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "oversubscribed")]
+    fn core_capacity_enforced() {
+        let sim = Simulation::t2();
+        let threads: Vec<ThreadSpec> =
+            (0..9).map(|_| ThreadSpec::new(0, ops(vec![Op::Delay(1)]))).collect();
+        sim.run(threads);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn mismatched_barriers_deadlock_is_detected() {
+        let sim = Simulation::t2();
+        sim.run(vec![
+            ThreadSpec::new(0, ops(vec![Op::Barrier(0)])),
+            ThreadSpec::new(1, ops(vec![Op::Delay(1)])),
+        ]);
+    }
+
+    /// Builds the 64-thread STREAM-triad-like workload of the paper with
+    /// array-base offsets `offs` (A store, B/C loads) and returns the run.
+    fn triad_run(offs: [u64; 3]) -> SimStats {
+        let sim = Simulation::t2();
+        let n = 1 << 12; // elements per thread chunk
+        let chunk_bytes = (n * 8) as u64;
+        let threads: Vec<ThreadSpec> = (0..64)
+            .map(|t| {
+                let a = offs[0] + t as u64 * chunk_bytes;
+                let b = (1 << 30) + offs[1] + t as u64 * chunk_bytes;
+                let c = (2 << 30) + offs[2] + t as u64 * chunk_bytes;
+                ThreadSpec::new(
+                    (t % 8) as usize,
+                    Box::new(StreamLoop::new(
+                        vec![
+                            StreamSpec::load(b),
+                            StreamSpec::load(c),
+                            StreamSpec::store(a),
+                        ],
+                        n,
+                        8,
+                        2.0,
+                        64,
+                    )) as Program,
+                )
+            })
+            .collect();
+        sim.run(threads)
+    }
+
+    #[test]
+    fn congruent_triad_convoys_spread_triad_flies() {
+        // The paper's Fig. 2/Fig. 4 in miniature: all array bases congruent
+        // mod 512 B → one controller at a time; optimal offsets → all four.
+        let convoy = triad_run([0, 0, 0]);
+        let spread = triad_run([0, 128, 256]);
+        assert_eq!(convoy.total_read_bytes(), spread.total_read_bytes());
+        let speedup = convoy.cycles() as f64 / spread.cycles() as f64;
+        assert!(
+            speedup > 1.5,
+            "offset optimization must give a large speedup, got {speedup:.2}×"
+        );
+        let convoy_util = convoy.mc_busy_cycles.iter().sum::<u64>() as f64
+            / (4 * convoy.cycles()) as f64;
+        let spread_util = spread.mc_busy_cycles.iter().sum::<u64>() as f64
+            / (4 * spread.cycles()) as f64;
+        assert!(
+            spread_util > 1.3 * convoy_util,
+            "utilization gap: convoy {convoy_util:.2} vs spread {spread_util:.2}"
+        );
+    }
+
+    #[test]
+    fn offset_32_words_recovers_partially() {
+        // Fig. 2: at odd multiples of 32 DP words two controllers are
+        // addressed → roughly halfway recovery.
+        let convoy = triad_run([0, 0, 0]);
+        let half = triad_run([0, 256, 512]); // B flips bit 8, C congruent
+        let spread = triad_run([0, 128, 256]);
+        let t_convoy = convoy.cycles() as f64;
+        let t_half = half.cycles() as f64;
+        let t_spread = spread.cycles() as f64;
+        assert!(
+            t_half < 0.9 * t_convoy,
+            "two controllers must beat one: {t_half} vs {t_convoy}"
+        );
+        assert!(
+            t_half > 1.05 * t_spread,
+            "two controllers must trail three: {t_half} vs {t_spread}"
+        );
+    }
+
+    #[test]
+    fn single_thread_streams_are_latency_bound() {
+        // One thread, one outstanding miss: bandwidth ≈ 64 B per full miss
+        // latency — far below one controller's service rate.
+        let sim = Simulation::new(exact_cfg());
+        let cfg = sim.config().clone();
+        let n = 1 << 14;
+        let stats = sim.run(vec![ThreadSpec::new(
+            0,
+            Box::new(StreamLoop::new(vec![StreamSpec::load(0)], n, 8, 0.0, 64)) as Program,
+        )]);
+        let lines = (n * 8 / 64) as u64;
+        let per_miss = stats.cycles() as f64 / lines as f64;
+        let min_latency = (1 + cfg.l2.bank_cycles + cfg.mem.read_service) as f64;
+        assert!(per_miss >= min_latency, "per-miss time {per_miss} below physical minimum");
+        assert!(per_miss > 100.0, "single thread must be latency-bound: {per_miss}");
+    }
+
+    #[test]
+    fn more_threads_hide_latency() {
+        let run = |n_threads: usize| {
+            let sim = Simulation::t2();
+            let n = 1 << 13;
+            let threads: Vec<ThreadSpec> = (0..n_threads)
+                .map(|t| {
+                    let base = (t as u64) * (16 << 20) + 128 * (t as u64 % 4);
+                    ThreadSpec::new(
+                        t % 8,
+                        Box::new(StreamLoop::new(
+                            vec![StreamSpec::load(base)],
+                            n,
+                            8,
+                            0.0,
+                            64,
+                        )) as Program,
+                    )
+                })
+                .collect();
+            let stats = sim.run(threads);
+            let cfg = ChipConfig::ultrasparc_t2();
+            stats.actual_bandwidth_gbs(&cfg)
+        };
+        let bw8 = run(8);
+        let bw32 = run(32);
+        assert!(
+            bw32 > 2.0 * bw8,
+            "32 threads should hide far more latency than 8: {bw8:.1} vs {bw32:.1} GB/s"
+        );
+    }
+
+    #[test]
+    fn warmup_window_excludes_cold_misses() {
+        let sim = Simulation::new(exact_cfg()).measure_after_barrier(0);
+        // Small array fits in L2: sweep twice; the measured window sees only
+        // hits.
+        let sweep = || StreamLoop::new(vec![StreamSpec::load(0)], 1 << 10, 8, 0.0, 64);
+        let program = chain_with_barriers(vec![sweep(), sweep()], 0);
+        let stats = sim.run(vec![ThreadSpec::new(0, program)]);
+        assert_eq!(stats.l2_misses, 0, "second sweep must be all hits");
+        assert!(stats.l2_hits > 0);
+    }
+
+    #[test]
+    fn outstanding_misses_ablation_helps_a_lone_thread() {
+        // With 4 outstanding misses a single streaming thread overlaps
+        // latency and finishes much sooner.
+        let mut cfg = exact_cfg();
+        let run = |cfg: &ChipConfig| {
+            let sim = Simulation::new(cfg.clone());
+            sim.run(vec![ThreadSpec::new(
+                0,
+                Box::new(StreamLoop::new(vec![StreamSpec::load(0)], 1 << 13, 8, 0.0, 64))
+                    as Program,
+            )])
+            .cycles()
+        };
+        let one = run(&cfg);
+        cfg.core.outstanding_misses = 4;
+        let four = run(&cfg);
+        assert!(
+            (four as f64) < 0.5 * one as f64,
+            "4 outstanding misses should at least halve the time: {one} -> {four}"
+        );
+    }
+
+    #[test]
+    fn bank_mshr_limit_throttles_concentrated_misses() {
+        // All threads stream with a 512 B stride through ONE bank:
+        // outstanding misses are capped by that bank's MSHRs; spreading the
+        // same traffic over all 8 banks lifts the cap.
+        let run = |spread: bool| {
+            let mut cfg = ChipConfig::ultrasparc_t2();
+            cfg.core.gang_window = None; // isolate the MSHR effect
+            let sim = Simulation::new(cfg);
+            let threads: Vec<ThreadSpec> = (0..64)
+                .map(|t| {
+                    let base =
+                        (t as u64) * (16 << 20) + if spread { 64 * (t as u64 % 8) } else { 0 };
+                    let ops_v: Vec<Op> =
+                        (0..256u64).map(|i| Op::Read(base + i * 512)).collect();
+                    ThreadSpec::new((t % 8) as usize, Box::new(ops_v.into_iter()) as Program)
+                })
+                .collect();
+            sim.run(threads).cycles()
+        };
+        let one_bank = run(false);
+        let all_banks = run(true);
+        assert!(
+            one_bank as f64 > 1.8 * all_banks as f64,
+            "single-bank misses must be MSHR-throttled: {one_bank} vs {all_banks}"
+        );
+    }
+
+    #[test]
+    fn deterministic_repeatability() {
+        let a = triad_run([0, 128, 256]);
+        let b = triad_run([0, 128, 256]);
+        assert_eq!(a, b, "simulations must be bit-reproducible");
+    }
+}

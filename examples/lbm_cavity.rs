@@ -1,0 +1,62 @@
+//! Lid-driven cavity flow with the D3Q19 lattice-Boltzmann solver.
+//!
+//! The classic validation case for LBM codes: a closed box of fluid whose
+//! lid slides sideways, dragging the fluid into a large primary vortex.
+//! This exercises the full §2.4 machinery — BGK collision, push
+//! propagation, bounce-back walls, a moving-wall boundary, the IvJK data
+//! layout and the fused (coalesced) parallel loop — on the host.
+//!
+//! Run with: `cargo run --release --example lbm_cavity`
+
+use t2opt::prelude::*;
+use t2opt_kernels::lbm::{LbmHost, LbmLayout};
+
+fn main() {
+    let n = 24;
+    let u_lid = 0.08;
+    let omega = 1.2;
+    let steps = 1200;
+
+    let mut lbm = LbmHost::new(n, LbmLayout::IvJK, omega);
+    lbm.cavity(u_lid);
+
+    let pool = ThreadPool::with_placement(8, Placement::Scatter { n_cores: 8 });
+    println!("lid-driven cavity {n}³, lid velocity {u_lid}, ω = {omega}, {steps} steps");
+
+    let t0 = std::time::Instant::now();
+    for step in 1..=steps {
+        // Fused z·y loop — the paper's fix for the "modulo effect".
+        lbm.step(&pool, Schedule::Static, true);
+        if step % 300 == 0 {
+            let (rho, u) = lbm.macroscopic(n / 2, n / 2, n / 2);
+            println!(
+                "  step {step:5}: center ρ = {rho:.4}, u = ({:+.4}, {:+.4}, {:+.4})",
+                u[0], u[1], u[2]
+            );
+        }
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    let mlups = (n as f64).powi(3) * steps as f64 / dt / 1e6;
+    println!("\n{steps} steps in {dt:.2} s = {mlups:.1} MLUPs/s on the host\n");
+
+    // Velocity profile through the cavity center (x-velocity vs height):
+    // positive near the moving lid, negative return flow below.
+    println!("u_x profile on the vertical center line (z from bottom to lid):");
+    let mid = n / 2;
+    for z in (1..=n).step_by(2) {
+        let (_, u) = lbm.macroscopic(mid, mid, z);
+        let col = ((u[0] / u_lid) * 30.0).round() as i32;
+        let marker = if col >= 0 {
+            format!("{}>", " ".repeat(30 + col.unsigned_abs() as usize))
+        } else {
+            format!("{}<", " ".repeat((30 - col.unsigned_abs() as i32).max(0) as usize))
+        };
+        println!("  z {z:3}: {:+.4} {}", u[0], marker);
+    }
+
+    let (_, u_top) = lbm.macroscopic(mid, mid, n);
+    let (_, u_bottom) = lbm.macroscopic(mid, mid, 1);
+    assert!(u_top[0] > 0.0, "fluid near the lid must follow it");
+    assert!(u_bottom[0] < 0.0, "return flow at the bottom");
+    println!("\nprimary vortex established (drag at the lid, return flow below).");
+}

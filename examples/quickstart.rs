@@ -1,0 +1,98 @@
+//! Quickstart: the full t2opt workflow in one file.
+//!
+//! 1. Ask the [`LayoutAdvisor`] how to spread a kernel's streams across the
+//!    UltraSPARC T2's four memory controllers — analytically, no trial and
+//!    error.
+//! 2. Build [`SegArray`]s with those byte offsets and run a real (host)
+//!    vector triad through the segmented-iterator machinery.
+//! 3. Replay the same kernel on the T2 simulator with the bad and the good
+//!    layout and watch the memory-controller aliasing appear and vanish.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use t2opt::prelude::*;
+use t2opt_core::iter::seg_zip4;
+use t2opt_kernels::triad::{run_sim, TriadConfig, TriadLayout};
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. Analyze: what does the mapping do to a vector triad A = B + C·D?
+    // ------------------------------------------------------------------
+    let advisor = LayoutAdvisor::t2();
+    let congruent = [
+        StreamDesc::write(0),
+        StreamDesc::read(0),
+        StreamDesc::read(0),
+        StreamDesc::read(0),
+    ];
+    let bad = advisor.predict(&congruent);
+    println!("all arrays congruent mod 512 B:");
+    println!("  efficiency {:.2}, bound {:?}, {} controller(s) concurrently busy",
+        bad.efficiency, bad.bound, bad.concurrent_controllers);
+
+    let offsets = advisor.suggest_offsets(4);
+    println!("advisor suggests byte offsets {offsets:?} (the paper's 0/128/256/384)");
+    let spread: Vec<StreamDesc> = offsets
+        .iter()
+        .enumerate()
+        .map(|(i, &o)| {
+            if i == 0 {
+                StreamDesc::write(o as u64)
+            } else {
+                StreamDesc::read(o as u64)
+            }
+        })
+        .collect();
+    let good = advisor.predict(&spread);
+    println!("with suggested offsets:");
+    println!("  efficiency {:.2}, bound {:?}, {} controller(s) concurrently busy\n",
+        good.efficiency, good.bound, good.concurrent_controllers);
+
+    // ------------------------------------------------------------------
+    // 2. Build segmented arrays with that layout and run on the host.
+    // ------------------------------------------------------------------
+    let n = 1 << 20;
+    let threads = 8;
+    let mk = |offset: usize| {
+        SegArray::<f64>::builder(n)
+            .segments(threads)
+            .base_align(8192)
+            .block_offset(offset)
+            .build()
+    };
+    let mut a = mk(offsets[0]);
+    let mut b = mk(offsets[1]);
+    let mut c = mk(offsets[2]);
+    let mut d = mk(offsets[3]);
+    b.fill(1.5);
+    c.fill(2.0);
+    d.fill(0.25);
+
+    let t0 = std::time::Instant::now();
+    seg_zip4(&mut a, &b, &c, &d, |a, b, c, d| {
+        for i in 0..a.len() {
+            a[i] = b[i] + c[i] * d[i];
+        }
+    });
+    let dt = t0.elapsed();
+    assert_eq!(a.get(12345), 1.5 + 2.0 * 0.25);
+    println!(
+        "host triad over {} elements in {} segments: {:.2} ms ({:.2} GB/s)\n",
+        n,
+        a.num_segments(),
+        dt.as_secs_f64() * 1e3,
+        n as f64 * 32.0 / dt.as_secs_f64() / 1e9
+    );
+
+    // ------------------------------------------------------------------
+    // 3. Replay on the simulated T2: aliased vs optimized layout.
+    // ------------------------------------------------------------------
+    println!("simulated UltraSPARC T2, 64 threads, vector triad:");
+    for layout in [TriadLayout::Align8k, TriadLayout::AlignOffset(128)] {
+        let cfg = TriadConfig { n: 1 << 19, layout, threads: 64, ntimes: 1 };
+        let res = run_sim(&cfg, &ChipConfig::ultrasparc_t2(), &Placement::t2_scatter());
+        println!("  {:22} {:>6.2} GB/s", layout.label(), res.gbs);
+    }
+    println!("\nThe 8 kB-aligned case piles every stream onto one memory controller;");
+    println!("the 128-byte offsets spread them over all four — the paper's Fig. 4.");
+}

@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+set -uo pipefail
+cd /root/repo
+cargo test --workspace --release 2>&1 | tee /root/repo/test_output.txt | grep -E "test result|FAILED" | tail -30
+echo "==== TESTS TEED ===="
+cargo bench --workspace -- --warm-up-time 1 --measurement-time 2 2>&1 | tee /root/repo/bench_output.txt | grep -E "time:|thrpt:|Benchmarking .* complete" | tail -40
+echo "==== BENCH TEED ===="

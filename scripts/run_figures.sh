@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Regenerates every paper figure's data series (scaled default sizes) and
+# stores the outputs under results/. Pass --full for paper-scale runs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FULL="${1:-}"
+mkdir -p results
+
+run() {
+    local out="$1" bin="$2"; shift 2
+    echo "=== $out: $bin $* ==="
+    cargo run --release -p t2opt-bench --bin "$bin" -- "$@" \
+        --json "results/$out.json" | tee "results/$out.txt"
+}
+
+cargo build --release -p t2opt-bench
+
+run fig2_triad fig2_stream $FULL
+run fig2_copy fig2_stream --kernel copy --threads 64 $FULL
+run fig2_threads fig2_stream --compare-threads
+run fig4_triad fig4_triad $FULL
+run fig5_overhead fig5_overhead --sim
+run fig6_jacobi fig6_jacobi $FULL
+run fig7_lbm fig7_lbm --precision both $FULL
+run ablation_mapping ablation_mapping
+run ablation_outstanding ablation_outstanding
+run ablation_schedule ablation_schedule
+
+echo "All figure data written to results/"

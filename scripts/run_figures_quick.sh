@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tight-budget variant of run_figures.sh for slow (single-core) hosts.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+
+run() {
+    local out="$1" bin="$2"; shift 2
+    echo "=== $out: $bin $* ==="
+    cargo run --release -p t2opt-bench --bin "$bin" -- "$@" \
+        --json "results/$out.json" | tee "results/$out.txt"
+}
+
+run fig4_triad fig4_triad --lo 2000000 --hi 2000064 --step 8
+run fig5_overhead fig5_overhead --sim
+run fig6_jacobi fig6_jacobi
+run fig7_lbm fig7_lbm --precision both --hi 128 --step 32
+run ablation_mapping ablation_mapping
+run ablation_outstanding ablation_outstanding --n 1048576
+run ablation_schedule ablation_schedule --n 512,1024
+echo ALL_QUICK_FIGURES_DONE

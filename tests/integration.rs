@@ -1,0 +1,180 @@
+//! Cross-crate integration tests: the full pipeline from layout advice
+//! through host execution to simulator reproduction.
+
+use t2opt::prelude::*;
+use t2opt_core::iter::seg_zip3;
+use t2opt_kernels::jacobi::{self, JacobiConfig, JacobiHost};
+use t2opt_kernels::lbm::{self, LbmConfig, LbmLayout};
+use t2opt_kernels::stream::{self, StreamConfig, StreamKernel};
+use t2opt_kernels::triad::{self, TriadConfig, TriadLayout};
+
+/// The headline claim end to end: the advisor's suggested offsets recover
+/// the bandwidth that page alignment destroys, on the simulated T2.
+#[test]
+fn advisor_offsets_fix_the_aliasing() {
+    let advisor = LayoutAdvisor::t2();
+    let offsets = advisor.suggest_offsets(4);
+    assert_eq!(offsets, vec![0, 128, 256, 384]);
+
+    let chip = ChipConfig::ultrasparc_t2();
+    let run = |layout| {
+        let cfg = TriadConfig { n: 1 << 19, layout, threads: 64, ntimes: 1 };
+        triad::run_sim(&cfg, &chip, &Placement::t2_scatter()).gbs
+    };
+    let aligned = run(TriadLayout::Align8k);
+    let optimal = run(TriadLayout::AlignOffset(offsets[1] as u32));
+    assert!(
+        optimal > 1.6 * aligned,
+        "suggested offsets must substantially beat page alignment: {aligned:.1} -> {optimal:.1} GB/s"
+    );
+}
+
+/// The advisor's prediction must rank layouts the same way the simulator
+/// does (analysis agrees with "measurement").
+#[test]
+fn prediction_ranks_like_simulation() {
+    let advisor = LayoutAdvisor::t2();
+    let chip = ChipConfig::ultrasparc_t2();
+    let mut predicted = Vec::new();
+    let mut simulated = Vec::new();
+    // Compare the unambiguous extremes (all-congruent floor vs the
+    // suggested-offset ceiling); intermediate offsets rank too close
+    // together in the simulator to give a stable ordering test.
+    for (offsets, layout) in [
+        ([0u64, 0, 0, 0], TriadLayout::Align8k),
+        ([0, 128, 256, 384], TriadLayout::AlignOffset(128)),
+    ] {
+        let streams = [
+            StreamDesc::write(offsets[0]),
+            StreamDesc::read(offsets[1]),
+            StreamDesc::read(offsets[2]),
+            StreamDesc::read(offsets[3]),
+        ];
+        predicted.push(advisor.predict(&streams).efficiency);
+        let cfg = TriadConfig { n: 1 << 19, layout, threads: 64, ntimes: 1 };
+        simulated.push(triad::run_sim(&cfg, &chip, &Placement::t2_scatter()).gbs);
+    }
+    assert!(
+        predicted[0] < predicted[1] && simulated[0] < simulated[1],
+        "advisor ranking must match simulation: predicted {predicted:?}, simulated {simulated:?}"
+    );
+}
+
+/// Host STREAM values must be numerically correct regardless of threads.
+#[test]
+fn host_stream_values_correct() {
+    let pool = ThreadPool::new(6);
+    let cfg = StreamConfig { n: 50_000, offset: 13, threads: 6, ntimes: 1 };
+    for k in [StreamKernel::Copy, StreamKernel::Scale, StreamKernel::Add, StreamKernel::Triad] {
+        assert!(stream::run_host(&cfg, k, &pool) > 0.0);
+    }
+}
+
+/// The segmented triad produces bit-identical results to a plain loop, for
+/// every layout variant.
+#[test]
+fn segmented_numerics_are_bit_identical() {
+    let n = 12_345;
+    for (seg_align, shift, offset) in [(0, 0, 0), (512, 128, 0), (512, 0, 256), (4096, 64, 32)] {
+        let spec = LayoutSpec::new()
+            .base_align(8192)
+            .seg_align(seg_align)
+            .shift(shift)
+            .block_offset(offset);
+        let mut a = SegArray::<f64>::builder(n).segments(7).spec(spec.clone()).build();
+        let mut b = SegArray::<f64>::builder(n).segments(7).spec(spec.clone()).build();
+        let mut c = SegArray::<f64>::builder(n).segments(7).spec(spec).build();
+        b.fill_with(|i| (i as f64).sin());
+        c.fill_with(|i| (i as f64).cos());
+        let scalar = 2.5;
+        seg_zip3(&mut a, &b, &c, |a, b, c| {
+            for i in 0..a.len() {
+                a[i] = b[i] + scalar * c[i];
+            }
+        });
+        let reference: Vec<f64> = (0..n)
+            .map(|i| (i as f64).sin() + scalar * (i as f64).cos())
+            .collect();
+        assert_eq!(
+            a.to_vec(),
+            reference,
+            "layout (seg_align={seg_align}, shift={shift}, offset={offset}) changed the numerics"
+        );
+    }
+}
+
+/// Jacobi: the simulator's optimized-vs-plain ordering must match the
+/// paper at an aliased problem size, and the host solver must converge.
+#[test]
+fn jacobi_end_to_end() {
+    // Host convergence to the linear solution.
+    let pool = ThreadPool::new(8);
+    let n = 33;
+    let mut solver = JacobiHost::new(n, |i, _| i as f64);
+    solver.run(4000, &pool, Schedule::StaticChunk(1));
+    for i in (1..n - 1).step_by(5) {
+        assert!(
+            (solver.get(i, n / 2) - i as f64).abs() < 1e-4,
+            "u({i}, mid) = {} should approach {i}",
+            solver.get(i, n / 2)
+        );
+    }
+
+    // Simulator ordering.
+    let chip = ChipConfig::ultrasparc_t2();
+    let opt = jacobi::run_sim(&JacobiConfig::optimized(1024, 64), &chip, &Placement::t2_scatter());
+    let plain = jacobi::run_sim(&JacobiConfig::plain(1024, 64), &chip, &Placement::t2_scatter());
+    assert!(
+        opt.mlups > plain.mlups,
+        "optimized ({:.0}) must beat plain ({:.0}) at N = 1024",
+        opt.mlups,
+        plain.mlups
+    );
+}
+
+/// LBM: IvJK must beat IJKv at the thrashing size, and physics must be
+/// layout-independent on the host.
+#[test]
+fn lbm_end_to_end() {
+    let chip = ChipConfig::ultrasparc_t2();
+    // N = 62 → N+2 = 64: the "ruinous" IJKv cache-thrashing size.
+    let ijkv = lbm::run_sim(
+        &LbmConfig::new(62, LbmLayout::IJKv, 64, false),
+        &chip,
+        &Placement::t2_scatter(),
+    );
+    let ivjk = lbm::run_sim(
+        &LbmConfig::new(62, LbmLayout::IvJK, 64, false),
+        &chip,
+        &Placement::t2_scatter(),
+    );
+    assert!(
+        ivjk.mlups > 1.3 * ijkv.mlups,
+        "IvJK ({:.1}) must clearly beat IJKv ({:.1}) at the thrashing size",
+        ivjk.mlups,
+        ijkv.mlups
+    );
+    assert!(
+        ivjk.l2_hit_rate > ijkv.l2_hit_rate,
+        "the IJKv penalty should show as cache thrashing: {:.2} vs {:.2}",
+        ijkv.l2_hit_rate,
+        ivjk.l2_hit_rate
+    );
+}
+
+/// The whole prelude is usable as documented in the README.
+#[test]
+fn prelude_surface() {
+    let map = AddressMap::ultrasparc_t2();
+    assert_eq!(map.num_controllers(), 4);
+    let pool = ThreadPool::new(2);
+    let mut sum = 0.0f64;
+    let total = std::sync::Mutex::new(&mut sum);
+    pool.parallel_for(0..100, Schedule::Guided(4), |_t, r| {
+        let mut guard = total.lock().unwrap();
+        **guard += r.len() as f64;
+    });
+    assert_eq!(sum, 100.0);
+    let co = Coalesce2::new(3, 5);
+    assert_eq!(co.len(), 15);
+}
