@@ -1,0 +1,271 @@
+//! Persistent, content-addressed trial-result cache.
+//!
+//! Every simulated trial is fully determined by `(workload, chip config,
+//! candidate layout)`; its measured bandwidth is therefore cacheable under a
+//! hash of that triple. The cache keys on the FNV-1a 64 digest of the
+//! triple's canonical JSON serialization, so *any* change to the workload,
+//! the chip, or the candidate produces a fresh key, while re-running the
+//! same sweep (or extending it) reuses every previous trial — repeated
+//! sweeps and CI runs are incremental.
+//!
+//! The on-disk format is a single JSON object (written with
+//! [`t2opt_core::json`], read back with its parser), human-inspectable and
+//! diff-friendly:
+//!
+//! ```json
+//! {"version":1,"entries":{"89ab…":12.5,"cdef…":3.25}}
+//! ```
+
+use crate::workload::Workload;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use t2opt_core::json::{parse_json, to_json_string, JsonValue};
+use t2opt_core::layout::LayoutSpec;
+use t2opt_sim::ChipConfig;
+
+/// On-disk format version; bump when the trial semantics change in a way
+/// that invalidates old measurements.
+const FORMAT_VERSION: f64 = 1.0;
+
+/// A content-addressed map from trial key to measured bandwidth (GB/s),
+/// optionally backed by a JSON file. See the module docs.
+#[derive(Debug)]
+pub struct ResultCache {
+    path: Option<PathBuf>,
+    entries: BTreeMap<String, f64>,
+    hits: u64,
+    misses: u64,
+    dirty: bool,
+}
+
+impl ResultCache {
+    /// An empty cache with no backing file (every sweep starts cold;
+    /// [`ResultCache::save`] is a no-op).
+    pub fn in_memory() -> Self {
+        ResultCache {
+            path: None,
+            entries: BTreeMap::new(),
+            hits: 0,
+            misses: 0,
+            dirty: false,
+        }
+    }
+
+    /// A cache backed by `path`. If the file exists it is loaded (a
+    /// malformed file is an `InvalidData` error — delete it to start over);
+    /// if not, the cache starts empty and the file is created on
+    /// [`ResultCache::save`].
+    pub fn at_path(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut cache = ResultCache::in_memory();
+        if path.exists() {
+            let text = std::fs::read_to_string(&path)?;
+            cache.entries = parse_entries(&text).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("corrupt result cache {}: {e}", path.display()),
+                )
+            })?;
+        }
+        cache.path = Some(path);
+        Ok(cache)
+    }
+
+    /// The content address of one trial: FNV-1a 64 (hex) over the canonical
+    /// JSON of `(workload, chip, candidate)`.
+    pub fn key(workload: &Workload, chip: &ChipConfig, spec: &LayoutSpec) -> String {
+        let canonical = to_json_string(&(workload, chip, spec));
+        format!("{:016x}", fnv1a64(canonical.as_bytes()))
+    }
+
+    /// Looks `key` up, counting the outcome as a hit or a miss.
+    pub fn get(&mut self, key: &str) -> Option<f64> {
+        match self.entries.get(key) {
+            Some(&gbs) => {
+                self.hits += 1;
+                Some(gbs)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks `key` up without touching the hit/miss counters.
+    pub fn peek(&self, key: &str) -> Option<f64> {
+        self.entries.get(key).copied()
+    }
+
+    /// Records a measured bandwidth under `key`.
+    pub fn insert(&mut self, key: String, gbs: f64) {
+        let prev = self.entries.insert(key, gbs);
+        self.dirty = self.dirty || prev != Some(gbs);
+    }
+
+    /// Writes the cache back to its backing file. A no-op for in-memory
+    /// caches and when nothing changed since the last load/save.
+    pub fn save(&mut self) -> std::io::Result<()> {
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        if !self.dirty {
+            return Ok(());
+        }
+        std::fs::write(
+            path,
+            format!(
+                r#"{{"version":{FORMAT_VERSION},"entries":{}}}"#,
+                to_json_string(&self.entries)
+            ),
+        )?;
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// Number of cached trials.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no trials.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups served from the cache since the last counter reset.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that required a fresh simulation since the last counter
+    /// reset.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Zeroes the hit/miss counters (e.g. between tuner invocations that
+    /// share one cache).
+    pub fn reset_counters(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+fn parse_entries(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let doc = parse_json(text).map_err(|e| e.to_string())?;
+    let obj = doc.as_object().ok_or("top level must be an object")?;
+    match obj.get("version").and_then(JsonValue::as_f64) {
+        Some(v) if v == FORMAT_VERSION => {}
+        other => return Err(format!("unsupported cache version {other:?}")),
+    }
+    let entries = obj
+        .get("entries")
+        .and_then(JsonValue::as_object)
+        .ok_or("missing \"entries\" object")?;
+    entries
+        .iter()
+        .map(|(k, v)| {
+            v.as_f64()
+                .map(|gbs| (k.clone(), gbs))
+                .ok_or_else(|| format!("entry {k:?} is not a number"))
+        })
+        .collect()
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("t2opt-autotune-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn key_is_stable_and_content_sensitive() {
+        let chip = ChipConfig::ultrasparc_t2();
+        let w = Workload::triad_smoke(1 << 10, 8);
+        let spec = LayoutSpec::new().base_align(8192);
+        let k1 = ResultCache::key(&w, &chip, &spec);
+        let k2 = ResultCache::key(&w, &chip, &spec);
+        assert_eq!(k1, k2, "same triple, same key");
+        assert_eq!(k1.len(), 16);
+
+        let other_spec = ResultCache::key(&w, &chip, &spec.clone().block_offset(128));
+        assert_ne!(k1, other_spec, "candidate must be part of the address");
+        let other_load = ResultCache::key(&Workload::triad_smoke(1 << 11, 8), &chip, &spec);
+        assert_ne!(k1, other_load, "workload must be part of the address");
+    }
+
+    #[test]
+    fn canonical_specs_share_a_key() {
+        // seg_align 0 and 1 normalize to the same spec, so they must hit
+        // the same cache line.
+        let chip = ChipConfig::ultrasparc_t2();
+        let w = Workload::triad_smoke(1 << 10, 8);
+        assert_eq!(
+            ResultCache::key(&w, &chip, &LayoutSpec::new().seg_align(0)),
+            ResultCache::key(&w, &chip, &LayoutSpec::new().seg_align(1)),
+        );
+    }
+
+    #[test]
+    fn counters_track_hits_and_misses() {
+        let mut c = ResultCache::in_memory();
+        assert_eq!(c.get("00"), None);
+        c.insert("00".into(), 7.5);
+        assert_eq!(c.get("00"), Some(7.5));
+        assert_eq!(c.get("01"), None);
+        assert_eq!((c.hits(), c.misses()), (1, 2));
+        c.reset_counters();
+        assert_eq!((c.hits(), c.misses()), (0, 0));
+    }
+
+    #[test]
+    fn round_trips_through_disk() {
+        let path = tmp_path("roundtrip.json");
+        let _ = std::fs::remove_file(&path);
+        let mut c = ResultCache::at_path(&path).unwrap();
+        c.insert("aa".into(), 1.25);
+        c.insert("bb".into(), 2.5);
+        c.save().unwrap();
+
+        let mut reloaded = ResultCache::at_path(&path).unwrap();
+        assert_eq!(reloaded.len(), 2);
+        assert_eq!(reloaded.get("aa"), Some(1.25));
+        assert_eq!(reloaded.get("bb"), Some(2.5));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn save_without_changes_is_cheap_and_corrupt_files_error() {
+        let path = tmp_path("corrupt.json");
+        std::fs::write(&path, "{not json").unwrap();
+        let err = ResultCache::at_path(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(&path);
+
+        let mut mem = ResultCache::in_memory();
+        mem.insert("aa".into(), 1.0);
+        mem.save().unwrap();
+    }
+
+    #[test]
+    fn rejects_unknown_version() {
+        let path = tmp_path("version.json");
+        std::fs::write(&path, r#"{"version":99,"entries":{}}"#).unwrap();
+        assert!(ResultCache::at_path(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,196 @@
+//! The tuning parameter space: a grid over the four layout parameters of
+//! Fig. 3 (`base_align`, `seg_align`, `shift`, `block_offset`).
+//!
+//! The space is a cartesian product of per-dimension value lists, so every
+//! candidate has grid coordinates `[i0, i1, i2, i3]` — which is what the
+//! coordinate-descent and advisor-seeded strategies walk.
+
+use t2opt_core::layout::LayoutSpec;
+
+/// Number of tuned dimensions (the four Fig. 3 parameters).
+pub const N_DIMS: usize = 4;
+
+/// A grid over the four layout parameters. Every dimension must be
+/// non-empty; candidates are enumerated in row-major order
+/// (`base_align` outermost, `block_offset` innermost).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamSpace {
+    /// Allocation base alignments to try (power of two; 0 = unaligned).
+    pub base_aligns: Vec<usize>,
+    /// Segment alignments to try (power of two; 0/1 = packed).
+    pub seg_aligns: Vec<usize>,
+    /// Per-segment shifts to try (bytes).
+    pub shifts: Vec<usize>,
+    /// Per-array block offsets to try (bytes): array `j` of the workload is
+    /// displaced by `j · block_offset`.
+    pub block_offsets: Vec<usize>,
+}
+
+impl ParamSpace {
+    /// The degenerate space holding only the default [`LayoutSpec`].
+    pub fn single() -> Self {
+        ParamSpace {
+            base_aligns: vec![64],
+            seg_aligns: vec![0],
+            shifts: vec![0],
+            block_offsets: vec![0],
+        }
+    }
+
+    /// The Fig. 4 offset sweep: page-aligned arrays, block offset swept in
+    /// `step`-byte increments over `[0, limit)`.
+    pub fn offset_sweep(step: usize, limit: usize) -> Self {
+        assert!(step > 0 && limit > 0, "need a positive step and limit");
+        ParamSpace {
+            base_aligns: vec![8192],
+            seg_aligns: vec![0],
+            shifts: vec![0],
+            block_offsets: (0..limit).step_by(step).collect(),
+        }
+    }
+
+    /// A practical default grid for the T2: page or cache-line base
+    /// alignment, packed or super-line-padded segments, the advisor's shift
+    /// candidates, and block offsets over one super-line in cache-line
+    /// steps.
+    pub fn t2_default() -> Self {
+        ParamSpace {
+            base_aligns: vec![64, 8192],
+            seg_aligns: vec![0, 512],
+            shifts: vec![0, 128],
+            block_offsets: (0..512).step_by(64).collect(),
+        }
+    }
+
+    /// Per-dimension sizes `[|base_aligns|, |seg_aligns|, |shifts|,
+    /// |block_offsets|]`.
+    pub fn dims(&self) -> [usize; N_DIMS] {
+        [
+            self.base_aligns.len(),
+            self.seg_aligns.len(),
+            self.shifts.len(),
+            self.block_offsets.len(),
+        ]
+    }
+
+    /// Total number of candidates.
+    pub fn len(&self) -> usize {
+        self.dims().iter().product()
+    }
+
+    /// Whether the space is empty (some dimension has no values).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The candidate at grid coordinates `idx`.
+    ///
+    /// # Panics
+    /// Panics if any coordinate is out of range.
+    pub fn spec_at(&self, idx: [usize; N_DIMS]) -> LayoutSpec {
+        LayoutSpec::new()
+            .base_align(self.base_aligns[idx[0]])
+            .seg_align(self.seg_aligns[idx[1]])
+            .shift(self.shifts[idx[2]])
+            .block_offset(self.block_offsets[idx[3]])
+    }
+
+    /// All candidates in row-major order.
+    pub fn candidates(&self) -> Vec<LayoutSpec> {
+        let mut out = Vec::with_capacity(self.len());
+        for &ba in &self.base_aligns {
+            for &sa in &self.seg_aligns {
+                for &sh in &self.shifts {
+                    for &bo in &self.block_offsets {
+                        out.push(
+                            LayoutSpec::new()
+                                .base_align(ba)
+                                .seg_align(sa)
+                                .shift(sh)
+                                .block_offset(bo),
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Grid coordinates of the in-space candidate closest (per dimension,
+    /// by absolute difference; ties to the smaller value) to `target` —
+    /// used to project the advisor's closed-form suggestion into the grid.
+    pub fn nearest_index(&self, target: &LayoutSpec) -> [usize; N_DIMS] {
+        // Compare in the setters' canonical form (0 → 1 for alignments).
+        let nearest = |values: &[usize], want: usize, canon: bool| -> usize {
+            values
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &v)| {
+                    let v = if canon { v.max(1) } else { v };
+                    v.abs_diff(want)
+                })
+                .map(|(i, _)| i)
+                .expect("dimension must be non-empty")
+        };
+        [
+            nearest(&self.base_aligns, target.base_align, true),
+            nearest(&self.seg_aligns, target.seg_align, true),
+            nearest(&self.shifts, target.shift, false),
+            nearest(&self.block_offsets, target.block_offset, false),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_is_row_major_and_complete() {
+        let space = ParamSpace {
+            base_aligns: vec![64, 8192],
+            seg_aligns: vec![0, 512],
+            shifts: vec![0],
+            block_offsets: vec![0, 128],
+        };
+        let all = space.candidates();
+        assert_eq!(all.len(), space.len());
+        assert_eq!(all.len(), 8);
+        assert_eq!(all[0], space.spec_at([0, 0, 0, 0]));
+        assert_eq!(all[1], space.spec_at([0, 0, 0, 1]));
+        assert_eq!(all[7], space.spec_at([1, 1, 0, 1]));
+    }
+
+    #[test]
+    fn offset_sweep_matches_fig4_grid() {
+        let s = ParamSpace::offset_sweep(64, 512);
+        assert_eq!(s.block_offsets, vec![0, 64, 128, 192, 256, 320, 384, 448]);
+        assert_eq!(s.len(), 8);
+        assert!(s.candidates().iter().all(|c| c.base_align == 8192));
+    }
+
+    #[test]
+    fn nearest_index_projects_advisor_seed() {
+        let space = ParamSpace::t2_default();
+        let seed = t2opt_core::advisor::LayoutAdvisor::t2().suggest_layout();
+        let idx = space.nearest_index(&seed);
+        let projected = space.spec_at(idx);
+        assert_eq!(projected.base_align, 8192);
+        assert_eq!(projected.seg_align, 512);
+        assert_eq!(projected.shift, 128);
+        assert_eq!(projected.block_offset, 128);
+    }
+
+    #[test]
+    fn nearest_index_canonicalizes_zero_alignment() {
+        let space = ParamSpace {
+            base_aligns: vec![0, 8192],
+            seg_aligns: vec![0],
+            shifts: vec![0],
+            block_offsets: vec![0],
+        };
+        // A canonical spec with base_align 1 must match the grid's 0 entry.
+        let idx = space.nearest_index(&LayoutSpec::new().base_align(0));
+        assert_eq!(idx[0], 0);
+    }
+}

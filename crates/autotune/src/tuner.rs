@@ -1,0 +1,641 @@
+//! The search engine: strategies, parallel trial execution, and the
+//! [`TuneReport`] with its advisor cross-validation.
+//!
+//! A [`Tuner`] evaluates candidate [`LayoutSpec`]s from a [`ParamSpace`]
+//! against a [`Workload`] by running the memory-system simulator, batching
+//! independent trials onto a [`ThreadPool`] (each simulated trial is
+//! single-threaded host work, so trials — not simulator internals — are the
+//! parallel grain). Results are memoized in a content-addressed
+//! [`ResultCache`], checked *before* dispatch: a warm cache re-runs a sweep
+//! with zero new simulations.
+
+use crate::cache::ResultCache;
+use crate::space::{ParamSpace, N_DIMS};
+use crate::workload::Workload;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use t2opt_core::advisor::LayoutAdvisor;
+use t2opt_core::layout::LayoutSpec;
+use t2opt_parallel::{Schedule, ThreadPool};
+use t2opt_sim::{ChipConfig, Simulation};
+
+/// How the tuner walks the parameter space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum SearchStrategy {
+    /// Measure every candidate of the space. Exact; cost is the product of
+    /// the dimension sizes.
+    Exhaustive,
+    /// Cyclic coordinate descent from the space's origin `[0, 0, 0, 0]`:
+    /// sweep one dimension at a time (each sweep is one parallel batch),
+    /// move to its best value, repeat until a full round improves nothing
+    /// or `max_rounds` is reached.
+    CoordinateDescent {
+        /// Upper bound on full rounds over the four dimensions.
+        max_rounds: usize,
+    },
+    /// Coordinate descent seeded at the in-space candidate nearest to the
+    /// analytic [`LayoutAdvisor::suggest_layout`] — the paper's closed-form
+    /// optimum — and refined locally. When the model is right this
+    /// converges in one round; when the mapping diverges from the model the
+    /// descent walks away from the seed and the report's agreement check
+    /// flags it.
+    AdvisorSeeded {
+        /// Upper bound on full rounds over the four dimensions.
+        max_rounds: usize,
+    },
+}
+
+impl SearchStrategy {
+    /// The default refinement budget used by the convenience constructors.
+    pub const DEFAULT_ROUNDS: usize = 4;
+
+    /// Coordinate descent with the default round budget.
+    pub fn coordinate_descent() -> Self {
+        SearchStrategy::CoordinateDescent {
+            max_rounds: Self::DEFAULT_ROUNDS,
+        }
+    }
+
+    /// Advisor-seeded descent with the default round budget.
+    pub fn advisor_seeded() -> Self {
+        SearchStrategy::AdvisorSeeded {
+            max_rounds: Self::DEFAULT_ROUNDS,
+        }
+    }
+}
+
+/// One measured candidate.
+#[derive(Debug, Clone, Serialize)]
+pub struct Trial {
+    /// The layout that was measured.
+    pub spec: LayoutSpec,
+    /// Simulated bandwidth (GB/s, kernel-reported bytes).
+    pub gbs: f64,
+    /// The analytic advisor's predicted controller-utilization efficiency
+    /// for the same layout (averaged over threads), in `(0, 1]`.
+    pub predicted_efficiency: f64,
+    /// Whether the measurement was served from the result cache.
+    pub from_cache: bool,
+}
+
+/// A trial whose measured and predicted *relative* quality disagree: the
+/// analytic model mis-ranks this layout — evidence that the real mapping
+/// policy differs from the modelled one.
+#[derive(Debug, Clone, Serialize)]
+pub struct Divergence {
+    /// The layout in question.
+    pub spec: LayoutSpec,
+    /// Measured bandwidth relative to the sweep's best (in `(0, 1]`).
+    pub measured_rel: f64,
+    /// Predicted efficiency relative to the sweep's best prediction.
+    pub predicted_rel: f64,
+}
+
+/// Cross-validation of the analytic model against the measurements.
+#[derive(Debug, Clone, Serialize)]
+pub struct Agreement {
+    /// Spearman rank correlation between predicted efficiency and measured
+    /// bandwidth over all trials; `None` when undefined (fewer than two
+    /// trials, or a constant side).
+    pub spearman: Option<f64>,
+    /// Relative-quality gap above which a trial is flagged.
+    pub tolerance: f64,
+    /// Trials whose measured and predicted relative quality differ by more
+    /// than `tolerance`, worst first.
+    pub divergences: Vec<Divergence>,
+}
+
+/// The outcome of one [`Tuner::run`].
+#[derive(Debug, Clone, Serialize)]
+pub struct TuneReport {
+    /// The tuned workload.
+    pub workload: Workload,
+    /// The strategy that produced the trials.
+    pub strategy: SearchStrategy,
+    /// Every distinct candidate measured, best first (ties keep
+    /// measurement order, so reports are deterministic).
+    pub trials: Vec<Trial>,
+    /// The winning trial (`trials[0]`).
+    pub best: Trial,
+    /// Trial lookups served by the result cache.
+    pub cache_hits: u64,
+    /// Trial lookups that missed the cache.
+    pub cache_misses: u64,
+    /// Fresh simulations actually executed (= `cache_misses`; kept separate
+    /// so a cache-policy change can't silently skew acceptance checks).
+    pub simulations_run: u64,
+    /// Advisor cross-validation over the trials.
+    pub agreement: Agreement,
+}
+
+impl TuneReport {
+    /// Speedup of the best layout over the worst measured one — for the
+    /// offset sweep this is the paper's Fig. 4 gain.
+    pub fn best_over_worst(&self) -> f64 {
+        match self.trials.last() {
+            Some(worst) if worst.gbs > 0.0 => self.best.gbs / worst.gbs,
+            _ => 1.0,
+        }
+    }
+
+    /// Speedup of the best layout over a given measured candidate, if that
+    /// candidate is among the trials.
+    pub fn speedup_over(&self, spec: &LayoutSpec) -> Option<f64> {
+        self.trials
+            .iter()
+            .find(|t| &t.spec == spec)
+            .map(|t| self.best.gbs / t.gbs)
+    }
+}
+
+/// Relative-quality gap above which the agreement check flags a trial.
+const DIVERGENCE_TOLERANCE: f64 = 0.25;
+
+/// The empirical layout autotuner; see the module docs.
+pub struct Tuner {
+    workload: Workload,
+    chip: ChipConfig,
+    space: ParamSpace,
+    strategy: SearchStrategy,
+    cache: ResultCache,
+    pool_threads: usize,
+}
+
+impl Tuner {
+    /// A tuner over `space` for `workload` on `chip`, with the exhaustive
+    /// strategy, an in-memory cache, and one trial-runner thread per host
+    /// CPU. The advisor used for cross-validation is derived from the
+    /// chip's mapping policy.
+    pub fn new(workload: Workload, chip: ChipConfig, space: ParamSpace) -> Self {
+        let host = std::thread::available_parallelism().map_or(4, |n| n.get());
+        Tuner {
+            workload,
+            chip,
+            space,
+            strategy: SearchStrategy::Exhaustive,
+            cache: ResultCache::in_memory(),
+            pool_threads: host,
+        }
+    }
+
+    /// Selects the search strategy.
+    pub fn strategy(mut self, strategy: SearchStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Replaces the result cache (e.g. with a file-backed one).
+    pub fn cache(mut self, cache: ResultCache) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Sets the host thread-pool size used to run trials.
+    pub fn pool_threads(mut self, n: usize) -> Self {
+        self.pool_threads = n.max(1);
+        self
+    }
+
+    /// The current result cache (hit/miss counters reflect the last run).
+    pub fn cache_ref(&self) -> &ResultCache {
+        &self.cache
+    }
+
+    /// Consumes the tuner, returning its cache (e.g. to save it).
+    pub fn into_cache(self) -> ResultCache {
+        self.cache
+    }
+
+    /// The advisor matching the chip's mapping policy.
+    pub fn advisor(&self) -> LayoutAdvisor {
+        LayoutAdvisor::new(self.chip.map)
+    }
+
+    /// Runs the configured search and returns the report. Counters in the
+    /// report cover this invocation only; the cache itself persists across
+    /// invocations, so a second run over the same space performs zero new
+    /// simulations.
+    ///
+    /// # Panics
+    /// Panics if the space is empty or the workload does not fit the chip.
+    pub fn run(&mut self) -> TuneReport {
+        assert!(
+            !self.space.is_empty(),
+            "parameter space has an empty dimension"
+        );
+        self.workload.validate(&self.chip);
+        self.cache.reset_counters();
+
+        let pool = ThreadPool::new(self.pool_threads);
+        let mut trials: Vec<Trial> = Vec::new();
+        let mut seen: BTreeMap<String, usize> = BTreeMap::new();
+        let mut simulations_run = 0u64;
+
+        match self.strategy {
+            SearchStrategy::Exhaustive => {
+                let dims = self.space.dims();
+                let mut all = Vec::with_capacity(self.space.len());
+                for b in 0..dims[0] {
+                    for s in 0..dims[1] {
+                        for h in 0..dims[2] {
+                            for o in 0..dims[3] {
+                                all.push([b, s, h, o]);
+                            }
+                        }
+                    }
+                }
+                self.measure(&all, &pool, &mut trials, &mut seen, &mut simulations_run);
+            }
+            SearchStrategy::CoordinateDescent { max_rounds } => {
+                self.descend(
+                    [0; N_DIMS],
+                    max_rounds,
+                    &pool,
+                    &mut trials,
+                    &mut seen,
+                    &mut simulations_run,
+                );
+            }
+            SearchStrategy::AdvisorSeeded { max_rounds } => {
+                let seed = self.space.nearest_index(&self.advisor().suggest_layout());
+                self.descend(
+                    seed,
+                    max_rounds,
+                    &pool,
+                    &mut trials,
+                    &mut seen,
+                    &mut simulations_run,
+                );
+            }
+        }
+
+        // Rank best-first; ties keep measurement order (stable sort), so a
+        // fixed configuration always yields the identical report.
+        trials.sort_by(|a, b| b.gbs.partial_cmp(&a.gbs).expect("bandwidth is finite"));
+        let best = trials
+            .first()
+            .expect("non-empty space yields trials")
+            .clone();
+        let agreement = agreement_check(&trials);
+
+        // Persistence is best effort — a read-only cache location must not
+        // fail the tuning run — but not silent.
+        if let Err(e) = self.cache.save() {
+            eprintln!("t2opt-autotune: warning: could not persist result cache: {e}");
+        }
+
+        TuneReport {
+            workload: self.workload.clone(),
+            strategy: self.strategy,
+            best,
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            simulations_run,
+            agreement,
+            trials,
+        }
+    }
+
+    /// Cyclic coordinate descent from `start`.
+    fn descend(
+        &mut self,
+        start: [usize; N_DIMS],
+        max_rounds: usize,
+        pool: &ThreadPool,
+        trials: &mut Vec<Trial>,
+        seen: &mut BTreeMap<String, usize>,
+        simulations_run: &mut u64,
+    ) {
+        let dims = self.space.dims();
+        let mut cur = start;
+        let mut cur_gbs = self.measure(&[cur], pool, trials, seen, simulations_run)[0];
+        for _ in 0..max_rounds {
+            let mut improved = false;
+            for dim in 0..N_DIMS {
+                let line: Vec<[usize; N_DIMS]> = (0..dims[dim])
+                    .map(|v| {
+                        let mut idx = cur;
+                        idx[dim] = v;
+                        idx
+                    })
+                    .collect();
+                let gbs = self.measure(&line, pool, trials, seen, simulations_run);
+                // Argmax along the line; ties to the lowest grid value so
+                // the walk is deterministic.
+                let (best_v, &best_gbs) = gbs
+                    .iter()
+                    .enumerate()
+                    .max_by(|(ai, a), (bi, b)| {
+                        a.partial_cmp(b)
+                            .expect("bandwidth is finite")
+                            .then(bi.cmp(ai))
+                    })
+                    .expect("dimension is non-empty");
+                if best_gbs > cur_gbs {
+                    cur[dim] = best_v;
+                    cur_gbs = best_gbs;
+                    improved = true;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+    }
+
+    /// Measures the candidates at `idxs` (cache first, then one parallel
+    /// batch for the misses), records fresh distinct trials, and returns
+    /// each candidate's bandwidth in input order.
+    fn measure(
+        &mut self,
+        idxs: &[[usize; N_DIMS]],
+        pool: &ThreadPool,
+        trials: &mut Vec<Trial>,
+        seen: &mut BTreeMap<String, usize>,
+        simulations_run: &mut u64,
+    ) -> Vec<f64> {
+        let advisor = self.advisor();
+        let specs: Vec<LayoutSpec> = idxs.iter().map(|&i| self.space.spec_at(i)).collect();
+        let keys: Vec<String> = specs
+            .iter()
+            .map(|s| ResultCache::key(&self.workload, &self.chip, s))
+            .collect();
+
+        // Cache pass. Candidates repeated within one batch (distinct grid
+        // points can normalize to the same spec) or measured by an earlier
+        // batch are neither re-simulated nor double-counted: only the first
+        // occurrence of an unknown key is dispatched.
+        let mut pending: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+        let mut to_run: Vec<usize> = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            if seen.contains_key(key) || pending.contains(key.as_str()) {
+                continue;
+            }
+            match self.cache.get(key) {
+                Some(gbs) => {
+                    seen.insert(key.clone(), trials.len());
+                    trials.push(Trial {
+                        spec: specs[i].clone(),
+                        gbs,
+                        predicted_efficiency: self
+                            .workload
+                            .predicted_efficiency(&advisor, &specs[i]),
+                        from_cache: true,
+                    });
+                }
+                None => {
+                    pending.insert(key.as_str());
+                    to_run.push(i);
+                }
+            }
+        }
+
+        // Parallel batch over the misses. Simulator programs are built
+        // inside the workers (`Program` is not `Send`); each slot is
+        // written by exactly one trial, and the simulator is deterministic,
+        // so the batch result does not depend on worker interleaving.
+        if !to_run.is_empty() {
+            let slots: Vec<Mutex<Option<f64>>> = to_run.iter().map(|_| Mutex::new(None)).collect();
+            let workload = &self.workload;
+            let chip = &self.chip;
+            let n_cores = self.chip.core.n_cores;
+            let run_specs: Vec<&LayoutSpec> = to_run.iter().map(|&i| &specs[i]).collect();
+            pool.parallel_for(0..to_run.len(), Schedule::Dynamic(1), |_tid, chunk| {
+                for j in chunk {
+                    let mut sim = Simulation::new(chip.clone());
+                    if workload.warmup() {
+                        sim = sim.measure_after_barrier(0);
+                    }
+                    let programs = workload.build_programs(run_specs[j]);
+                    let stats = sim.run_programs(programs, |tid| tid % n_cores);
+                    let gbs = stats.reported_bandwidth_gbs(chip, workload.reported_bytes());
+                    *slots[j].lock().expect("slot lock") = Some(gbs);
+                }
+            });
+            *simulations_run += to_run.len() as u64;
+            for (j, &i) in to_run.iter().enumerate() {
+                let gbs = slots[j]
+                    .lock()
+                    .expect("slot lock")
+                    .expect("every dispatched trial completes");
+                self.cache.insert(keys[i].clone(), gbs);
+                seen.insert(keys[i].clone(), trials.len());
+                trials.push(Trial {
+                    spec: specs[i].clone(),
+                    gbs,
+                    predicted_efficiency: self.workload.predicted_efficiency(&advisor, &specs[i]),
+                    from_cache: false,
+                });
+            }
+        }
+
+        keys.iter().map(|key| trials[seen[key]].gbs).collect()
+    }
+}
+
+/// Builds the [`Agreement`] section: Spearman rank correlation plus the
+/// list of trials whose relative measured and predicted quality diverge.
+fn agreement_check(trials: &[Trial]) -> Agreement {
+    let measured: Vec<f64> = trials.iter().map(|t| t.gbs).collect();
+    let predicted: Vec<f64> = trials.iter().map(|t| t.predicted_efficiency).collect();
+    let max_m = measured.iter().cloned().fold(f64::MIN, f64::max);
+    let max_p = predicted.iter().cloned().fold(f64::MIN, f64::max);
+
+    let mut divergences: Vec<Divergence> = trials
+        .iter()
+        .filter_map(|t| {
+            let measured_rel = if max_m > 0.0 { t.gbs / max_m } else { 1.0 };
+            let predicted_rel = if max_p > 0.0 {
+                t.predicted_efficiency / max_p
+            } else {
+                1.0
+            };
+            ((measured_rel - predicted_rel).abs() > DIVERGENCE_TOLERANCE).then(|| Divergence {
+                spec: t.spec.clone(),
+                measured_rel,
+                predicted_rel,
+            })
+        })
+        .collect();
+    divergences.sort_by(|a, b| {
+        let ga = (a.measured_rel - a.predicted_rel).abs();
+        let gb = (b.measured_rel - b.predicted_rel).abs();
+        gb.partial_cmp(&ga).expect("relative quality is finite")
+    });
+
+    Agreement {
+        spearman: spearman(&measured, &predicted),
+        tolerance: DIVERGENCE_TOLERANCE,
+        divergences,
+    }
+}
+
+/// Spearman rank correlation; `None` when undefined.
+fn spearman(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() < 2 {
+        return None;
+    }
+    pearson(&ranks(a), &ranks(b))
+}
+
+/// Fractional ranks (ties share their average rank).
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    order.sort_by(|&i, &j| {
+        xs[i]
+            .partial_cmp(&xs[j])
+            .expect("rank input is finite")
+            .then(i.cmp(&j))
+    });
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && xs[order[j + 1]] == xs[order[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+fn pearson(a: &[f64], b: &[f64]) -> Option<f64> {
+    let n = a.len() as f64;
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / n;
+    let (ma, mb) = (mean(a), mean(b));
+    let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum();
+    let va: f64 = a.iter().map(|x| (x - ma).powi(2)).sum();
+    let vb: f64 = b.iter().map(|y| (y - mb).powi(2)).sum();
+    if va <= 0.0 || vb <= 0.0 {
+        return None;
+    }
+    Some(cov / (va * vb).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_tuner(space: ParamSpace) -> Tuner {
+        Tuner::new(
+            Workload::triad_smoke(1 << 12, 16),
+            ChipConfig::ultrasparc_t2(),
+            space,
+        )
+        .pool_threads(4)
+    }
+
+    #[test]
+    fn exhaustive_covers_the_space_and_ranks_trials() {
+        let space = ParamSpace::offset_sweep(128, 512);
+        let mut tuner = smoke_tuner(space.clone());
+        let report = tuner.run();
+        assert_eq!(report.trials.len(), space.len());
+        assert_eq!(report.simulations_run, space.len() as u64);
+        assert_eq!(report.cache_hits, 0);
+        for pair in report.trials.windows(2) {
+            assert!(pair[0].gbs >= pair[1].gbs, "trials must be ranked");
+        }
+        assert_eq!(report.best.spec, report.trials[0].spec);
+    }
+
+    #[test]
+    fn offset_sweep_beats_the_aliased_baseline() {
+        let mut tuner = smoke_tuner(ParamSpace::offset_sweep(128, 512));
+        let report = tuner.run();
+        // The aliased candidate (block offset 0) convoys all three arrays
+        // on one controller; any spread offset must win clearly.
+        let aliased = LayoutSpec::new().base_align(8192);
+        assert_ne!(report.best.spec.block_offset, 0);
+        assert!(
+            report.speedup_over(&aliased).unwrap() > 1.5,
+            "best must beat the aliased baseline by 1.5x: {report:?}"
+        );
+    }
+
+    #[test]
+    fn warm_cache_reruns_simulate_nothing_and_agree() {
+        let mut tuner = smoke_tuner(ParamSpace::offset_sweep(128, 512));
+        let cold = tuner.run();
+        assert!(cold.simulations_run > 0);
+        let warm = tuner.run();
+        assert_eq!(warm.simulations_run, 0, "warm rerun must be pure cache");
+        assert_eq!(warm.cache_misses, 0);
+        assert_eq!(warm.cache_hits, cold.trials.len() as u64);
+        assert_eq!(warm.best.spec, cold.best.spec);
+        assert_eq!(warm.best.gbs, cold.best.gbs);
+        assert!(warm.trials.iter().all(|t| t.from_cache));
+    }
+
+    #[test]
+    fn coordinate_descent_measures_fewer_trials_than_exhaustive() {
+        let space = ParamSpace::t2_default();
+        let mut cd = smoke_tuner(space.clone()).strategy(SearchStrategy::coordinate_descent());
+        let report = cd.run();
+        assert!(
+            report.trials.len() < space.len(),
+            "descent must prune the grid: {} of {}",
+            report.trials.len(),
+            space.len()
+        );
+        assert!(report.best.gbs > 0.0);
+    }
+
+    #[test]
+    fn advisor_seeded_finds_a_spread_offset() {
+        let mut tuner = smoke_tuner(ParamSpace::offset_sweep(128, 512))
+            .strategy(SearchStrategy::advisor_seeded());
+        let report = tuner.run();
+        assert_ne!(
+            report.best.spec.block_offset % 512,
+            0,
+            "advisor-seeded search must keep a de-aliasing offset"
+        );
+    }
+
+    #[test]
+    fn determinism_across_fresh_tuners() {
+        let run = || {
+            let mut t = smoke_tuner(ParamSpace::offset_sweep(128, 512));
+            let r = t.run();
+            (r.best.spec.clone(), r.best.gbs, r.trials.len())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn spearman_handles_ties_and_degenerate_inputs() {
+        assert_eq!(spearman(&[1.0], &[2.0]), None);
+        assert_eq!(spearman(&[1.0, 1.0], &[1.0, 2.0]), None);
+        let s = spearman(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]).unwrap();
+        assert!((s - 1.0).abs() < 1e-12);
+        let s = spearman(&[1.0, 2.0, 3.0], &[30.0, 20.0, 10.0]).unwrap();
+        assert!((s + 1.0).abs() < 1e-12);
+        // Ties get averaged ranks, keeping the coefficient in [-1, 1].
+        let s = spearman(&[1.0, 1.0, 2.0, 3.0], &[5.0, 6.0, 7.0, 8.0]).unwrap();
+        assert!(s > 0.9 && s <= 1.0);
+    }
+
+    #[test]
+    fn agreement_flags_misranked_trials() {
+        let mk = |gbs: f64, pred: f64| Trial {
+            spec: LayoutSpec::new(),
+            gbs,
+            predicted_efficiency: pred,
+            from_cache: false,
+        };
+        // Model says both are perfect; measurement halves the second one.
+        let agr = agreement_check(&[mk(10.0, 1.0), mk(4.0, 1.0)]);
+        assert_eq!(agr.divergences.len(), 1);
+        assert!((agr.divergences[0].measured_rel - 0.4).abs() < 1e-12);
+        // Perfectly proportional trials raise no flags.
+        let agr = agreement_check(&[mk(10.0, 1.0), mk(9.0, 0.9)]);
+        assert!(agr.divergences.is_empty());
+        assert!(agr.spearman.unwrap() > 0.99);
+    }
+}

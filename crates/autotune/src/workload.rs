@@ -1,0 +1,311 @@
+//! Workload descriptions the tuner can measure.
+//!
+//! A [`Workload`] fixes everything about a trial *except* the layout: which
+//! streams the kernel touches, the problem size, the thread count, and the
+//! measurement protocol (warm-up sweep + measured repetitions). Given a
+//! candidate [`LayoutSpec`] it builds the per-thread simulator programs —
+//! every array `j` is laid out with block offset `j · spec.block_offset`
+//! and split into per-thread segments, reproducing the paper's Fig. 4
+//! setup — and, for the advisor cross-check, the equivalent analytic
+//! [`StreamDesc`] sets.
+
+use serde::Serialize;
+use t2opt_core::advisor::{LayoutAdvisor, StreamDesc, StreamKind};
+use t2opt_core::layout::{LayoutSpec, SegLayout, SegmentPlan};
+use t2opt_kernels::common::VirtualAlloc;
+use t2opt_sim::trace::{chain_with_barriers, Program, StreamLoop, StreamSpec};
+use t2opt_sim::ChipConfig;
+
+/// A tunable workload: a stream mix or a named kernel loop.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum Workload {
+    /// A generic lockstep loop touching `reads` load streams and `writes`
+    /// store streams (loads first), `n` total elements split over
+    /// `threads` segments.
+    StreamMix {
+        /// Number of load streams.
+        reads: u32,
+        /// Number of store streams.
+        writes: u32,
+        /// Total elements per array.
+        n: usize,
+        /// Simulated threads (= segments per array).
+        threads: usize,
+        /// Measured sweeps.
+        ntimes: u32,
+        /// Whether to run (and exclude) a cache-warming sweep first.
+        warmup: bool,
+    },
+    /// The STREAM vector triad `A(i) = B(i) + s·C(i)` of Fig. 2/Fig. 4:
+    /// two load streams, one store stream, two flops per element.
+    Triad {
+        /// Total elements per array.
+        n: usize,
+        /// Simulated threads (= segments per array).
+        threads: usize,
+        /// Measured sweeps.
+        ntimes: u32,
+        /// Whether to run (and exclude) a cache-warming sweep first.
+        warmup: bool,
+    },
+}
+
+impl Workload {
+    /// The Fig. 4 triad at full measurement fidelity: arrays far larger
+    /// than the L2 so the warm-up sweep leaves only capacity misses, one
+    /// measured sweep.
+    pub fn triad(n: usize, threads: usize) -> Self {
+        Workload::Triad {
+            n,
+            threads,
+            ntimes: 1,
+            warmup: true,
+        }
+    }
+
+    /// A fast cold-cache triad for smoke tests and CI: no warm-up sweep,
+    /// so small arrays still show the controller-aliasing effect (every
+    /// access is a miss, exactly the regime of the paper's measurement).
+    pub fn triad_smoke(n: usize, threads: usize) -> Self {
+        Workload::Triad {
+            n,
+            threads,
+            ntimes: 1,
+            warmup: false,
+        }
+    }
+
+    /// Stream kinds of the workload's arrays, loads first.
+    pub fn kinds(&self) -> Vec<StreamKind> {
+        match self {
+            Workload::StreamMix { reads, writes, .. } => {
+                let mut v = vec![StreamKind::Read; *reads as usize];
+                v.resize((*reads + *writes) as usize, StreamKind::Write);
+                v
+            }
+            Workload::Triad { .. } => {
+                vec![StreamKind::Read, StreamKind::Read, StreamKind::Write]
+            }
+        }
+    }
+
+    /// Total elements per array.
+    pub fn n(&self) -> usize {
+        match self {
+            Workload::StreamMix { n, .. } | Workload::Triad { n, .. } => *n,
+        }
+    }
+
+    /// Simulated thread count.
+    pub fn threads(&self) -> usize {
+        match self {
+            Workload::StreamMix { threads, .. } | Workload::Triad { threads, .. } => *threads,
+        }
+    }
+
+    /// Measured sweeps.
+    pub fn ntimes(&self) -> u32 {
+        match self {
+            Workload::StreamMix { ntimes, .. } | Workload::Triad { ntimes, .. } => *ntimes,
+        }
+    }
+
+    /// Whether trials run a warm-up sweep (excluded from measurement).
+    pub fn warmup(&self) -> bool {
+        match self {
+            Workload::StreamMix { warmup, .. } | Workload::Triad { warmup, .. } => *warmup,
+        }
+    }
+
+    /// Floating-point work per element (charged to the core FPUs).
+    pub fn flops_per_elem(&self) -> f64 {
+        match self {
+            Workload::StreamMix { .. } => 0.0,
+            Workload::Triad { .. } => 2.0,
+        }
+    }
+
+    /// Bytes the kernel is credited with per full run (STREAM convention:
+    /// each array touched once per element per sweep), for
+    /// [`t2opt_sim::SimStats::reported_bandwidth_gbs`].
+    pub fn reported_bytes(&self) -> u64 {
+        (self.n() * 8 * self.kinds().len()) as u64 * self.ntimes() as u64
+    }
+
+    /// Checks the workload fits the chip (thread capacity, non-empty).
+    ///
+    /// # Panics
+    /// Panics with a descriptive message if not.
+    pub fn validate(&self, chip: &ChipConfig) {
+        let capacity = chip.core.n_cores * chip.core.threads_per_core;
+        assert!(self.n() > 0, "workload needs at least one element");
+        assert!(self.threads() > 0, "workload needs at least one thread");
+        assert!(self.ntimes() > 0, "workload needs at least one sweep");
+        assert!(
+            !self.kinds().is_empty(),
+            "workload needs at least one stream"
+        );
+        assert!(
+            self.threads() <= capacity,
+            "{} threads exceed the chip's {} hardware threads",
+            self.threads(),
+            capacity
+        );
+    }
+
+    /// Lays out every array under `spec` in a fresh virtual address space:
+    /// array `j` uses `spec` with block offset `j · spec.block_offset` and
+    /// is split into per-thread segments. Returns each array's (absolute
+    /// base address, segment layout).
+    pub fn layout_arrays(&self, spec: &LayoutSpec) -> Vec<(u64, SegLayout)> {
+        let mut va = VirtualAlloc::new();
+        let plan = SegmentPlan::Count(self.threads());
+        (0..self.kinds().len())
+            .map(|j| {
+                let arr_spec = spec.clone().block_offset(j * spec.block_offset);
+                let layout = arr_spec.plan(self.n(), 8, &plan);
+                let base = va.alloc(
+                    layout.total_bytes.max(1) as u64,
+                    spec.base_align.max(1) as u64,
+                    0,
+                );
+                (base, layout)
+            })
+            .collect()
+    }
+
+    /// Builds the per-thread simulator programs for one trial of `spec`:
+    /// thread `t` sweeps its segment of every array, `warmup + ntimes`
+    /// times, with a global barrier between sweeps. With warm-up enabled
+    /// the measurement window opens at barrier 0 (use
+    /// [`t2opt_sim::Simulation::measure_after_barrier`]).
+    pub fn build_programs(&self, spec: &LayoutSpec) -> Vec<Program> {
+        let kinds = self.kinds();
+        let arrays = self.layout_arrays(spec);
+        let sweeps = self.ntimes() as usize + usize::from(self.warmup());
+        let flops = self.flops_per_elem();
+        (0..self.threads())
+            .map(|t| {
+                let phases: Vec<StreamLoop> = (0..sweeps)
+                    .map(|_| {
+                        let streams: Vec<StreamSpec> = arrays
+                            .iter()
+                            .zip(kinds.iter())
+                            .map(|((base, layout), kind)| {
+                                let addr = base + layout.seg_byte_starts[t] as u64;
+                                match kind {
+                                    StreamKind::Read => StreamSpec::load(addr),
+                                    _ => StreamSpec::store(addr),
+                                }
+                            })
+                            .collect();
+                        StreamLoop::new(streams, arrays[0].1.seg_sizes[t], 8, flops, 64)
+                    })
+                    .collect();
+                chain_with_barriers(phases, 0)
+            })
+            .collect()
+    }
+
+    /// The advisor's predicted controller-utilization efficiency for this
+    /// workload under `spec`: the mean of [`LayoutAdvisor::predict`] over
+    /// each thread's stream set (threads differ when the layout shifts
+    /// segments against each other).
+    pub fn predicted_efficiency(&self, advisor: &LayoutAdvisor, spec: &LayoutSpec) -> f64 {
+        let kinds = self.kinds();
+        let arrays = self.layout_arrays(spec);
+        let threads = self.threads();
+        let total: f64 = (0..threads)
+            .map(|t| {
+                let streams: Vec<StreamDesc> = arrays
+                    .iter()
+                    .zip(kinds.iter())
+                    .map(|((base, layout), &kind)| StreamDesc {
+                        base: base + layout.seg_byte_starts[t] as u64,
+                        kind,
+                    })
+                    .collect();
+                advisor.predict(&streams).efficiency
+            })
+            .sum();
+        total / threads as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2opt_sim::trace::Op;
+
+    #[test]
+    fn triad_kinds_and_bytes() {
+        let w = Workload::triad(1 << 10, 8);
+        assert_eq!(
+            w.kinds(),
+            vec![StreamKind::Read, StreamKind::Read, StreamKind::Write]
+        );
+        // 3 arrays × 8 B × n × 1 sweep.
+        assert_eq!(w.reported_bytes(), 3 * 8 * (1 << 10));
+        w.validate(&ChipConfig::ultrasparc_t2());
+    }
+
+    #[test]
+    fn arrays_are_offset_by_multiples_of_block_offset() {
+        let w = Workload::triad_smoke(1 << 10, 4);
+        let spec = LayoutSpec::new().base_align(8192).block_offset(128);
+        let arrays = w.layout_arrays(&spec);
+        assert_eq!(arrays.len(), 3);
+        for (j, (base, layout)) in arrays.iter().enumerate() {
+            assert_eq!(base % 8192, 0, "bases must stay page-aligned");
+            assert_eq!(layout.seg_byte_starts[0], j * 128);
+        }
+    }
+
+    #[test]
+    fn programs_cover_each_thread_segment() {
+        let w = Workload::triad_smoke(256, 4);
+        let spec = LayoutSpec::new().base_align(8192);
+        let programs = w.build_programs(&spec);
+        assert_eq!(programs.len(), 4);
+        // 64 elements/thread/array = 8 lines; 2 read streams + 1 write.
+        let ops: Vec<Op> = programs.into_iter().next().unwrap().collect();
+        let reads = ops.iter().filter(|o| matches!(o, Op::Read(_))).count();
+        let writes = ops.iter().filter(|o| matches!(o, Op::Write(_))).count();
+        assert_eq!(reads, 16);
+        assert_eq!(writes, 8);
+        assert!(
+            !ops.iter().any(|o| matches!(o, Op::Barrier(_))),
+            "one sweep, no barrier"
+        );
+    }
+
+    #[test]
+    fn warmup_adds_a_barrier_separated_sweep() {
+        let w = Workload::triad(256, 4);
+        let spec = LayoutSpec::new().base_align(8192);
+        let ops: Vec<Op> = w
+            .build_programs(&spec)
+            .into_iter()
+            .next()
+            .unwrap()
+            .collect();
+        let barriers: Vec<&Op> = ops.iter().filter(|o| matches!(o, Op::Barrier(_))).collect();
+        assert_eq!(barriers.len(), 1);
+        assert_eq!(*barriers[0], Op::Barrier(0));
+    }
+
+    #[test]
+    fn predicted_efficiency_prefers_advisor_offsets() {
+        let w = Workload::triad_smoke(1 << 12, 64);
+        let advisor = LayoutAdvisor::t2();
+        let aliased = w.predicted_efficiency(&advisor, &LayoutSpec::new().base_align(8192));
+        let spread = w.predicted_efficiency(
+            &advisor,
+            &LayoutSpec::new().base_align(8192).block_offset(128),
+        );
+        assert!(
+            spread > 1.5 * aliased,
+            "advisor must rank offset 128 far above aliased: {aliased} vs {spread}"
+        );
+    }
+}

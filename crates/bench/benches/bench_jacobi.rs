@@ -15,16 +15,18 @@ fn bench_sim_points(c: &mut Criterion) {
     group.bench_function("optimized_64T", |b| {
         b.iter(|| {
             black_box(
-                run_sim(&JacobiConfig::optimized(n, 64), &chip, &Placement::t2_scatter())
-                    .mlups,
+                run_sim(
+                    &JacobiConfig::optimized(n, 64),
+                    &chip,
+                    &Placement::t2_scatter(),
+                )
+                .mlups,
             )
         })
     });
     group.bench_function("plain_64T", |b| {
         b.iter(|| {
-            black_box(
-                run_sim(&JacobiConfig::plain(n, 64), &chip, &Placement::t2_scatter()).mlups,
-            )
+            black_box(run_sim(&JacobiConfig::plain(n, 64), &chip, &Placement::t2_scatter()).mlups)
         })
     });
     group.bench_function("optimized_static_not_static1", |b| {
@@ -44,7 +46,9 @@ fn bench_sim_points(c: &mut Criterion) {
 
 fn bench_host_solver(c: &mut Criterion) {
     let pool = ThreadPool::new(
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
     );
     let mut group = c.benchmark_group("host_jacobi");
     group.sample_size(10);

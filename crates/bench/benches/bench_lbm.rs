@@ -29,7 +29,9 @@ fn bench_sim_points(c: &mut Criterion) {
 
 fn bench_host_step(c: &mut Criterion) {
     let pool = ThreadPool::new(
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
     );
     let mut group = c.benchmark_group("host_lbm_step");
     group.sample_size(10);

@@ -11,9 +11,8 @@ fn hit_workload(n_threads: usize, ops: usize) -> Vec<ThreadSpec> {
     (0..n_threads)
         .map(|t| {
             let per = ops / n_threads;
-            let program = Box::new(
-                (0..per).map(move |i| Op::Read((i as u64 % 1024) * 64)),
-            ) as Program;
+            let program =
+                Box::new((0..per).map(move |i| Op::Read((i as u64 % 1024) * 64))) as Program;
             ThreadSpec::new(t % 8, program)
         })
         .collect()

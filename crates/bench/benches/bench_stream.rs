@@ -14,9 +14,11 @@ fn bench_sim_offsets(c: &mut Criterion) {
     let chip = ChipConfig::ultrasparc_t2();
     let mut group = c.benchmark_group("fig2_sim_points");
     group.sample_size(10);
-    for &(label, offset) in
-        &[("offset0_worst", 0usize), ("offset32_half", 32), ("offset16_best", 16)]
-    {
+    for &(label, offset) in &[
+        ("offset0_worst", 0usize),
+        ("offset32_half", 32),
+        ("offset16_best", 16),
+    ] {
         group.bench_with_input(BenchmarkId::new("triad_64T", label), &offset, |b, &off| {
             b.iter(|| {
                 let cfg = StreamConfig::fig2(1 << 15, off, 64);
@@ -32,14 +34,21 @@ fn bench_sim_offsets(c: &mut Criterion) {
 
 fn bench_host_stream(c: &mut Criterion) {
     let pool = ThreadPool::new(
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
     );
     let mut group = c.benchmark_group("host_stream");
     group.sample_size(10);
     for kernel in [StreamKernel::Copy, StreamKernel::Triad] {
         group.bench_function(kernel.name(), |b| {
             b.iter(|| {
-                let cfg = StreamConfig { n: 1 << 20, offset: 0, threads: 0, ntimes: 1 };
+                let cfg = StreamConfig {
+                    n: 1 << 20,
+                    offset: 0,
+                    threads: 0,
+                    ntimes: 1,
+                };
                 black_box(run_host(&cfg, kernel, &pool))
             })
         });

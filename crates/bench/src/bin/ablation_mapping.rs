@@ -27,11 +27,17 @@ fn main() {
         ("sliced (real T2)", MapPolicy::t2()),
         (
             "xor-fold",
-            MapPolicy::XorFold { base: AddressMap::ultrasparc_t2(), folds: 10 },
+            MapPolicy::XorFold {
+                base: AddressMap::ultrasparc_t2(),
+                folds: 10,
+            },
         ),
         (
             "page 4k",
-            MapPolicy::PageInterleave { base: AddressMap::ultrasparc_t2(), page: 4096 },
+            MapPolicy::PageInterleave {
+                base: AddressMap::ultrasparc_t2(),
+                page: 4096,
+            },
         ),
     ];
 

@@ -39,7 +39,11 @@ fn main() {
             let gbs =
                 run_sim(&cfg, StreamKernel::Triad, &chip, &Placement::t2_scatter()).reported_gbs;
             cells.push(format!("{gbs:.2}"));
-            rows.push(Row { outstanding, threads, gbs });
+            rows.push(Row {
+                outstanding,
+                threads,
+                gbs,
+            });
         }
         table.row(cells);
     }
@@ -50,7 +54,12 @@ fn main() {
     );
 
     println!("\n-- gang drift window (offset sensitivity) --");
-    let mut table2 = Table::new(vec!["gang window", "offset 0 GB/s", "offset 16 GB/s", "ratio"]);
+    let mut table2 = Table::new(vec![
+        "gang window",
+        "offset 0 GB/s",
+        "offset 16 GB/s",
+        "ratio",
+    ]);
     for gw in [Some(4u32), Some(8), Some(16), None] {
         let mut chip = ChipConfig::ultrasparc_t2();
         chip.core.gang_window = gw;

@@ -1,0 +1,122 @@
+//! Empirical layout autotuning driver: searches the Fig. 3 parameter
+//! space for a stream workload on the simulated T2 and cross-validates the
+//! result against the analytic advisor.
+//!
+//! ```text
+//! cargo run --release -p t2opt-bench --bin autotune                   # Fig. 4 offset sweep
+//! cargo run --release -p t2opt-bench --bin autotune -- --grid         # full 4-D default grid
+//! cargo run --release -p t2opt-bench --bin autotune -- --strategy descent
+//! cargo run --release -p t2opt-bench --bin autotune -- --strategy seeded
+//! cargo run --release -p t2opt-bench --bin autotune -- --smoke        # CI-sized problem
+//! cargo run --release -p t2opt-bench --bin autotune -- --cache results/tune.json
+//! ```
+//!
+//! With `--cache`, re-running the same sweep is incremental: already
+//! measured candidates are served from the content-addressed cache and the
+//! report counts zero new simulations.
+
+use t2opt_autotune::{ParamSpace, ResultCache, SearchStrategy, Tuner, Workload};
+use t2opt_bench::{write_json, Args, Table};
+use t2opt_sim::ChipConfig;
+
+fn main() {
+    let args = Args::from_env();
+    let smoke = args.has_flag("smoke");
+    let n: usize = args.get("n", if smoke { 1 << 12 } else { 1 << 19 });
+    let threads: usize = args.get("threads", if smoke { 16 } else { 64 });
+    let reads: u32 = args.get("reads", 2);
+    let writes: u32 = args.get("writes", 1);
+
+    let workload = Workload::StreamMix {
+        reads,
+        writes,
+        n,
+        threads,
+        ntimes: 1,
+        warmup: !smoke,
+    };
+    let space = if args.has_flag("grid") {
+        ParamSpace::t2_default()
+    } else {
+        ParamSpace::offset_sweep(args.get("step", 64), 512)
+    };
+    let strategy = match args.get_str("strategy").unwrap_or("exhaustive") {
+        "exhaustive" => SearchStrategy::Exhaustive,
+        "descent" => SearchStrategy::coordinate_descent(),
+        "seeded" => SearchStrategy::advisor_seeded(),
+        other => panic!("unknown strategy {other:?} (exhaustive | descent | seeded)"),
+    };
+
+    let mut tuner = Tuner::new(workload, ChipConfig::ultrasparc_t2(), space).strategy(strategy);
+    if let Some(path) = args.get_str("cache") {
+        tuner = tuner.cache(ResultCache::at_path(path).expect("failed to load result cache"));
+    }
+
+    eprintln!("autotune: {reads}r/{writes}w stream mix, N = {n}, {threads} threads, {strategy:?}");
+    let report = tuner.run();
+
+    let mut table = Table::new(vec![
+        "base_align",
+        "seg_align",
+        "shift",
+        "block_offset",
+        "GB/s",
+        "pred.eff",
+        "cached",
+    ]);
+    for t in &report.trials {
+        table.row(vec![
+            t.spec.base_align.to_string(),
+            t.spec.seg_align.to_string(),
+            t.spec.shift.to_string(),
+            t.spec.block_offset.to_string(),
+            format!("{:.2}", t.gbs),
+            format!("{:.2}", t.predicted_efficiency),
+            if t.from_cache {
+                "yes".into()
+            } else {
+                "no".into()
+            },
+        ]);
+    }
+    table.print();
+
+    println!(
+        "\nbest: base_align {} seg_align {} shift {} block_offset {} -> {:.2} GB/s ({:.2}x over worst)",
+        report.best.spec.base_align,
+        report.best.spec.seg_align,
+        report.best.spec.shift,
+        report.best.spec.block_offset,
+        report.best.gbs,
+        report.best_over_worst(),
+    );
+    println!(
+        "trials: {} ({} simulated, {} cache hits)",
+        report.trials.len(),
+        report.simulations_run,
+        report.cache_hits
+    );
+    match report.agreement.spearman {
+        Some(rho) => println!("advisor agreement: Spearman rho = {rho:.3}"),
+        None => println!("advisor agreement: undefined (degenerate sweep)"),
+    }
+    if report.agreement.divergences.is_empty() {
+        println!(
+            "no divergences beyond {:.0}%",
+            report.agreement.tolerance * 100.0
+        );
+    }
+    for d in &report.agreement.divergences {
+        println!(
+            "divergence: offset {} measured {:.0}% vs predicted {:.0}% of best",
+            d.spec.block_offset,
+            d.measured_rel * 100.0,
+            d.predicted_rel * 100.0
+        );
+    }
+
+    if let Some(path) = args.get_str("json") {
+        write_json(path, &report).expect("failed to write JSON");
+        eprintln!("wrote {path}");
+    }
+}

@@ -30,7 +30,11 @@ fn main() {
     let step: usize = args.get("step", if full { 2 } else { 8 });
     let threads = args.get_list::<usize>(
         "threads",
-        if full { &[8, 16, 32, 64][..] } else { &[16, 64][..] },
+        if full {
+            &[8, 16, 32, 64][..]
+        } else {
+            &[16, 64][..]
+        },
     );
     let kernel = match args.get_str("kernel").unwrap_or("triad") {
         "copy" => StreamKernel::Copy,
@@ -78,8 +82,13 @@ fn main() {
 
     // Shape summary per thread count: min / max / min positions.
     println!();
-    let mut summary =
-        Table::new(vec!["threads", "min GB/s", "max GB/s", "max/min", "worst offsets"]);
+    let mut summary = Table::new(vec![
+        "threads",
+        "min GB/s",
+        "max GB/s",
+        "max/min",
+        "worst offsets",
+    ]);
     for &t in &threads {
         let series: Vec<_> = rows.iter().filter(|r| r.threads == t).collect();
         if series.is_empty() {

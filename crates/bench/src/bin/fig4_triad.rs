@@ -33,7 +33,7 @@ fn main() {
     };
     let lo: usize = args.get("lo", lo_default);
     let hi: usize = args.get("hi", hi_default);
-    let step: usize = args.get("step", if full { 2 } else { 2 });
+    let step: usize = args.get("step", 2);
     let threads: usize = args.get("threads", 64);
     let chip = ChipConfig::ultrasparc_t2();
 
@@ -51,7 +51,11 @@ fn main() {
 
     let mut table = Table::new(vec!["N", "layout", "GB/s"]);
     for r in &rows {
-        table.row(vec![r.n.to_string(), r.layout.clone(), format!("{:.2}", r.gbs)]);
+        table.row(vec![
+            r.n.to_string(),
+            r.layout.clone(),
+            format!("{:.2}", r.gbs),
+        ]);
     }
     table.print();
 
@@ -59,8 +63,11 @@ fn main() {
     let mut summary = Table::new(vec!["layout", "min GB/s", "max GB/s", "mean GB/s"]);
     for layout in &layouts {
         let label = layout.label();
-        let series: Vec<f64> =
-            rows.iter().filter(|r| r.layout == label).map(|r| r.gbs).collect();
+        let series: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.layout == label)
+            .map(|r| r.gbs)
+            .collect();
         let min = series.iter().copied().fold(f64::INFINITY, f64::min);
         let max = series.iter().copied().fold(0.0, f64::max);
         let mean = series.iter().sum::<f64>() / series.len() as f64;

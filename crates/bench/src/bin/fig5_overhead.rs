@@ -29,7 +29,12 @@ fn sim_variant(ns: &[usize]) {
 
     let chip = ChipConfig::ultrasparc_t2();
     let threads = 64;
-    let mut table = Table::new(vec!["N", "plain GB/s (sim)", "segmented GB/s (sim)", "overhead %"]);
+    let mut table = Table::new(vec![
+        "N",
+        "plain GB/s (sim)",
+        "segmented GB/s (sim)",
+        "overhead %",
+    ]);
     for &n in ns {
         let run = |dispatch_overhead: u32| {
             let mut va = VirtualAlloc::new();
@@ -91,7 +96,9 @@ fn main() {
     let args = Args::from_env();
     let threads: usize = args.get(
         "threads",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
     );
     let ntimes: usize = args.get("ntimes", 5);
     let pool = ThreadPool::with_placement(threads, Placement::Scatter { n_cores: threads });
@@ -107,7 +114,9 @@ fn main() {
     }
     ns.retain(|&x| x <= 10_000_000);
 
-    eprintln!("fig5: segmented-iterator overhead on the host, {threads} threads, best of {ntimes}+1 runs");
+    eprintln!(
+        "fig5: segmented-iterator overhead on the host, {threads} threads, best of {ntimes}+1 runs"
+    );
     let rows = fig5_series(&pool, &ns, ntimes);
 
     let mut table = Table::new(vec!["N", "plain GB/s", "segmented GB/s", "overhead %"]);

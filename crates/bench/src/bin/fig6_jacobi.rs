@@ -27,7 +27,11 @@ fn main() {
     let step: usize = args.get("step", if full { 16 } else { 96 });
     let threads = args.get_list::<usize>(
         "threads",
-        if full { &[8, 16, 32, 64][..] } else { &[8, 64][..] },
+        if full {
+            &[8, 16, 32, 64][..]
+        } else {
+            &[8, 64][..]
+        },
     );
     let chip = ChipConfig::ultrasparc_t2();
 
@@ -60,7 +64,10 @@ fn main() {
         }
         summary.row(vec![
             format!("{t} T optimized"),
-            format!("{:.0}", series.iter().copied().fold(f64::INFINITY, f64::min)),
+            format!(
+                "{:.0}",
+                series.iter().copied().fold(f64::INFINITY, f64::min)
+            ),
             format!("{:.0}", series.iter().copied().fold(0.0, f64::max)),
         ]);
     }

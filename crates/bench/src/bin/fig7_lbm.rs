@@ -69,8 +69,11 @@ fn main() {
     let mut summary = Table::new(vec!["series", "min MLUPs", "max MLUPs", "mean MLUPs"]);
     for s in &series {
         let label = s.label();
-        let vals: Vec<f64> =
-            rows.iter().filter(|r| r.series == label).map(|r| r.mlups).collect();
+        let vals: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.series == label)
+            .map(|r| r.mlups)
+            .collect();
         if vals.is_empty() {
             continue;
         }

@@ -76,9 +76,9 @@ impl Args {
 
     /// Comma-separated list of a parsed type (`--threads 8,16,32,64`), or
     /// `default` when absent.
-    pub fn get_list<T: std::str::FromStr>(&self, key: &str, default: &[T]) -> Vec<T>
+    pub fn get_list<T>(&self, key: &str, default: &[T]) -> Vec<T>
     where
-        T: Clone,
+        T: std::str::FromStr + Clone,
         T::Err: std::fmt::Display,
     {
         match self.values.get(key) {

@@ -22,8 +22,9 @@ where
         .map(|n| n.get())
         .unwrap_or(4)
         .min(items.len().max(1));
-    let results: Vec<once_cell_mini::OnceCell<R>> =
-        (0..items.len()).map(|_| once_cell_mini::OnceCell::new()).collect();
+    let results: Vec<once_cell_mini::OnceCell<R>> = (0..items.len())
+        .map(|_| once_cell_mini::OnceCell::new())
+        .collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -56,7 +57,10 @@ mod once_cell_mini {
 
     impl<T> OnceCell<T> {
         pub fn new() -> Self {
-            OnceCell { set: AtomicBool::new(false), value: UnsafeCell::new(None) }
+            OnceCell {
+                set: AtomicBool::new(false),
+                value: UnsafeCell::new(None),
+            }
         }
 
         pub fn set(&self, v: T) {
@@ -67,7 +71,9 @@ mod once_cell_mini {
 
         pub fn take(self) -> T {
             assert!(self.set.load(Ordering::Acquire), "OnceCell never set");
-            self.value.into_inner().expect("value present when flag set")
+            self.value
+                .into_inner()
+                .expect("value present when flag set")
         }
     }
 }
@@ -147,9 +153,18 @@ pub fn fig4_series(
         }
     }
     par_map(points, |&(n, layout)| {
-        let cfg = TriadConfig { n, layout, threads, ntimes: 1 };
+        let cfg = TriadConfig {
+            n,
+            layout,
+            threads,
+            ntimes: 1,
+        };
         let res = triad::run_sim(&cfg, chip, &Placement::t2_scatter());
-        Fig4Row { n, layout: layout.label(), gbs: res.gbs }
+        Fig4Row {
+            n,
+            layout: layout.label(),
+            gbs: res.gbs,
+        }
     })
 }
 
@@ -235,7 +250,11 @@ pub fn fig6_series(
         Fig6Row {
             n,
             threads,
-            variant: if plain { "plain".into() } else { "optimized".into() },
+            variant: if plain {
+                "plain".into()
+            } else {
+                "optimized".into()
+            },
             mlups: res.mlups,
             l2_hit_rate: res.l2_hit_rate,
         }
@@ -298,10 +317,30 @@ impl Fig7Series {
     /// The four series of the paper's Fig. 7.
     pub fn paper_set() -> Vec<Fig7Series> {
         vec![
-            Fig7Series { threads: 64, layout: LbmLayout::IJKv, fused: false, elem_size: 8 },
-            Fig7Series { threads: 64, layout: LbmLayout::IvJK, fused: false, elem_size: 8 },
-            Fig7Series { threads: 64, layout: LbmLayout::IvJK, fused: true, elem_size: 8 },
-            Fig7Series { threads: 32, layout: LbmLayout::IvJK, fused: true, elem_size: 8 },
+            Fig7Series {
+                threads: 64,
+                layout: LbmLayout::IJKv,
+                fused: false,
+                elem_size: 8,
+            },
+            Fig7Series {
+                threads: 64,
+                layout: LbmLayout::IvJK,
+                fused: false,
+                elem_size: 8,
+            },
+            Fig7Series {
+                threads: 64,
+                layout: LbmLayout::IvJK,
+                fused: true,
+                elem_size: 8,
+            },
+            Fig7Series {
+                threads: 32,
+                layout: LbmLayout::IvJK,
+                fused: true,
+                elem_size: 8,
+            },
         ]
     }
 }
@@ -387,7 +426,12 @@ mod tests {
 
     #[test]
     fn fig7_labels() {
-        let s = Fig7Series { threads: 64, layout: LbmLayout::IvJK, fused: true, elem_size: 8 };
+        let s = Fig7Series {
+            threads: 64,
+            layout: LbmLayout::IvJK,
+            fused: true,
+            elem_size: 8,
+        };
         assert_eq!(s.label(), "64 T, IvJK, fused I-J");
     }
 

@@ -1,9 +1,6 @@
 //! Output helpers for the figure binaries: aligned text tables on stdout
 //! and optional JSON dumps for post-processing.
 
-use serde::Serialize;
-use std::io::Write;
-
 /// A simple column-aligned table writer.
 pub struct Table {
     headers: Vec<String>,
@@ -46,7 +43,11 @@ impl Table {
         out.push_str(&fmt_row(&self.headers, &widths));
         out.push('\n');
         out.push_str(
-            &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "),
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  "),
         );
         out.push('\n');
         for row in &self.rows {
@@ -62,430 +63,14 @@ impl Table {
     }
 }
 
-/// Serializes `data` as pretty JSON into `path` (used by `--json <path>`).
-pub fn write_json<T: Serialize>(path: &str, data: &T) -> std::io::Result<()> {
-    let mut file = std::fs::File::create(path)?;
-    let json = to_json_string(data);
-    file.write_all(json.as_bytes())
-}
-
-/// Minimal JSON serialization via serde's data model (avoids a serde_json
-/// dependency: only the types our results use — maps, seqs, strings,
-/// numbers, bools — are supported).
-pub fn to_json_string<T: Serialize>(data: &T) -> String {
-    let mut ser = MiniJson { out: String::new() };
-    data.serialize(&mut ser).expect("JSON serialization failed");
-    ser.out
-}
-
-struct MiniJson {
-    out: String,
-}
-
-/// Error type of the minimal JSON serializer.
-#[derive(Debug)]
-pub struct JsonErr(String);
-
-impl std::fmt::Display for JsonErr {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.0)
-    }
-}
-impl std::error::Error for JsonErr {}
-impl serde::ser::Error for JsonErr {
-    fn custom<T: std::fmt::Display>(msg: T) -> Self {
-        JsonErr(msg.to_string())
-    }
-}
-
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-macro_rules! simple_num {
-    ($($fn_name:ident: $ty:ty),* $(,)?) => {
-        $(fn $fn_name(self, v: $ty) -> Result<(), JsonErr> {
-            self.out.push_str(&v.to_string());
-            Ok(())
-        })*
-    };
-}
-
-impl<'a> serde::Serializer for &'a mut MiniJson {
-    type Ok = ();
-    type Error = JsonErr;
-    type SerializeSeq = SeqSer<'a>;
-    type SerializeTuple = SeqSer<'a>;
-    type SerializeTupleStruct = SeqSer<'a>;
-    type SerializeTupleVariant = SeqSer<'a>;
-    type SerializeMap = MapSer<'a>;
-    type SerializeStruct = MapSer<'a>;
-    type SerializeStructVariant = MapSer<'a>;
-
-    simple_num! {
-        serialize_i8: i8, serialize_i16: i16, serialize_i32: i32, serialize_i64: i64,
-        serialize_u8: u8, serialize_u16: u16, serialize_u32: u32, serialize_u64: u64,
-    }
-
-    fn serialize_bool(self, v: bool) -> Result<(), JsonErr> {
-        self.out.push_str(if v { "true" } else { "false" });
-        Ok(())
-    }
-
-    fn serialize_f32(self, v: f32) -> Result<(), JsonErr> {
-        self.serialize_f64(v as f64)
-    }
-
-    fn serialize_f64(self, v: f64) -> Result<(), JsonErr> {
-        if v.is_finite() {
-            self.out.push_str(&format!("{v}"));
-        } else {
-            self.out.push_str("null");
-        }
-        Ok(())
-    }
-
-    fn serialize_char(self, v: char) -> Result<(), JsonErr> {
-        self.out.push_str(&escape(&v.to_string()));
-        Ok(())
-    }
-
-    fn serialize_str(self, v: &str) -> Result<(), JsonErr> {
-        self.out.push_str(&escape(v));
-        Ok(())
-    }
-
-    fn serialize_bytes(self, v: &[u8]) -> Result<(), JsonErr> {
-        use serde::ser::SerializeSeq;
-        let mut seq = self.serialize_seq(Some(v.len()))?;
-        for b in v {
-            seq.serialize_element(b)?;
-        }
-        seq.end()
-    }
-
-    fn serialize_none(self) -> Result<(), JsonErr> {
-        self.out.push_str("null");
-        Ok(())
-    }
-
-    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), JsonErr> {
-        value.serialize(self)
-    }
-
-    fn serialize_unit(self) -> Result<(), JsonErr> {
-        self.out.push_str("null");
-        Ok(())
-    }
-
-    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), JsonErr> {
-        self.serialize_unit()
-    }
-
-    fn serialize_unit_variant(
-        self,
-        _name: &'static str,
-        _idx: u32,
-        variant: &'static str,
-    ) -> Result<(), JsonErr> {
-        self.serialize_str(variant)
-    }
-
-    fn serialize_newtype_struct<T: Serialize + ?Sized>(
-        self,
-        _name: &'static str,
-        value: &T,
-    ) -> Result<(), JsonErr> {
-        value.serialize(self)
-    }
-
-    fn serialize_newtype_variant<T: Serialize + ?Sized>(
-        self,
-        _name: &'static str,
-        _idx: u32,
-        variant: &'static str,
-        value: &T,
-    ) -> Result<(), JsonErr> {
-        self.out.push('{');
-        self.out.push_str(&escape(variant));
-        self.out.push(':');
-        value.serialize(&mut *self)?;
-        self.out.push('}');
-        Ok(())
-    }
-
-    fn serialize_seq(self, _len: Option<usize>) -> Result<SeqSer<'a>, JsonErr> {
-        self.out.push('[');
-        Ok(SeqSer { ser: self, first: true })
-    }
-
-    fn serialize_tuple(self, len: usize) -> Result<SeqSer<'a>, JsonErr> {
-        self.serialize_seq(Some(len))
-    }
-
-    fn serialize_tuple_struct(
-        self,
-        _name: &'static str,
-        len: usize,
-    ) -> Result<SeqSer<'a>, JsonErr> {
-        self.serialize_seq(Some(len))
-    }
-
-    fn serialize_tuple_variant(
-        self,
-        _name: &'static str,
-        _idx: u32,
-        variant: &'static str,
-        len: usize,
-    ) -> Result<SeqSer<'a>, JsonErr> {
-        self.out.push('{');
-        self.out.push_str(&escape(variant));
-        self.out.push(':');
-        self.serialize_seq(Some(len))
-    }
-
-    fn serialize_map(self, _len: Option<usize>) -> Result<MapSer<'a>, JsonErr> {
-        self.out.push('{');
-        Ok(MapSer { ser: self, first: true, close_extra: false })
-    }
-
-    fn serialize_struct(
-        self,
-        _name: &'static str,
-        len: usize,
-    ) -> Result<MapSer<'a>, JsonErr> {
-        self.serialize_map(Some(len))
-    }
-
-    fn serialize_struct_variant(
-        self,
-        _name: &'static str,
-        _idx: u32,
-        variant: &'static str,
-        len: usize,
-    ) -> Result<MapSer<'a>, JsonErr> {
-        self.out.push('{');
-        self.out.push_str(&escape(variant));
-        self.out.push(':');
-        let mut m = self.serialize_map(Some(len))?;
-        m.close_extra = true;
-        Ok(m)
-    }
-}
-
-/// Sequence serializer.
-pub struct SeqSer<'a> {
-    ser: &'a mut MiniJson,
-    first: bool,
-}
-
-impl SeqSer<'_> {
-    fn sep(&mut self) {
-        if !self.first {
-            self.ser.out.push(',');
-        }
-        self.first = false;
-    }
-}
-
-impl serde::ser::SerializeSeq for SeqSer<'_> {
-    type Ok = ();
-    type Error = JsonErr;
-    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonErr> {
-        self.sep();
-        value.serialize(&mut *self.ser)
-    }
-    fn end(self) -> Result<(), JsonErr> {
-        self.ser.out.push(']');
-        Ok(())
-    }
-}
-
-impl serde::ser::SerializeTuple for SeqSer<'_> {
-    type Ok = ();
-    type Error = JsonErr;
-    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonErr> {
-        serde::ser::SerializeSeq::serialize_element(self, value)
-    }
-    fn end(self) -> Result<(), JsonErr> {
-        serde::ser::SerializeSeq::end(self)
-    }
-}
-
-impl serde::ser::SerializeTupleStruct for SeqSer<'_> {
-    type Ok = ();
-    type Error = JsonErr;
-    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonErr> {
-        serde::ser::SerializeSeq::serialize_element(self, value)
-    }
-    fn end(self) -> Result<(), JsonErr> {
-        serde::ser::SerializeSeq::end(self)
-    }
-}
-
-impl serde::ser::SerializeTupleVariant for SeqSer<'_> {
-    type Ok = ();
-    type Error = JsonErr;
-    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonErr> {
-        serde::ser::SerializeSeq::serialize_element(self, value)
-    }
-    fn end(self) -> Result<(), JsonErr> {
-        self.ser.out.push_str("]}");
-        Ok(())
-    }
-}
-
-/// Map/struct serializer.
-pub struct MapSer<'a> {
-    ser: &'a mut MiniJson,
-    first: bool,
-    close_extra: bool,
-}
-
-impl MapSer<'_> {
-    fn sep(&mut self) {
-        if !self.first {
-            self.ser.out.push(',');
-        }
-        self.first = false;
-    }
-}
-
-impl serde::ser::SerializeMap for MapSer<'_> {
-    type Ok = ();
-    type Error = JsonErr;
-    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), JsonErr> {
-        self.sep();
-        // Keys must serialize as strings; serialize into a scratch buffer
-        // and quote if the result isn't already a string.
-        let mut scratch = MiniJson { out: String::new() };
-        key.serialize(&mut scratch)?;
-        if scratch.out.starts_with('"') {
-            self.ser.out.push_str(&scratch.out);
-        } else {
-            self.ser.out.push_str(&escape(&scratch.out));
-        }
-        Ok(())
-    }
-    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonErr> {
-        self.ser.out.push(':');
-        value.serialize(&mut *self.ser)
-    }
-    fn end(self) -> Result<(), JsonErr> {
-        self.ser.out.push('}');
-        if self.close_extra {
-            self.ser.out.push('}');
-        }
-        Ok(())
-    }
-}
-
-impl serde::ser::SerializeStruct for MapSer<'_> {
-    type Ok = ();
-    type Error = JsonErr;
-    fn serialize_field<T: Serialize + ?Sized>(
-        &mut self,
-        key: &'static str,
-        value: &T,
-    ) -> Result<(), JsonErr> {
-        serde::ser::SerializeMap::serialize_key(self, key)?;
-        serde::ser::SerializeMap::serialize_value(self, value)
-    }
-    fn end(self) -> Result<(), JsonErr> {
-        serde::ser::SerializeMap::end(self)
-    }
-}
-
-impl serde::ser::SerializeStructVariant for MapSer<'_> {
-    type Ok = ();
-    type Error = JsonErr;
-    fn serialize_field<T: Serialize + ?Sized>(
-        &mut self,
-        key: &'static str,
-        value: &T,
-    ) -> Result<(), JsonErr> {
-        serde::ser::SerializeStruct::serialize_field(self, key, value)
-    }
-    fn end(self) -> Result<(), JsonErr> {
-        serde::ser::SerializeStruct::end(self)
-    }
-}
+/// JSON output (serializer + error type) now lives in
+/// [`t2opt_core::json`] so that other crates (e.g. `t2opt-autotune`'s
+/// result cache) can share it; re-exported here for the figure binaries.
+pub use t2opt_core::json::{to_json_string, write_json, JsonErr};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use serde::Serialize;
-
-    #[derive(Serialize)]
-    struct Row {
-        n: usize,
-        gbs: f64,
-        label: String,
-        flag: bool,
-        opt: Option<u32>,
-    }
-
-    #[test]
-    fn json_round_trippable_shape() {
-        let row = Row {
-            n: 42,
-            gbs: 12.5,
-            label: "tri\"ad".into(),
-            flag: true,
-            opt: None,
-        };
-        let json = to_json_string(&row);
-        assert_eq!(
-            json,
-            r#"{"n":42,"gbs":12.5,"label":"tri\"ad","flag":true,"opt":null}"#
-        );
-    }
-
-    #[test]
-    fn json_vec_of_structs() {
-        #[derive(Serialize)]
-        struct P {
-            x: u32,
-        }
-        let json = to_json_string(&vec![P { x: 1 }, P { x: 2 }]);
-        assert_eq!(json, r#"[{"x":1},{"x":2}]"#);
-    }
-
-    #[test]
-    fn json_enum_variants() {
-        #[derive(Serialize)]
-        enum E {
-            Unit,
-            Tuple(u32, u32),
-            Struct { a: u32 },
-        }
-        assert_eq!(to_json_string(&E::Unit), r#""Unit""#);
-        assert_eq!(to_json_string(&E::Tuple(1, 2)), r#"{"Tuple":[1,2]}"#);
-        assert_eq!(to_json_string(&E::Struct { a: 3 }), r#"{"Struct":{"a":3}}"#);
-    }
-
-    #[test]
-    fn json_nested_map() {
-        use std::collections::BTreeMap;
-        let mut m = BTreeMap::new();
-        m.insert("a", vec![1u32, 2]);
-        m.insert("b", vec![]);
-        assert_eq!(to_json_string(&m), r#"{"a":[1,2],"b":[]}"#);
-    }
 
     #[test]
     fn table_renders_aligned() {

@@ -97,17 +97,26 @@ pub struct StreamDesc {
 impl StreamDesc {
     /// A read stream at `base`.
     pub fn read(base: u64) -> Self {
-        StreamDesc { base, kind: StreamKind::Read }
+        StreamDesc {
+            base,
+            kind: StreamKind::Read,
+        }
     }
 
     /// A store stream (RFO + write-back) at `base`.
     pub fn write(base: u64) -> Self {
-        StreamDesc { base, kind: StreamKind::Write }
+        StreamDesc {
+            base,
+            kind: StreamKind::Write,
+        }
     }
 
     /// A pure write-back / non-temporal store stream at `base`.
     pub fn writeback(base: u64) -> Self {
-        StreamDesc { base, kind: StreamKind::Writeback }
+        StreamDesc {
+            base,
+            kind: StreamKind::Writeback,
+        }
     }
 }
 
@@ -235,6 +244,28 @@ impl LayoutAdvisor {
         self.policy.geometry().super_line() as usize
     }
 
+    /// The advisor's complete closed-form layout for the mapping: page base
+    /// alignment (so offsets are exact), segments padded to the super-line,
+    /// successive segments shifted by [`LayoutAdvisor::suggest_shift`], and a
+    /// per-array block offset of `super_line / n_mc` — array `j` of a
+    /// multi-array kernel is placed at `j ·` that offset, reproducing
+    /// [`LayoutAdvisor::suggest_offsets`]. On the T2 this is
+    /// `base_align 8192, seg_align 512, shift 128, block_offset 128`.
+    ///
+    /// This is the seed the empirical autotuner's advisor-seeded search
+    /// starts from (§2.3: the optimum "can be obtained by analyzing the data
+    /// access properties of the loop kernel … no 'trial and error' is
+    /// required").
+    pub fn suggest_layout(&self) -> crate::layout::LayoutSpec {
+        let geo = self.policy.geometry();
+        let page = 8192usize.max(geo.super_line() as usize);
+        crate::layout::LayoutSpec::new()
+            .base_align(page)
+            .seg_align(self.suggest_seg_align())
+            .shift(self.suggest_shift())
+            .block_offset(geo.super_line() as usize / geo.num_controllers() as usize)
+    }
+
     /// Brute-force check of the analytic suggestion: searches offsets over
     /// multiples of `granularity` bytes within one super-line for the
     /// stream combination maximizing predicted efficiency. Stream 0's offset
@@ -244,11 +275,7 @@ impl LayoutAdvisor {
     /// Exponential in the number of streams — intended for ≤ 4 streams, as a
     /// validation that the closed-form [`LayoutAdvisor::suggest_offsets`] is
     /// optimal, not as a production path.
-    pub fn search_offsets(
-        &self,
-        kinds: &[StreamKind],
-        granularity: usize,
-    ) -> (Vec<usize>, f64) {
+    pub fn search_offsets(&self, kinds: &[StreamKind], granularity: usize) -> (Vec<usize>, f64) {
         assert!(!kinds.is_empty());
         assert!(granularity > 0);
         let period = self.policy.geometry().super_line() as usize;
@@ -273,7 +300,10 @@ impl LayoutAdvisor {
             let streams: Vec<StreamDesc> = kinds
                 .iter()
                 .zip(current.iter())
-                .map(|(&kind, &off)| StreamDesc { base: off as u64, kind })
+                .map(|(&kind, &off)| StreamDesc {
+                    base: off as u64,
+                    kind,
+                })
                 .collect();
             let eff = self.predict(&streams).efficiency;
             if eff > best.1 {
@@ -317,7 +347,11 @@ mod tests {
         assert_eq!(p.bound, Bound::Convoy);
         assert!((p.concurrent_controllers - 1.0).abs() < 1e-12);
         // total work/phase = 3 reads + 1 rfo + 2 wb = 6; ideal 1.5; convoy 4.
-        assert!((p.efficiency - 1.5 / 4.0).abs() < 1e-12, "got {}", p.efficiency);
+        assert!(
+            (p.efficiency - 1.5 / 4.0).abs() < 1e-12,
+            "got {}",
+            p.efficiency
+        );
     }
 
     #[test]
@@ -347,9 +381,7 @@ mod tests {
         // the simulator adds). Require at least the 2.5× bandwidth part.
         let adv = LayoutAdvisor::t2();
         let worst = adv.predict(&triad_streams([0, 0, 0, 0])).efficiency;
-        let best = adv
-            .predict(&triad_streams([0, 128, 256, 384]))
-            .efficiency;
+        let best = adv.predict(&triad_streams([0, 128, 256, 384])).efficiency;
         assert!(best / worst > 2.5, "ratio {}", best / worst);
     }
 
@@ -359,9 +391,7 @@ mod tests {
         // [DP words]" = 512 B.
         let adv = LayoutAdvisor::t2();
         let zero = adv.predict(&triad_streams([0, 0, 0, 0])).efficiency;
-        let off512 = adv
-            .predict(&triad_streams([0, 512, 1024, 1536]))
-            .efficiency;
+        let off512 = adv.predict(&triad_streams([0, 512, 1024, 1536])).efficiency;
         assert!((zero - off512).abs() < 1e-12);
     }
 
@@ -401,6 +431,18 @@ mod tests {
     }
 
     #[test]
+    fn suggested_layout_is_the_paper_optimum() {
+        let spec = LayoutAdvisor::t2().suggest_layout();
+        assert_eq!(spec.base_align, 8192);
+        assert_eq!(spec.seg_align, 512);
+        assert_eq!(spec.shift, 128);
+        assert_eq!(spec.block_offset, 128);
+        // Per-array offsets j · block_offset reproduce suggest_offsets.
+        let offs: Vec<usize> = (0..4).map(|j| j * spec.block_offset).collect();
+        assert_eq!(offs, LayoutAdvisor::t2().suggest_offsets(4));
+    }
+
+    #[test]
     fn search_confirms_analytic_offsets() {
         // Exhaustive search at 128 B granularity over 4 read streams must
         // find a layout with all controllers concurrently busy
@@ -408,7 +450,10 @@ mod tests {
         let adv = LayoutAdvisor::t2();
         let kinds = [StreamKind::Read; 4];
         let (offs, eff) = adv.search_offsets(&kinds, 128);
-        assert!((eff - 1.0).abs() < 1e-12, "search should reach 1.0, got {eff}");
+        assert!(
+            (eff - 1.0).abs() < 1e-12,
+            "search should reach 1.0, got {eff}"
+        );
         let mut mcs: Vec<u32> = offs
             .iter()
             .map(|&o| adv.policy().controller(o as u64))
@@ -459,11 +504,13 @@ mod tests {
         // Large power-of-two separations, congruent mod 512 — catastrophic
         // on the sliced map, mostly fine under the fold.
         let sep = 1u64 << 20;
-        let streams: Vec<StreamDesc> =
-            (0..4).map(|i| StreamDesc::read(i as u64 * sep)).collect();
+        let streams: Vec<StreamDesc> = (0..4).map(|i| StreamDesc::read(i as u64 * sep)).collect();
         let folded = adv.predict(&streams).efficiency;
         let sliced = LayoutAdvisor::t2().predict(&streams).efficiency;
         assert!((sliced - 0.25).abs() < 1e-12);
-        assert!(folded > 0.5, "fold should spread congruent streams, got {folded}");
+        assert!(
+            folded > 0.5,
+            "fold should spread congruent streams, got {folded}"
+        );
     }
 }

@@ -122,7 +122,9 @@ impl AlignedBuf {
             .checked_mul(std::mem::size_of::<T>())
             .expect("length overflow");
         assert!(
-            byte_off.checked_add(bytes).is_some_and(|end| end <= self.len),
+            byte_off
+                .checked_add(bytes)
+                .is_some_and(|end| end <= self.len),
             "typed range out of bounds: off={byte_off} n={n} len={}",
             self.len
         );

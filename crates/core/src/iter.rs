@@ -32,7 +32,11 @@ pub struct FlatIter<'a, T: Pod> {
 impl<'a, T: Pod> FlatIter<'a, T> {
     /// Creates a flat element iterator over `arr`.
     pub fn new(arr: &'a SegArray<T>) -> Self {
-        FlatIter { arr, seg: 0, local: 0 }
+        FlatIter {
+            arr,
+            seg: 0,
+            local: 0,
+        }
     }
 }
 
@@ -129,7 +133,12 @@ pub fn seg_zip4<T: Pod, U: Pod, V: Pod, W: Pod>(
     assert_same_structure(dst, src2);
     assert_same_structure(dst, src3);
     for s in 0..dst.num_segments() {
-        f(dst.segment_mut(s), src1.segment(s), src2.segment(s), src3.segment(s));
+        f(
+            dst.segment_mut(s),
+            src1.segment(s),
+            src2.segment(s),
+            src3.segment(s),
+        );
     }
 }
 

@@ -1,0 +1,749 @@
+//! Minimal JSON support shared by the workspace: serialization of any
+//! `serde::Serialize` type via serde's data model, and a small
+//! recursive-descent parser into [`JsonValue`] for reading results back
+//! (e.g. the autotuner's persistent result cache).
+//!
+//! This avoids a `serde_json` dependency: only the constructs our results
+//! use — objects, arrays, strings, numbers, bools, null — are supported.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::io::Write;
+
+/// Serializes `data` as JSON into `path`.
+pub fn write_json<T: Serialize>(path: &str, data: &T) -> std::io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    let json = to_json_string(data);
+    file.write_all(json.as_bytes())
+}
+
+/// Serializes `data` to a compact JSON string.
+///
+/// # Panics
+/// Panics if the type reports a serialization error (none of the workspace
+/// result types do).
+pub fn to_json_string<T: Serialize>(data: &T) -> String {
+    let mut ser = MiniJson { out: String::new() };
+    data.serialize(&mut ser).expect("JSON serialization failed");
+    ser.out
+}
+
+struct MiniJson {
+    out: String,
+}
+
+/// Error type of the minimal JSON serializer.
+#[derive(Debug)]
+pub struct JsonErr(String);
+
+impl std::fmt::Display for JsonErr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+impl std::error::Error for JsonErr {}
+impl serde::ser::Error for JsonErr {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        JsonErr(msg.to_string())
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+macro_rules! simple_num {
+    ($($fn_name:ident: $ty:ty),* $(,)?) => {
+        $(fn $fn_name(self, v: $ty) -> Result<(), JsonErr> {
+            self.out.push_str(&v.to_string());
+            Ok(())
+        })*
+    };
+}
+
+impl<'a> serde::Serializer for &'a mut MiniJson {
+    type Ok = ();
+    type Error = JsonErr;
+    type SerializeSeq = SeqSer<'a>;
+    type SerializeTuple = SeqSer<'a>;
+    type SerializeTupleStruct = SeqSer<'a>;
+    type SerializeTupleVariant = SeqSer<'a>;
+    type SerializeMap = MapSer<'a>;
+    type SerializeStruct = MapSer<'a>;
+    type SerializeStructVariant = MapSer<'a>;
+
+    simple_num! {
+        serialize_i8: i8, serialize_i16: i16, serialize_i32: i32, serialize_i64: i64,
+        serialize_u8: u8, serialize_u16: u16, serialize_u32: u32, serialize_u64: u64,
+    }
+
+    fn serialize_bool(self, v: bool) -> Result<(), JsonErr> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_f32(self, v: f32) -> Result<(), JsonErr> {
+        self.serialize_f64(v as f64)
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), JsonErr> {
+        if v.is_finite() {
+            self.out.push_str(&format!("{v}"));
+        } else {
+            self.out.push_str("null");
+        }
+        Ok(())
+    }
+
+    fn serialize_char(self, v: char) -> Result<(), JsonErr> {
+        self.out.push_str(&escape(&v.to_string()));
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), JsonErr> {
+        self.out.push_str(&escape(v));
+        Ok(())
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), JsonErr> {
+        use serde::ser::SerializeSeq;
+        let mut seq = self.serialize_seq(Some(v.len()))?;
+        for b in v {
+            seq.serialize_element(b)?;
+        }
+        seq.end()
+    }
+
+    fn serialize_none(self) -> Result<(), JsonErr> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), JsonErr> {
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<(), JsonErr> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), JsonErr> {
+        self.serialize_unit()
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _idx: u32,
+        variant: &'static str,
+    ) -> Result<(), JsonErr> {
+        self.serialize_str(variant)
+    }
+
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), JsonErr> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _idx: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<(), JsonErr> {
+        self.out.push('{');
+        self.out.push_str(&escape(variant));
+        self.out.push(':');
+        value.serialize(&mut *self)?;
+        self.out.push('}');
+        Ok(())
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<SeqSer<'a>, JsonErr> {
+        self.out.push('[');
+        Ok(SeqSer {
+            ser: self,
+            first: true,
+        })
+    }
+
+    fn serialize_tuple(self, len: usize) -> Result<SeqSer<'a>, JsonErr> {
+        self.serialize_seq(Some(len))
+    }
+
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result<SeqSer<'a>, JsonErr> {
+        self.serialize_seq(Some(len))
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _idx: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<SeqSer<'a>, JsonErr> {
+        self.out.push('{');
+        self.out.push_str(&escape(variant));
+        self.out.push(':');
+        self.serialize_seq(Some(len))
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<MapSer<'a>, JsonErr> {
+        self.out.push('{');
+        Ok(MapSer {
+            ser: self,
+            first: true,
+            close_extra: false,
+        })
+    }
+
+    fn serialize_struct(self, _name: &'static str, len: usize) -> Result<MapSer<'a>, JsonErr> {
+        self.serialize_map(Some(len))
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _idx: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<MapSer<'a>, JsonErr> {
+        self.out.push('{');
+        self.out.push_str(&escape(variant));
+        self.out.push(':');
+        let mut m = self.serialize_map(Some(len))?;
+        m.close_extra = true;
+        Ok(m)
+    }
+}
+
+/// Sequence serializer.
+pub struct SeqSer<'a> {
+    ser: &'a mut MiniJson,
+    first: bool,
+}
+
+impl SeqSer<'_> {
+    fn sep(&mut self) {
+        if !self.first {
+            self.ser.out.push(',');
+        }
+        self.first = false;
+    }
+}
+
+impl serde::ser::SerializeSeq for SeqSer<'_> {
+    type Ok = ();
+    type Error = JsonErr;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonErr> {
+        self.sep();
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result<(), JsonErr> {
+        self.ser.out.push(']');
+        Ok(())
+    }
+}
+
+impl serde::ser::SerializeTuple for SeqSer<'_> {
+    type Ok = ();
+    type Error = JsonErr;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonErr> {
+        serde::ser::SerializeSeq::serialize_element(self, value)
+    }
+    fn end(self) -> Result<(), JsonErr> {
+        serde::ser::SerializeSeq::end(self)
+    }
+}
+
+impl serde::ser::SerializeTupleStruct for SeqSer<'_> {
+    type Ok = ();
+    type Error = JsonErr;
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonErr> {
+        serde::ser::SerializeSeq::serialize_element(self, value)
+    }
+    fn end(self) -> Result<(), JsonErr> {
+        serde::ser::SerializeSeq::end(self)
+    }
+}
+
+impl serde::ser::SerializeTupleVariant for SeqSer<'_> {
+    type Ok = ();
+    type Error = JsonErr;
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonErr> {
+        serde::ser::SerializeSeq::serialize_element(self, value)
+    }
+    fn end(self) -> Result<(), JsonErr> {
+        self.ser.out.push_str("]}");
+        Ok(())
+    }
+}
+
+/// Map/struct serializer.
+pub struct MapSer<'a> {
+    ser: &'a mut MiniJson,
+    first: bool,
+    close_extra: bool,
+}
+
+impl MapSer<'_> {
+    fn sep(&mut self) {
+        if !self.first {
+            self.ser.out.push(',');
+        }
+        self.first = false;
+    }
+}
+
+impl serde::ser::SerializeMap for MapSer<'_> {
+    type Ok = ();
+    type Error = JsonErr;
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), JsonErr> {
+        self.sep();
+        // Keys must serialize as strings; serialize into a scratch buffer
+        // and quote if the result isn't already a string.
+        let mut scratch = MiniJson { out: String::new() };
+        key.serialize(&mut scratch)?;
+        if scratch.out.starts_with('"') {
+            self.ser.out.push_str(&scratch.out);
+        } else {
+            self.ser.out.push_str(&escape(&scratch.out));
+        }
+        Ok(())
+    }
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonErr> {
+        self.ser.out.push(':');
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result<(), JsonErr> {
+        self.ser.out.push('}');
+        if self.close_extra {
+            self.ser.out.push('}');
+        }
+        Ok(())
+    }
+}
+
+impl serde::ser::SerializeStruct for MapSer<'_> {
+    type Ok = ();
+    type Error = JsonErr;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), JsonErr> {
+        serde::ser::SerializeMap::serialize_key(self, key)?;
+        serde::ser::SerializeMap::serialize_value(self, value)
+    }
+    fn end(self) -> Result<(), JsonErr> {
+        serde::ser::SerializeMap::end(self)
+    }
+}
+
+impl serde::ser::SerializeStructVariant for MapSer<'_> {
+    type Ok = ();
+    type Error = JsonErr;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), JsonErr> {
+        serde::ser::SerializeStruct::serialize_field(self, key, value)
+    }
+    fn end(self) -> Result<(), JsonErr> {
+        serde::ser::SerializeStruct::end(self)
+    }
+}
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as f64, which covers every value this
+    /// workspace writes).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, with keys in sorted order.
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// The object map, if this value is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this value is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array, if this value is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document.
+pub fn parse_json(input: &str) -> Result<JsonValue, JsonErr> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(JsonErr(format!("trailing garbage at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonErr> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonErr(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonErr> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b't') if self.literal("true") => Ok(JsonValue::Bool(true)),
+            Some(b'f') if self.literal("false") => Ok(JsonValue::Bool(false)),
+            Some(b'n') if self.literal("null") => Ok(JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(JsonErr(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonErr> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(map));
+                }
+                _ => {
+                    return Err(JsonErr(format!(
+                        "expected ',' or '}}' at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonErr> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(JsonErr(format!("expected ',' or ']' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonErr> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(JsonErr("unterminated string".into())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| JsonErr("truncated \\u escape".into()))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| JsonErr("bad \\u escape".into()))?,
+                                16,
+                            )
+                            .map_err(|_| JsonErr("bad \\u escape".into()))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| JsonErr("bad \\u code point".into()))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(JsonErr(format!("bad escape {other:?}")));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is valid UTF-8 by
+                    // construction of &str).
+                    let s = &self.bytes[self.pos..];
+                    let ch_len = match s[0] {
+                        b if b < 0x80 => 1,
+                        b if b >= 0xF0 => 4,
+                        b if b >= 0xE0 => 3,
+                        _ => 2,
+                    };
+                    out.push_str(std::str::from_utf8(&s[..ch_len]).unwrap());
+                    self.pos += ch_len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonErr> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|e| JsonErr(format!("bad number {text:?}: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct Row {
+        n: usize,
+        gbs: f64,
+        label: String,
+        flag: bool,
+        opt: Option<u32>,
+    }
+
+    #[test]
+    fn json_round_trippable_shape() {
+        let row = Row {
+            n: 42,
+            gbs: 12.5,
+            label: "tri\"ad".into(),
+            flag: true,
+            opt: None,
+        };
+        let json = to_json_string(&row);
+        assert_eq!(
+            json,
+            r#"{"n":42,"gbs":12.5,"label":"tri\"ad","flag":true,"opt":null}"#
+        );
+    }
+
+    #[test]
+    fn json_vec_of_structs() {
+        #[derive(Serialize)]
+        struct P {
+            x: u32,
+        }
+        let json = to_json_string(&vec![P { x: 1 }, P { x: 2 }]);
+        assert_eq!(json, r#"[{"x":1},{"x":2}]"#);
+    }
+
+    #[test]
+    fn json_enum_variants() {
+        #[derive(Serialize)]
+        enum E {
+            Unit,
+            Tuple(u32, u32),
+            Struct { a: u32 },
+        }
+        assert_eq!(to_json_string(&E::Unit), r#""Unit""#);
+        assert_eq!(to_json_string(&E::Tuple(1, 2)), r#"{"Tuple":[1,2]}"#);
+        assert_eq!(to_json_string(&E::Struct { a: 3 }), r#"{"Struct":{"a":3}}"#);
+    }
+
+    #[test]
+    fn json_nested_map() {
+        use std::collections::BTreeMap;
+        let mut m = BTreeMap::new();
+        m.insert("a", vec![1u32, 2]);
+        m.insert("b", vec![]);
+        assert_eq!(to_json_string(&m), r#"{"a":[1,2],"b":[]}"#);
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(parse_json("null").unwrap(), JsonValue::Null);
+        assert_eq!(parse_json(" true ").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse_json("false").unwrap(), JsonValue::Bool(false));
+        assert_eq!(parse_json("-1.5e2").unwrap(), JsonValue::Number(-150.0));
+        assert_eq!(
+            parse_json(r#""a\nbA""#).unwrap(),
+            JsonValue::String("a\nbA".into())
+        );
+    }
+
+    #[test]
+    fn parse_nested() {
+        let v = parse_json(r#"{"a": [1, 2, {"b": "x"}], "c": {}}"#).unwrap();
+        let obj = v.as_object().unwrap();
+        let arr = obj["a"].as_array().unwrap();
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[2].as_object().unwrap()["b"].as_str(), Some("x"));
+        assert!(obj["c"].as_object().unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("1 2").is_err());
+        assert!(parse_json("nul").is_err());
+    }
+
+    #[test]
+    fn serializer_output_parses_back() {
+        let row = Row {
+            n: 7,
+            gbs: 3.25,
+            label: "stream \"x\"\n".into(),
+            flag: false,
+            opt: Some(9),
+        };
+        let parsed = parse_json(&to_json_string(&row)).unwrap();
+        let obj = parsed.as_object().unwrap();
+        assert_eq!(obj["n"].as_f64(), Some(7.0));
+        assert_eq!(obj["gbs"].as_f64(), Some(3.25));
+        assert_eq!(obj["label"].as_str(), Some("stream \"x\"\n"));
+        assert_eq!(obj["flag"], JsonValue::Bool(false));
+        assert_eq!(obj["opt"].as_f64(), Some(9.0));
+    }
+}

@@ -77,7 +77,8 @@ pub struct LayoutSpec {
     pub base_align: usize,
     /// Per-segment alignment boundary in bytes; segments after the first are
     /// padded up to a multiple of this. `0` or `1` disables padding
-    /// (segments are packed back to back). Default 0.
+    /// (segments are packed back to back; `0` is normalized to the canonical
+    /// `1` by the [`LayoutSpec::seg_align`] setter). Default 1.
     pub seg_align: usize,
     /// Constant extra padding inserted before each segment after the first;
     /// segment `s` is displaced by `s · shift` bytes relative to its padded
@@ -94,24 +95,30 @@ impl LayoutSpec {
     pub fn new() -> Self {
         LayoutSpec {
             base_align: 64,
-            seg_align: 0,
+            seg_align: 1,
             shift: 0,
             block_offset: 0,
         }
     }
 
-    /// Sets the allocation base alignment (power of two).
+    /// Sets the allocation base alignment (power of two). `0` is normalized
+    /// to `1` (byte alignment, i.e. no constraint) so that sweeping a
+    /// parameter space that includes "unaligned" needs no special casing.
     pub fn base_align(mut self, align: usize) -> Self {
+        let align = align.max(1);
         assert!(align.is_power_of_two(), "base_align must be a power of two");
         self.base_align = align;
         self
     }
 
     /// Sets the per-segment alignment boundary (power of two, or 0/1 to
-    /// pack).
+    /// pack). `0` is normalized to `1`: both mean packed segments, and
+    /// storing the canonical form keeps specs that behave identically equal
+    /// (important for the autotuner's content-addressed result cache).
     pub fn seg_align(mut self, align: usize) -> Self {
+        let align = align.max(1);
         assert!(
-            align <= 1 || align.is_power_of_two(),
+            align.is_power_of_two(),
             "seg_align must be a power of two (or 0/1 for packed)"
         );
         self.seg_align = align;
@@ -219,7 +226,11 @@ impl SegLayout {
 
     /// Byte offset of a *global* element index (scanning segments in order).
     pub fn global_elem_byte_offset(&self, mut idx: usize) -> usize {
-        assert!(idx < self.len, "index {idx} out of bounds (len {})", self.len);
+        assert!(
+            idx < self.len,
+            "index {idx} out of bounds (len {})",
+            self.len
+        );
         for (s, &n) in self.seg_sizes.iter().enumerate() {
             if idx < n {
                 return self.elem_byte_offset(s, idx);
@@ -231,7 +242,11 @@ impl SegLayout {
 
     /// (segment, local) coordinates of a global element index.
     pub fn locate(&self, mut idx: usize) -> (usize, usize) {
-        assert!(idx < self.len, "index {idx} out of bounds (len {})", self.len);
+        assert!(
+            idx < self.len,
+            "index {idx} out of bounds (len {})",
+            self.len
+        );
         for (s, &n) in self.seg_sizes.iter().enumerate() {
             if idx < n {
                 return (s, idx);
@@ -344,7 +359,10 @@ mod tests {
         let spec = LayoutSpec::new().seg_align(512).block_offset(256);
         let l = spec.plan(40, 8, &SegmentPlan::Count(4));
         l.validate();
-        assert_eq!(l.seg_byte_starts, vec![256, 512 + 256, 1024 + 256, 1536 + 256]);
+        assert_eq!(
+            l.seg_byte_starts,
+            vec![256, 512 + 256, 1024 + 256, 1536 + 256]
+        );
     }
 
     #[test]
@@ -369,6 +387,46 @@ mod tests {
         l.validate();
         assert_eq!(l.seg_sizes, vec![0]);
         assert_eq!(l.total_bytes, 0);
+    }
+
+    #[test]
+    fn zero_base_align_normalizes_to_byte_alignment() {
+        // `base_align(0)` used to panic (`0` is not a power of two); it now
+        // means "no alignment constraint", canonicalized to 1.
+        let spec = LayoutSpec::new().base_align(0);
+        assert_eq!(spec.base_align, 1);
+        assert_eq!(spec, LayoutSpec::new().base_align(1));
+        spec.plan(100, 8, &SegmentPlan::Count(4)).validate();
+    }
+
+    #[test]
+    fn zero_seg_align_normalizes_to_packed() {
+        // 0 and 1 both mean packed; the setter stores the canonical 1 so
+        // that behaviorally identical specs compare (and hash) equal.
+        let spec = LayoutSpec::new().seg_align(0);
+        assert_eq!(spec.seg_align, 1);
+        assert_eq!(spec, LayoutSpec::new().seg_align(1));
+        let l = spec.plan(100, 8, &SegmentPlan::Count(4));
+        l.validate();
+        assert_eq!(l.seg_byte_starts, vec![0, 200, 400, 600]);
+    }
+
+    #[test]
+    fn proptest_regression_empty_block_with_offset() {
+        // Recorded proptest shrink case (see
+        // tests/proptest_core.proptest-regressions): seg_align = 0,
+        // block_offset = 1, len = 0, one segment.
+        let spec = LayoutSpec::new().seg_align(0).block_offset(1);
+        let l = spec.plan(0, 8, &SegmentPlan::Count(1));
+        l.validate();
+        assert_eq!(l.seg_byte_starts, vec![1]);
+        assert_eq!(l.total_bytes, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_base_align_still_rejected() {
+        let _ = LayoutSpec::new().base_align(48);
     }
 
     #[test]

@@ -56,6 +56,7 @@
 pub mod advisor;
 pub mod alloc;
 pub mod iter;
+pub mod json;
 pub mod layout;
 pub mod mapping;
 pub mod seg_array;

@@ -283,7 +283,7 @@ mod tests {
         for off in (0..4096).step_by(64) {
             assert_eq!(p.controller(base + off), mc);
         }
-        assert_ne!(p.controller(base), p.controller(base + 4096 * 1));
+        assert_ne!(p.controller(base), p.controller(base + 4096));
     }
 
     #[test]

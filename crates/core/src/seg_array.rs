@@ -17,6 +17,12 @@ use crate::layout::{LayoutSpec, SegLayout, SegmentPlan};
 /// Implemented for the primitive numeric types and `bool`-free POD wrappers;
 /// implement it for your own `#[repr(C)]` copy types when all-zero bytes are
 /// a valid value.
+///
+/// # Safety
+///
+/// Implementors must guarantee that the all-zero bit pattern is a valid
+/// value of the type: `SegArray` hands out references into freshly
+/// zero-initialized allocations without running any constructor.
 pub unsafe trait Pod: Copy + Default + 'static {}
 
 // SAFETY: all-zero bytes are valid for every primitive numeric type.
@@ -204,7 +210,11 @@ impl<T: Pod> SegArray<T> {
     /// segment prefix sums — O(log segments).
     #[inline]
     pub fn locate(&self, idx: usize) -> (usize, usize) {
-        assert!(idx < self.len(), "index {idx} out of bounds (len {})", self.len());
+        assert!(
+            idx < self.len(),
+            "index {idx} out of bounds (len {})",
+            self.len()
+        );
         let s = match self.prefix.binary_search(&idx) {
             Ok(mut s) => {
                 // Land on the first non-empty segment starting at idx.
@@ -352,7 +362,10 @@ mod tests {
         for i in (0..1000).step_by(97) {
             assert_eq!(a.get(i), (i * 2) as f64);
         }
-        assert_eq!(a.to_vec(), (0..1000).map(|i| (i * 2) as f64).collect::<Vec<_>>());
+        assert_eq!(
+            a.to_vec(),
+            (0..1000).map(|i| (i * 2) as f64).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -418,7 +431,10 @@ mod tests {
     #[test]
     fn copy_from_slice_round_trip() {
         let src: Vec<f64> = (0..500).map(|i| i as f64 * 0.5).collect();
-        let mut a = SegArray::<f64>::builder(500).segments(9).seg_align(512).build();
+        let mut a = SegArray::<f64>::builder(500)
+            .segments(9)
+            .seg_align(512)
+            .build();
         a.copy_from_slice(&src);
         assert_eq!(a.to_vec(), src);
     }

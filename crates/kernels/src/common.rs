@@ -19,7 +19,9 @@ impl VirtualAlloc {
     /// "previous allocation" artifacts (malloc headers etc.) can be
     /// emulated explicitly.
     pub fn new() -> Self {
-        VirtualAlloc { cursor: 0x1000_0000 }
+        VirtualAlloc {
+            cursor: 0x1000_0000,
+        }
     }
 
     /// Allocates `bytes` aligned to `align` (power of two), then displaced

@@ -92,7 +92,10 @@ fn grid_rows(layout: JacobiLayout, n: usize, va: &mut VirtualAlloc) -> Vec<u64> 
             let spec = LayoutSpec::new().base_align(8192).seg_align(512).shift(128);
             let plan: SegLayout = spec.plan(n * n, 8, &SegmentPlan::Sizes(vec![n; n]));
             let base = va.alloc(plan.total_bytes as u64, 8192, 0);
-            plan.seg_byte_starts.iter().map(|&s| base + s as u64).collect()
+            plan.seg_byte_starts
+                .iter()
+                .map(|&s| base + s as u64)
+                .collect()
         }
     }
 }
@@ -118,8 +121,11 @@ pub fn build_trace(cfg: &JacobiConfig, chip: &ChipConfig) -> Vec<Program> {
             let n = cfg.n;
             let mut sweeps = Vec::new();
             for s in 0..total_sweeps {
-                let (src, dst): (&[u64], &[u64]) =
-                    if s % 2 == 0 { (&grid_a, &grid_b) } else { (&grid_b, &grid_a) };
+                let (src, dst): (&[u64], &[u64]) = if s % 2 == 0 {
+                    (&grid_a, &grid_b)
+                } else {
+                    (&grid_b, &grid_a)
+                };
                 let mut row_loops: Vec<StreamLoop> = Vec::new();
                 for ch in &chunks {
                     for r in ch.range() {
@@ -227,8 +233,11 @@ impl JacobiHost {
         for _ in 0..sweeps {
             let (src, dst) = self.split();
             {
-                let dst_rows: Vec<parking_lot::Mutex<&mut [f64]>> =
-                    dst.segments_mut().into_iter().map(parking_lot::Mutex::new).collect();
+                let dst_rows: Vec<parking_lot::Mutex<&mut [f64]>> = dst
+                    .segments_mut()
+                    .into_iter()
+                    .map(parking_lot::Mutex::new)
+                    .collect();
                 pool.parallel_for(1..n - 1, schedule, |_tid, range| {
                     for i in range {
                         let mut d = dst_rows[i].lock();
@@ -347,7 +356,11 @@ mod tests {
         s1.run(50, &pool, Schedule::Static);
         s2.run(50, &pool, Schedule::StaticChunk(1));
         s3.run(50, &pool, Schedule::Dynamic(2));
-        assert_eq!(s1.to_vec(), s2.to_vec(), "schedules must not change the math");
+        assert_eq!(
+            s1.to_vec(),
+            s2.to_vec(),
+            "schedules must not change the math"
+        );
         assert_eq!(s1.to_vec(), s3.to_vec());
     }
 
@@ -377,11 +390,7 @@ mod tests {
         // N chosen ≡ 0 mod 64 (plain rows fully aliased), large enough that
         // the two grids (2 × 8 MiB) dwarf the 4 MB L2.
         let n = 1024;
-        let plain = run_sim(
-            &JacobiConfig::plain(n, 32),
-            &chip,
-            &Placement::t2_scatter(),
-        );
+        let plain = run_sim(&JacobiConfig::plain(n, 32), &chip, &Placement::t2_scatter());
         let opt = run_sim(
             &JacobiConfig::optimized(n, 32),
             &chip,
@@ -399,8 +408,16 @@ mod tests {
     fn sim_scales_with_threads() {
         let chip = ChipConfig::ultrasparc_t2();
         let n = 1024;
-        let m8 = run_sim(&JacobiConfig::optimized(n, 8), &chip, &Placement::t2_scatter());
-        let m64 = run_sim(&JacobiConfig::optimized(n, 64), &chip, &Placement::t2_scatter());
+        let m8 = run_sim(
+            &JacobiConfig::optimized(n, 8),
+            &chip,
+            &Placement::t2_scatter(),
+        );
+        let m64 = run_sim(
+            &JacobiConfig::optimized(n, 64),
+            &chip,
+            &Placement::t2_scatter(),
+        );
         assert!(
             m64.mlups > 2.0 * m8.mlups,
             "64 T ({:.0}) must scale well past 8 T ({:.0})",

@@ -17,6 +17,11 @@
 //! multiple of the thread count this produces the sawtooth "modulo effect",
 //! removed by *coalescing* the z and y loops (fused I-J).
 
+// Lattice directions are indexed `v in 0..Q` into the constant tables
+// `C`/`W` throughout — that parallels the D3Q19 physics notation, so the
+// index loops are deliberate.
+#![allow(clippy::needless_range_loop)]
+
 use crate::common::{place_threads, VirtualAlloc};
 use serde::{Deserialize, Serialize};
 use t2opt_parallel::{chunk_assignment, Coalesce2, Placement, Schedule, ThreadPool};
@@ -74,7 +79,9 @@ pub const W: [f64; Q] = [
 
 /// Index of the direction opposite to `i` (bounce-back partner).
 pub fn opposite(i: usize) -> usize {
-    const OPP: [usize; Q] = [0, 2, 1, 4, 3, 6, 5, 8, 7, 10, 9, 12, 11, 14, 13, 16, 15, 18, 17];
+    const OPP: [usize; Q] = [
+        0, 2, 1, 4, 3, 6, 5, 8, 7, 10, 9, 12, 11, 14, 13, 16, 15, 18, 17,
+    ];
     OPP[i]
 }
 
@@ -477,7 +484,10 @@ impl LbmConfig {
 
     /// Full-domain configuration (every y-row simulated).
     pub fn full(n: usize, layout: LbmLayout, threads: usize, fused: bool) -> Self {
-        LbmConfig { y_rows: None, ..Self::new(n, layout, threads, fused) }
+        LbmConfig {
+            y_rows: None,
+            ..Self::new(n, layout, threads, fused)
+        }
     }
 
     /// Effective y-rows per plane.
@@ -544,7 +554,11 @@ pub fn build_trace(cfg: &LbmConfig, chip: &ChipConfig) -> Vec<Program> {
             let rows = rows_per_thread[tid].clone();
             let mut phases = Vec::new();
             for step in 0..cfg.timesteps.max(1) {
-                let (src, dst) = if step % 2 == 0 { (base_a, base_b) } else { (base_b, base_a) };
+                let (src, dst) = if step % 2 == 0 {
+                    (base_a, base_b)
+                } else {
+                    (base_b, base_a)
+                };
                 let mut row_loops: Vec<StreamLoop> = Vec::new();
                 for &(z, y) in &rows {
                     let mut streams = Vec::with_capacity(2 * Q);
@@ -733,7 +747,12 @@ mod tests {
         let (r2, u2) = run(LbmLayout::IvJK);
         assert!((r1 - r2).abs() < 1e-13);
         for k in 0..3 {
-            assert!((u1[k] - u2[k]).abs() < 1e-13, "u[{k}]: {} vs {}", u1[k], u2[k]);
+            assert!(
+                (u1[k] - u2[k]).abs() < 1e-13,
+                "u[{k}]: {} vs {}",
+                u1[k],
+                u2[k]
+            );
         }
     }
 
@@ -767,7 +786,11 @@ mod tests {
         assert!(u_top[0] > 0.01, "lid should drag fluid: ux = {}", u_top[0]);
         // The return flow at the bottom should be opposite.
         let (_, u_bottom) = lbm.macroscopic(5, 5, 1);
-        assert!(u_bottom[0] < 0.0, "return flow expected: ux = {}", u_bottom[0]);
+        assert!(
+            u_bottom[0] < 0.0,
+            "return flow expected: ux = {}",
+            u_bottom[0]
+        );
     }
 
     #[test]

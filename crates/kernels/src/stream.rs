@@ -75,10 +75,18 @@ impl StreamKernel {
             StreamKernel::Copy => vec![StreamSpec::load(a), StreamSpec::store(c)],
             StreamKernel::Scale => vec![StreamSpec::load(c), StreamSpec::store(b)],
             StreamKernel::Add => {
-                vec![StreamSpec::load(a), StreamSpec::load(b), StreamSpec::store(c)]
+                vec![
+                    StreamSpec::load(a),
+                    StreamSpec::load(b),
+                    StreamSpec::store(c),
+                ]
             }
             StreamKernel::Triad => {
-                vec![StreamSpec::load(b), StreamSpec::load(c), StreamSpec::store(a)]
+                vec![
+                    StreamSpec::load(b),
+                    StreamSpec::load(c),
+                    StreamSpec::store(a),
+                ]
             }
         }
     }
@@ -102,7 +110,12 @@ impl StreamConfig {
     /// default N (the periodicity only needs N ≫ cache and N·8 ≡ 0 mod 512;
     /// use `n = 1 << 25` to match the paper exactly).
     pub fn fig2(n: usize, offset: usize, threads: usize) -> Self {
-        StreamConfig { n, offset, threads, ntimes: 2 }
+        StreamConfig {
+            n,
+            offset,
+            threads,
+            ntimes: 2,
+        }
     }
 
     /// Total bytes the benchmark reports moving per measured sweep.
@@ -283,7 +296,12 @@ mod tests {
     #[test]
     fn trace_touches_expected_volume() {
         let chip = small_chip();
-        let cfg = StreamConfig { n: 1 << 12, offset: 0, threads: 8, ntimes: 1 };
+        let cfg = StreamConfig {
+            n: 1 << 12,
+            offset: 0,
+            threads: 8,
+            ntimes: 1,
+        };
         let res = run_sim(&cfg, StreamKernel::Triad, &chip, &Placement::t2_scatter());
         // Warm-up + 1 measured sweep; measured window sees one sweep of
         // demand reads: arrays ≫ L2 is not true here, but with offset 0 and
@@ -300,7 +318,12 @@ mod tests {
         // (1 write per read vs 1 write per 2 reads).
         let chip = small_chip();
         // Arrays must dwarf the 4 MB L2 (3 arrays × 8 MiB here).
-        let cfg = StreamConfig { n: 1 << 20, offset: 37, threads: 64, ntimes: 1 };
+        let cfg = StreamConfig {
+            n: 1 << 20,
+            offset: 37,
+            threads: 64,
+            ntimes: 1,
+        };
         let copy = run_sim(&cfg, StreamKernel::Copy, &chip, &Placement::t2_scatter());
         let triad = run_sim(&cfg, StreamKernel::Triad, &chip, &Placement::t2_scatter());
         assert!(
@@ -319,7 +342,12 @@ mod tests {
         let n = 1 << 20;
         let bw = |off| {
             run_sim(
-                &StreamConfig { n, offset: off, threads: 64, ntimes: 1 },
+                &StreamConfig {
+                    n,
+                    offset: off,
+                    threads: 64,
+                    ntimes: 1,
+                },
                 StreamKernel::Triad,
                 &chip,
                 &Placement::t2_scatter(),
@@ -339,10 +367,19 @@ mod tests {
     #[test]
     fn host_stream_produces_correct_values() {
         let pool = ThreadPool::new(4);
-        let cfg = StreamConfig { n: 10_000, offset: 0, threads: 4, ntimes: 1 };
+        let cfg = StreamConfig {
+            n: 10_000,
+            offset: 0,
+            threads: 4,
+            ntimes: 1,
+        };
         // Just verify all four kernels run; value checks below.
-        for k in [StreamKernel::Copy, StreamKernel::Scale, StreamKernel::Add, StreamKernel::Triad]
-        {
+        for k in [
+            StreamKernel::Copy,
+            StreamKernel::Scale,
+            StreamKernel::Add,
+            StreamKernel::Triad,
+        ] {
             let gbs = run_host(&cfg, k, &pool);
             assert!(gbs > 0.0, "{} produced non-positive bandwidth", k.name());
         }
@@ -363,7 +400,12 @@ mod tests {
 
     #[test]
     fn reported_convention_excludes_rfo() {
-        let cfg = StreamConfig { n: 100, offset: 0, threads: 1, ntimes: 1 };
+        let cfg = StreamConfig {
+            n: 100,
+            offset: 0,
+            threads: 1,
+            ntimes: 1,
+        };
         assert_eq!(cfg.reported_bytes_per_sweep(StreamKernel::Triad), 2400);
         assert_eq!(cfg.reported_bytes_per_sweep(StreamKernel::Copy), 1600);
     }
@@ -372,7 +414,12 @@ mod tests {
     fn common_block_layout_congruence() {
         // With N·8 ≡ 0 (mod 512), array separations mod 512 are offset·8.
         let chip = small_chip();
-        let cfg = StreamConfig { n: 1 << 12, offset: 32, threads: 1, ntimes: 1 };
+        let cfg = StreamConfig {
+            n: 1 << 12,
+            offset: 32,
+            threads: 1,
+            ntimes: 1,
+        };
         let programs = build_trace(&cfg, StreamKernel::Triad, &chip);
         assert_eq!(programs.len(), 1);
         // First ops: load B, load C, (compute), store A. B's base mod 512 =

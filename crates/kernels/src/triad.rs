@@ -124,9 +124,7 @@ pub fn build_trace(cfg: &TriadConfig, chip: &ChipConfig) -> Vec<Program> {
             let [a, b, c, d] = cfg.layout.bases(cfg.n, &mut va);
             (0..cfg.threads)
                 .map(|t| {
-                    let off = assignment[t]
-                        .first()
-                        .map_or(0, |ch| ch.start as u64 * 8);
+                    let off = assignment[t].first().map_or(0, |ch| ch.start as u64 * 8);
                     [a + off, b + off, c + off, d + off]
                 })
                 .collect()
@@ -195,7 +193,10 @@ pub fn run_sim(cfg: &TriadConfig, chip: &ChipConfig, placement: &Placement) -> T
     let sim = Simulation::new(chip.clone()).measure_after_barrier(0);
     let stats = sim.run(threads);
     let reported = cfg.n as u64 * 32 * cfg.ntimes as u64;
-    TriadResult { gbs: stats.reported_bandwidth_gbs(chip, reported), stats }
+    TriadResult {
+        gbs: stats.reported_bandwidth_gbs(chip, reported),
+        stats,
+    }
 }
 
 /// One host triad sweep over plain slices with the pool (the Fig. 5
@@ -229,9 +230,18 @@ pub fn run_host_plain(n: usize, pool: &ThreadPool, ntimes: usize) -> f64 {
 pub fn run_host_segmented(n: usize, pool: &ThreadPool, ntimes: usize) -> f64 {
     let t = pool.num_threads();
     let spec = LayoutSpec::new().base_align(8192);
-    let mut a = SegArray::<f64>::builder(n).segments(t).spec(spec.clone()).build();
-    let mut b = SegArray::<f64>::builder(n).segments(t).spec(spec.clone()).build();
-    let mut c = SegArray::<f64>::builder(n).segments(t).spec(spec.clone()).build();
+    let mut a = SegArray::<f64>::builder(n)
+        .segments(t)
+        .spec(spec.clone())
+        .build();
+    let mut b = SegArray::<f64>::builder(n)
+        .segments(t)
+        .spec(spec.clone())
+        .build();
+    let mut c = SegArray::<f64>::builder(n)
+        .segments(t)
+        .spec(spec.clone())
+        .build();
     let mut d = SegArray::<f64>::builder(n).segments(t).spec(spec).build();
     b.fill(1.0);
     c.fill(2.0);
@@ -241,8 +251,11 @@ pub fn run_host_segmented(n: usize, pool: &ThreadPool, ntimes: usize) -> f64 {
         let t0 = std::time::Instant::now();
         {
             // Hand each worker its own (disjoint) segment slices.
-            let a_segs: Vec<parking_lot::Mutex<&mut [f64]>> =
-                a.segments_mut().into_iter().map(parking_lot::Mutex::new).collect();
+            let a_segs: Vec<parking_lot::Mutex<&mut [f64]>> = a
+                .segments_mut()
+                .into_iter()
+                .map(parking_lot::Mutex::new)
+                .collect();
             let b_ref = &b;
             let c_ref = &c;
             let d_ref = &d;
@@ -282,7 +295,7 @@ pub fn triad_segmented_serial(
     c: &SegArray<f64>,
     d: &SegArray<f64>,
 ) {
-    seg_zip4(a, b, c, d, |a, b, c, d| triad_kernel(a, b, c, d));
+    seg_zip4(a, b, c, d, triad_kernel);
 }
 
 #[cfg(test)]
@@ -316,7 +329,12 @@ mod tests {
         let n = 1 << 20; // 4 arrays × 8 MiB ≫ L2
         let bw = |layout| {
             run_sim(
-                &TriadConfig { n, layout, threads: 64, ntimes: 1 },
+                &TriadConfig {
+                    n,
+                    layout,
+                    threads: 64,
+                    ntimes: 1,
+                },
                 &chip,
                 &Placement::t2_scatter(),
             )
@@ -349,9 +367,18 @@ mod tests {
         let n = 10_000;
         let t = 8;
         let spec = LayoutSpec::t2_rotating();
-        let mut a = SegArray::<f64>::builder(n).segments(t).spec(spec.clone()).build();
-        let mut b = SegArray::<f64>::builder(n).segments(t).spec(spec.clone()).build();
-        let mut c = SegArray::<f64>::builder(n).segments(t).spec(spec.clone()).build();
+        let mut a = SegArray::<f64>::builder(n)
+            .segments(t)
+            .spec(spec.clone())
+            .build();
+        let mut b = SegArray::<f64>::builder(n)
+            .segments(t)
+            .spec(spec.clone())
+            .build();
+        let mut c = SegArray::<f64>::builder(n)
+            .segments(t)
+            .spec(spec.clone())
+            .build();
         let mut d = SegArray::<f64>::builder(n).segments(t).spec(spec).build();
         b.fill_with(|i| i as f64);
         c.fill_with(|i| (i % 7) as f64);

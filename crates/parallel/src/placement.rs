@@ -12,9 +12,10 @@
 //! actually matters for reproducing the paper.
 
 /// A policy mapping team-thread indices to core indices.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum Placement {
     /// No pinning: leave threads wherever the OS puts them.
+    #[default]
     None,
     /// Scatter (the paper's STREAM setup): thread `i` goes to core
     /// `i mod n_cores`, so threads are distributed equidistantly across
@@ -47,9 +48,7 @@ impl Placement {
         match self {
             Placement::None => None,
             Placement::Scatter { n_cores } => Some(tid % n_cores.max(&1)),
-            Placement::Compact { threads_per_core } => {
-                Some(tid / (*threads_per_core).max(1))
-            }
+            Placement::Compact { threads_per_core } => Some(tid / (*threads_per_core).max(1)),
             Placement::Explicit(cores) => {
                 if cores.is_empty() {
                     None
@@ -75,12 +74,6 @@ impl Placement {
             }
         }
         occ
-    }
-}
-
-impl Default for Placement {
-    fn default() -> Self {
-        Placement::None
     }
 }
 
@@ -113,7 +106,9 @@ mod tests {
 
     #[test]
     fn compact_fills_cores_in_order() {
-        let p = Placement::Compact { threads_per_core: 8 };
+        let p = Placement::Compact {
+            threads_per_core: 8,
+        };
         assert_eq!(p.core_of(0), Some(0));
         assert_eq!(p.core_of(7), Some(0));
         assert_eq!(p.core_of(8), Some(1));

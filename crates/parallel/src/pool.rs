@@ -89,7 +89,12 @@ impl ThreadPool {
                     .expect("failed to spawn worker thread")
             })
             .collect();
-        ThreadPool { n, placement, shared, workers }
+        ThreadPool {
+            n,
+            placement,
+            shared,
+            workers,
+        }
     }
 
     /// Team size.
@@ -204,9 +209,11 @@ fn worker_loop(tid: usize, core: Option<usize>, shared: Arc<Shared>) {
                 if state.shutdown {
                     return;
                 }
-                if state.generation != seen_generation && state.job.is_some() {
-                    seen_generation = state.generation;
-                    break state.job.unwrap();
+                if state.generation != seen_generation {
+                    if let Some(job) = state.job {
+                        seen_generation = state.generation;
+                        break job;
+                    }
                 }
                 shared.start.wait(&mut state);
             }

@@ -88,7 +88,10 @@ pub fn chunk_assignment(schedule: Schedule, n: usize, t: usize) -> Vec<Vec<Chunk
             for (tid, chunks) in per_thread.iter_mut().enumerate() {
                 let len = base + usize::from(tid < rem);
                 if len > 0 {
-                    chunks.push(Chunk { start, end: start + len });
+                    chunks.push(Chunk {
+                        start,
+                        end: start + len,
+                    });
                 }
                 start += len;
             }
@@ -128,7 +131,12 @@ impl ChunkCursor {
         if let Schedule::Dynamic(c) | Schedule::Guided(c) = schedule {
             assert!(c > 0, "chunk size must be positive");
         }
-        ChunkCursor { n, t, schedule, next: AtomicUsize::new(0) }
+        ChunkCursor {
+            n,
+            t,
+            schedule,
+            next: AtomicUsize::new(0),
+        }
     }
 
     /// Claims the next chunk for `tid`, or `None` when the loop is
@@ -141,7 +149,10 @@ impl ChunkCursor {
                 if start >= self.n {
                     return None;
                 }
-                Some(Chunk { start, end: (start + c).min(self.n) })
+                Some(Chunk {
+                    start,
+                    end: (start + c).min(self.n),
+                })
             }
             Schedule::Guided(min) => loop {
                 let start = self.next.load(Ordering::Relaxed);
@@ -160,7 +171,10 @@ impl ChunkCursor {
                     )
                     .is_ok()
                 {
-                    return Some(Chunk { start, end: start + size });
+                    return Some(Chunk {
+                        start,
+                        end: start + size,
+                    });
                 }
             },
             Schedule::Static | Schedule::StaticChunk(_) => {
@@ -256,7 +270,7 @@ mod tests {
     #[test]
     fn dynamic_cursor_covers_exactly() {
         let cur = ChunkCursor::new(Schedule::Dynamic(7), 100, 4);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         while let Some(ch) = cur.claim(0) {
             for i in ch.range() {
                 assert!(!seen[i]);

@@ -56,7 +56,10 @@ impl L2Cache {
     #[inline]
     fn index(&self, addr: u64) -> (usize, u64) {
         let line = addr >> self.line_bits;
-        ((line & self.set_mask) as usize, line >> self.set_mask.count_ones())
+        (
+            (line & self.set_mask) as usize,
+            line >> self.set_mask.count_ones(),
+        )
     }
 
     /// Accesses the line containing `addr`. On a miss the line is allocated
@@ -83,7 +86,12 @@ impl L2Cache {
             .map(|(i, _)| i)
             .expect("ways > 0");
         let old = set[victim];
-        set[victim] = Way { tag, valid: true, dirty: is_write, stamp: self.tick };
+        set[victim] = Way {
+            tag,
+            valid: true,
+            dirty: is_write,
+            stamp: self.tick,
+        };
         let writeback = if old.valid && old.dirty {
             let line = (old.tag << set_bits) | set_idx as u64;
             Some(line << self.line_bits)
@@ -146,7 +154,11 @@ mod tests {
         assert_eq!(c.access(0x1000, false), Access::Miss { writeback: None });
         assert_eq!(c.access(0x1000, false), Access::Hit);
         assert_eq!(c.access(0x1030, false), Access::Hit, "same line");
-        assert_eq!(c.access(0x1040, false), Access::Miss { writeback: None }, "next line");
+        assert_eq!(
+            c.access(0x1040, false),
+            Access::Miss { writeback: None },
+            "next line"
+        );
     }
 
     #[test]
@@ -168,7 +180,9 @@ mod tests {
         c.access(0x0000, true); // dirty
         c.access(0x0100, false);
         match c.access(0x0200, false) {
-            Access::Miss { writeback: Some(addr) } => assert_eq!(addr, 0x0000),
+            Access::Miss {
+                writeback: Some(addr),
+            } => assert_eq!(addr, 0x0000),
             other => panic!("expected dirty writeback, got {other:?}"),
         }
     }
@@ -188,7 +202,9 @@ mod tests {
         c.access(0x0000, true); // hit, now dirty
         c.access(0x0100, false);
         match c.access(0x0200, false) {
-            Access::Miss { writeback: Some(addr) } => assert_eq!(addr, 0x0000),
+            Access::Miss {
+                writeback: Some(addr),
+            } => assert_eq!(addr, 0x0000),
             other => panic!("dirty bit lost: {other:?}"),
         }
     }
@@ -229,7 +245,7 @@ mod tests {
         };
         let mut c = L2Cache::new(&cfg);
         let set_stride = (cfg.sets() * cfg.line) as u64; // 256 KiB
-        // 38 streams (19 read + 19 write in D3Q19) at set-aligned spacing:
+                                                         // 38 streams (19 read + 19 write in D3Q19) at set-aligned spacing:
         let streams = 38u64;
         // Touch each stream once, then re-touch: everything got evicted.
         for s in 0..streams {

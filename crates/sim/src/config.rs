@@ -196,7 +196,10 @@ impl ChipConfig {
             ));
         }
         if !self.l2.sets().is_power_of_two() {
-            return Err(format!("L2 set count {} is not a power of two", self.l2.sets()));
+            return Err(format!(
+                "L2 set count {} is not a power of two",
+                self.l2.sets()
+            ));
         }
         if self.core.n_cores == 0
             || self.core.threads_per_core == 0

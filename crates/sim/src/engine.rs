@@ -89,7 +89,10 @@ impl Simulation {
     /// A simulation of the given chip.
     pub fn new(cfg: ChipConfig) -> Self {
         cfg.validate().expect("invalid chip configuration");
-        Simulation { cfg, measure_after_barrier: None }
+        Simulation {
+            cfg,
+            measure_after_barrier: None,
+        }
     }
 
     /// A simulation of the calibrated UltraSPARC T2.
@@ -108,6 +111,26 @@ impl Simulation {
     /// The chip configuration.
     pub fn config(&self) -> &ChipConfig {
         &self.cfg
+    }
+
+    /// Batch entry point: wraps per-thread programs into [`ThreadSpec`]s —
+    /// thread `tid` runs on core `core_of(tid)` — and runs them. This is
+    /// the reusable path for callers that generate whole program batches
+    /// (kernel harnesses, the autotuner's trial runner) and only care about
+    /// a placement rule, not individual [`ThreadSpec`] construction.
+    ///
+    /// # Panics
+    /// As [`Simulation::run`].
+    pub fn run_programs<F>(&self, programs: Vec<Program>, core_of: F) -> SimStats
+    where
+        F: Fn(usize) -> usize,
+    {
+        let threads = programs
+            .into_iter()
+            .enumerate()
+            .map(|(tid, program)| ThreadSpec::new(core_of(tid), program))
+            .collect();
+        self.run(threads)
     }
 
     /// Runs the given threads to completion and returns the statistics.
@@ -145,16 +168,14 @@ impl Simulation {
             .collect();
         // Completion times of requests admitted to each controller's finite
         // input queue (occupancy + NACK wake times).
-        let mut mc_admitted: Vec<VecDeque<u64>> =
-            vec![VecDeque::new(); cfg.n_controllers()];
+        let mut mc_admitted: Vec<VecDeque<u64>> = vec![VecDeque::new(); cfg.n_controllers()];
         // Completion times of outstanding misses per L2 bank (MSHRs).
         let mut bank_inflight: Vec<VecDeque<u64>> = vec![VecDeque::new(); cfg.n_banks()];
         let queue_depth = cfg.mem.queue_depth;
         let mshr_per_bank = cfg.l2.mshr_per_bank.max(1);
         let mut bank_busy = vec![0u64; cfg.n_banks()];
         let mut fpu_busy = vec![0u64; cfg.core.n_cores];
-        let mut pipes: Vec<Vec<u64>> =
-            vec![vec![0u64; cfg.core.mem_pipes]; cfg.core.n_cores];
+        let mut pipes: Vec<Vec<u64>> = vec![vec![0u64; cfg.core.mem_pipes]; cfg.core.n_cores];
 
         /// Why a thread currently has no scheduled wake-up.
         #[derive(PartialEq, Eq)]
@@ -267,8 +288,7 @@ impl Simulation {
                             let t = &mut ts[tid as usize];
                             t.finished = true;
                             live -= 1;
-                            stats.end_cycle =
-                                stats.end_cycle.max(now).max(t.drain_until);
+                            stats.end_cycle = stats.end_cycle.max(now).max(t.drain_until);
                         }
                         in_gang[tid as usize] = false;
                         gang_update!(now);
@@ -282,8 +302,9 @@ impl Simulation {
                     push(&mut heap, &mut seq, now + c as u64, tid);
                 }
                 Op::Compute(flops) => {
-                    let cycles =
-                        (flops as f64 / cfg.core.fpu_flops_per_cycle).ceil().max(1.0) as u64;
+                    let cycles = (flops as f64 / cfg.core.fpu_flops_per_cycle)
+                        .ceil()
+                        .max(1.0) as u64;
                     let start = now.max(fpu_busy[core]);
                     fpu_busy[core] = start + cycles;
                     stats.flops += flops as u64;
@@ -383,8 +404,7 @@ impl Simulation {
                             let wake = if mc_full {
                                 mc_admitted[mc][mc_admitted[mc].len() - queue_depth]
                             } else {
-                                bank_inflight[bank]
-                                    [bank_inflight[bank].len() - mshr_per_bank]
+                                bank_inflight[bank][bank_inflight[bank].len() - mshr_per_bank]
                             };
                             ts[tid as usize].pending = Some(op);
                             pipes[core][pipe_idx] = now + 2;
@@ -507,7 +527,10 @@ mod tests {
     fn hit_is_much_faster_than_miss() {
         let sim = Simulation::new(exact_cfg());
         let miss = sim.run(vec![ThreadSpec::new(0, ops(vec![Op::Read(0)]))]);
-        let hit = sim.run(vec![ThreadSpec::new(0, ops(vec![Op::Read(0), Op::Read(8)]))]);
+        let hit = sim.run(vec![ThreadSpec::new(
+            0,
+            ops(vec![Op::Read(0), Op::Read(8)]),
+        )]);
         let hit_cost = hit.end_cycle - miss.end_cycle;
         assert!(hit_cost < 40, "hit cost {hit_cost} should be ~hit_latency");
         assert_eq!(hit.l2_hits, 1);
@@ -565,8 +588,9 @@ mod tests {
         let sim = Simulation::new(exact_cfg());
         // 8 threads on one core, 100 flops each, FPU does 1 flop/cycle:
         // must take ≈ 800 cycles, not 100.
-        let threads: Vec<ThreadSpec> =
-            (0..8).map(|_| ThreadSpec::new(0, ops(vec![Op::Compute(100)]))).collect();
+        let threads: Vec<ThreadSpec> = (0..8)
+            .map(|_| ThreadSpec::new(0, ops(vec![Op::Compute(100)])))
+            .collect();
         let stats = sim.run(threads);
         assert!(stats.end_cycle >= 800, "got {}", stats.end_cycle);
         assert_eq!(stats.flops, 800);
@@ -575,18 +599,25 @@ mod tests {
     #[test]
     fn compute_scales_across_cores() {
         let sim = Simulation::new(exact_cfg());
-        let threads: Vec<ThreadSpec> =
-            (0..8).map(|c| ThreadSpec::new(c, ops(vec![Op::Compute(100)]))).collect();
+        let threads: Vec<ThreadSpec> = (0..8)
+            .map(|c| ThreadSpec::new(c, ops(vec![Op::Compute(100)])))
+            .collect();
         let stats = sim.run(threads);
-        assert!(stats.end_cycle < 200, "independent FPUs, got {}", stats.end_cycle);
+        assert!(
+            stats.end_cycle < 200,
+            "independent FPUs, got {}",
+            stats.end_cycle
+        );
     }
 
     #[test]
     fn barrier_synchronizes_and_opens_window() {
         let sim = Simulation::new(exact_cfg()).measure_after_barrier(0);
         let mk = |delay: u32| ops(vec![Op::Delay(delay), Op::Barrier(0), Op::Delay(50)]);
-        let stats =
-            sim.run(vec![ThreadSpec::new(0, mk(1000)), ThreadSpec::new(1, mk(10))]);
+        let stats = sim.run(vec![
+            ThreadSpec::new(0, mk(1000)),
+            ThreadSpec::new(1, mk(10)),
+        ]);
         // Window starts when the slowest thread reaches the barrier.
         assert_eq!(stats.start_cycle, 1000);
         assert_eq!(stats.end_cycle, 1050);
@@ -597,8 +628,9 @@ mod tests {
     #[should_panic(expected = "oversubscribed")]
     fn core_capacity_enforced() {
         let sim = Simulation::t2();
-        let threads: Vec<ThreadSpec> =
-            (0..9).map(|_| ThreadSpec::new(0, ops(vec![Op::Delay(1)]))).collect();
+        let threads: Vec<ThreadSpec> = (0..9)
+            .map(|_| ThreadSpec::new(0, ops(vec![Op::Delay(1)])))
+            .collect();
         sim.run(threads);
     }
 
@@ -654,10 +686,10 @@ mod tests {
             speedup > 1.5,
             "offset optimization must give a large speedup, got {speedup:.2}×"
         );
-        let convoy_util = convoy.mc_busy_cycles.iter().sum::<u64>() as f64
-            / (4 * convoy.cycles()) as f64;
-        let spread_util = spread.mc_busy_cycles.iter().sum::<u64>() as f64
-            / (4 * spread.cycles()) as f64;
+        let convoy_util =
+            convoy.mc_busy_cycles.iter().sum::<u64>() as f64 / (4 * convoy.cycles()) as f64;
+        let spread_util =
+            spread.mc_busy_cycles.iter().sum::<u64>() as f64 / (4 * spread.cycles()) as f64;
         assert!(
             spread_util > 1.3 * convoy_util,
             "utilization gap: convoy {convoy_util:.2} vs spread {spread_util:.2}"
@@ -698,8 +730,14 @@ mod tests {
         let lines = (n * 8 / 64) as u64;
         let per_miss = stats.cycles() as f64 / lines as f64;
         let min_latency = (1 + cfg.l2.bank_cycles + cfg.mem.read_service) as f64;
-        assert!(per_miss >= min_latency, "per-miss time {per_miss} below physical minimum");
-        assert!(per_miss > 100.0, "single thread must be latency-bound: {per_miss}");
+        assert!(
+            per_miss >= min_latency,
+            "per-miss time {per_miss} below physical minimum"
+        );
+        assert!(
+            per_miss > 100.0,
+            "single thread must be latency-bound: {per_miss}"
+        );
     }
 
     #[test]
@@ -712,13 +750,8 @@ mod tests {
                     let base = (t as u64) * (16 << 20) + 128 * (t as u64 % 4);
                     ThreadSpec::new(
                         t % 8,
-                        Box::new(StreamLoop::new(
-                            vec![StreamSpec::load(base)],
-                            n,
-                            8,
-                            0.0,
-                            64,
-                        )) as Program,
+                        Box::new(StreamLoop::new(vec![StreamSpec::load(base)], n, 8, 0.0, 64))
+                            as Program,
                     )
                 })
                 .collect();
@@ -755,8 +788,13 @@ mod tests {
             let sim = Simulation::new(cfg.clone());
             sim.run(vec![ThreadSpec::new(
                 0,
-                Box::new(StreamLoop::new(vec![StreamSpec::load(0)], 1 << 13, 8, 0.0, 64))
-                    as Program,
+                Box::new(StreamLoop::new(
+                    vec![StreamSpec::load(0)],
+                    1 << 13,
+                    8,
+                    0.0,
+                    64,
+                )) as Program,
             )])
             .cycles()
         };
@@ -782,8 +820,7 @@ mod tests {
                 .map(|t| {
                     let base =
                         (t as u64) * (16 << 20) + if spread { 64 * (t as u64 % 8) } else { 0 };
-                    let ops_v: Vec<Op> =
-                        (0..256u64).map(|i| Op::Read(base + i * 512)).collect();
+                    let ops_v: Vec<Op> = (0..256u64).map(|i| Op::Read(base + i * 512)).collect();
                     ThreadSpec::new((t % 8) as usize, Box::new(ops_v.into_iter()) as Program)
                 })
                 .collect();
@@ -795,6 +832,29 @@ mod tests {
             one_bank as f64 > 1.8 * all_banks as f64,
             "single-bank misses must be MSHR-throttled: {one_bank} vs {all_banks}"
         );
+    }
+
+    #[test]
+    fn run_programs_matches_explicit_thread_specs() {
+        let sim = Simulation::new(exact_cfg());
+        let mk = || -> Vec<Program> {
+            (0..16u64)
+                .map(|t| {
+                    let ops_v: Vec<Op> = (0..64u64)
+                        .map(|i| Op::Read(t * (1 << 20) + i * 64))
+                        .collect();
+                    Box::new(ops_v.into_iter()) as Program
+                })
+                .collect()
+        };
+        let via_batch = sim.run_programs(mk(), |tid| tid % 8);
+        let via_specs = sim.run(
+            mk().into_iter()
+                .enumerate()
+                .map(|(tid, p)| ThreadSpec::new(tid % 8, p))
+                .collect(),
+        );
+        assert_eq!(via_batch, via_specs);
     }
 
     #[test]

@@ -108,7 +108,10 @@ impl MemController {
         };
         let start = arrival.max(self.south_busy);
         self.south_busy = start + service;
-        ServiceOutcome { completion: start + service, busy_added: service }
+        ServiceOutcome {
+            completion: start + service,
+            busy_added: service,
+        }
     }
 
     /// Resets both channel timelines.
@@ -211,7 +214,7 @@ mod tests {
         let mut prev = 0;
         for _ in 0..100 {
             let out = c.service_read(0);
-            let service = out.completion - prev.max(cfg.command_cycles) - 0;
+            let service = out.completion - prev.max(cfg.command_cycles);
             let lo = (cfg.read_service as f64 * 0.69) as u64;
             let hi = (cfg.read_service as f64 * 1.31) as u64 + cfg.command_cycles;
             assert!(

@@ -53,12 +53,18 @@ pub struct StreamSpec {
 impl StreamSpec {
     /// A load stream at `base`.
     pub fn load(base: u64) -> Self {
-        StreamSpec { base, dir: Dir::Load }
+        StreamSpec {
+            base,
+            dir: Dir::Load,
+        }
     }
 
     /// A store stream at `base`.
     pub fn store(base: u64) -> Self {
-        StreamSpec { base, dir: Dir::Store }
+        StreamSpec {
+            base,
+            dir: Dir::Store,
+        }
     }
 }
 
@@ -216,7 +222,7 @@ where
         } else {
             None
         };
-        phase.chain(barrier.into_iter())
+        phase.chain(barrier)
     }))
 }
 
@@ -252,7 +258,10 @@ mod tests {
             0.0,
             64,
         ));
-        assert_eq!(ops, vec![Op::Read(0x1000), Op::Read(0x1040), Op::Read(0x1080)]);
+        assert_eq!(
+            ops,
+            vec![Op::Read(0x1000), Op::Read(0x1040), Op::Read(0x1080)]
+        );
     }
 
     #[test]
@@ -262,7 +271,11 @@ mod tests {
         let b = 0x10000u64;
         let c = 0x20000u64;
         let ops = collect(StreamLoop::new(
-            vec![StreamSpec::store(a), StreamSpec::load(b), StreamSpec::load(c)],
+            vec![
+                StreamSpec::store(a),
+                StreamSpec::load(b),
+                StreamSpec::load(c),
+            ],
             8,
             8,
             2.0,
@@ -277,13 +290,7 @@ mod tests {
     #[test]
     fn fractional_flops_accumulate_exactly() {
         // 0.5 flops per element × 64 elements = 32 flops total.
-        let ops = collect(StreamLoop::new(
-            vec![StreamSpec::load(0)],
-            64,
-            8,
-            0.5,
-            64,
-        ));
+        let ops = collect(StreamLoop::new(vec![StreamSpec::load(0)], 64, 8, 0.5, 64));
         let flops: u32 = ops
             .iter()
             .filter_map(|op| match op {

@@ -1,0 +1,70 @@
+//! End-to-end autotuning of the Fig. 4 triad offset sweep on the simulated
+//! T2: the empirical tuner measures every block offset, ranks them, checks
+//! its ranking against the analytic advisor, and demonstrates the warm
+//! result cache (a second sweep performs zero new simulations).
+//!
+//! Run with: `cargo run --release --example autotune`
+//! CI-sized: `cargo run --release --example autotune -- --smoke`
+
+use t2opt::prelude::*;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let chip = ChipConfig::ultrasparc_t2();
+    // Full fidelity uses arrays far larger than the 4 MB L2 plus a warm-up
+    // sweep (the paper's measurement protocol); smoke mode runs cold caches
+    // on a small problem — same aliasing physics, seconds of CPU.
+    let (n, threads) = if smoke { (1 << 12, 16) } else { (1 << 19, 64) };
+    let workload = if smoke {
+        Workload::triad_smoke(n, threads)
+    } else {
+        Workload::triad(n, threads)
+    };
+    println!("autotuning triad: N = {n}, {threads} threads, offsets 0..512 step 64\n");
+
+    let space = ParamSpace::offset_sweep(64, 512);
+    let mut tuner = Tuner::new(workload, chip, space).strategy(SearchStrategy::Exhaustive);
+
+    let report = tuner.run();
+    let max = report.best.gbs;
+    println!("offset  GB/s   predicted-eff");
+    let mut by_offset = report.trials.clone();
+    by_offset.sort_by_key(|t| t.spec.block_offset);
+    for t in &by_offset {
+        let bar = "#".repeat((t.gbs / max * 40.0) as usize);
+        println!(
+            "{:6}  {:5.2}  {:11.2}  {bar}",
+            t.spec.block_offset, t.gbs, t.predicted_efficiency
+        );
+    }
+
+    println!(
+        "\nbest: block_offset {} at {:.2} GB/s ({:.2}x over worst, {} sims, {} cache hits)",
+        report.best.spec.block_offset,
+        report.best.gbs,
+        report.best_over_worst(),
+        report.simulations_run,
+        report.cache_hits,
+    );
+    match report.agreement.spearman {
+        Some(rho) => println!("advisor agreement: Spearman rho = {rho:.3}"),
+        None => println!("advisor agreement: undefined (degenerate sweep)"),
+    }
+    for d in &report.agreement.divergences {
+        println!(
+            "  divergence at block_offset {}: measured {:.0}% vs predicted {:.0}% of best",
+            d.spec.block_offset,
+            d.measured_rel * 100.0,
+            d.predicted_rel * 100.0
+        );
+    }
+
+    // Second invocation: everything is served from the warm cache.
+    let rerun = tuner.run();
+    println!(
+        "\nwarm rerun: {} simulations, {} cache hits (best unchanged: offset {})",
+        rerun.simulations_run, rerun.cache_hits, rerun.best.spec.block_offset
+    );
+    assert_eq!(rerun.simulations_run, 0);
+    assert_eq!(rerun.best.spec, report.best.spec);
+}

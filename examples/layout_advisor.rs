@@ -70,8 +70,15 @@ fn main() {
         .collect();
     show(&advisor, "suggested offsets", &optimal);
 
-    let (search_offs, search_eff) =
-        advisor.search_offsets(&[StreamKind::Write, StreamKind::Read, StreamKind::Read, StreamKind::Read], 64);
+    let (search_offs, search_eff) = advisor.search_offsets(
+        &[
+            StreamKind::Write,
+            StreamKind::Read,
+            StreamKind::Read,
+            StreamKind::Read,
+        ],
+        64,
+    );
     println!(
         "  exhaustive search over 64 B offsets finds {search_offs:?} at efficiency {search_eff:.2}"
     );

@@ -49,7 +49,10 @@ fn main() {
         let marker = if col >= 0 {
             format!("{}>", " ".repeat(30 + col.unsigned_abs() as usize))
         } else {
-            format!("{}<", " ".repeat((30 - col.unsigned_abs() as i32).max(0) as usize))
+            format!(
+                "{}<",
+                " ".repeat((30 - col.unsigned_abs() as i32).max(0) as usize)
+            )
         };
         println!("  z {z:3}: {:+.4} {}", u[0], marker);
     }

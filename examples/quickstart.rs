@@ -27,8 +27,10 @@ fn main() {
     ];
     let bad = advisor.predict(&congruent);
     println!("all arrays congruent mod 512 B:");
-    println!("  efficiency {:.2}, bound {:?}, {} controller(s) concurrently busy",
-        bad.efficiency, bad.bound, bad.concurrent_controllers);
+    println!(
+        "  efficiency {:.2}, bound {:?}, {} controller(s) concurrently busy",
+        bad.efficiency, bad.bound, bad.concurrent_controllers
+    );
 
     let offsets = advisor.suggest_offsets(4);
     println!("advisor suggests byte offsets {offsets:?} (the paper's 0/128/256/384)");
@@ -45,8 +47,10 @@ fn main() {
         .collect();
     let good = advisor.predict(&spread);
     println!("with suggested offsets:");
-    println!("  efficiency {:.2}, bound {:?}, {} controller(s) concurrently busy\n",
-        good.efficiency, good.bound, good.concurrent_controllers);
+    println!(
+        "  efficiency {:.2}, bound {:?}, {} controller(s) concurrently busy\n",
+        good.efficiency, good.bound, good.concurrent_controllers
+    );
 
     // ------------------------------------------------------------------
     // 2. Build segmented arrays with that layout and run on the host.
@@ -89,7 +93,12 @@ fn main() {
     // ------------------------------------------------------------------
     println!("simulated UltraSPARC T2, 64 threads, vector triad:");
     for layout in [TriadLayout::Align8k, TriadLayout::AlignOffset(128)] {
-        let cfg = TriadConfig { n: 1 << 19, layout, threads: 64, ntimes: 1 };
+        let cfg = TriadConfig {
+            n: 1 << 19,
+            layout,
+            threads: 64,
+            ntimes: 1,
+        };
         let res = run_sim(&cfg, &ChipConfig::ultrasparc_t2(), &Placement::t2_scatter());
         println!("  {:22} {:>6.2} GB/s", layout.label(), res.gbs);
     }

@@ -35,6 +35,12 @@ fn main() {
         println!("{offset:6}  {gbs:5.2} {bar}{marker}");
     }
 
-    let min = results.iter().map(|&(_, g)| g).fold(f64::INFINITY, f64::min);
-    println!("\nswing: {min:.2} – {max:.2} GB/s ({:.1}×), period 64 DP words = 512 B", max / min);
+    let min = results
+        .iter()
+        .map(|&(_, g)| g)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "\nswing: {min:.2} – {max:.2} GB/s ({:.1}×), period 64 DP words = 512 B",
+        max / min
+    );
 }

@@ -7,7 +7,7 @@
 //! discrete-event simulator of the Sun UltraSPARC T2 memory subsystem the
 //! paper measured on.
 //!
-//! This facade crate re-exports the four member crates:
+//! This facade crate re-exports the five member crates:
 //!
 //! * [`core`](t2opt_core) — segmented arrays with byte-exact layout
 //!   control (alignment / padding / shift / offset, Fig. 3), segmented
@@ -18,7 +18,11 @@
 //!   static/dynamic/guided schedules, placement (pinning) and loop
 //!   coalescing;
 //! * [`kernels`](t2opt_kernels) — STREAM, vector triad, 2-D Jacobi and
-//!   D3Q19 lattice-Boltzmann, as host code and as simulator traces.
+//!   D3Q19 lattice-Boltzmann, as host code and as simulator traces;
+//! * [`autotune`](t2opt_autotune) — the empirical counterpart to the
+//!   analytic advisor: searches the layout space by running batched
+//!   simulator trials in parallel, with a persistent result cache and an
+//!   advisor-agreement cross-check.
 //!
 //! ## Quickstart
 //!
@@ -39,6 +43,7 @@
 //! assert_eq!(a.base_addr() % 8192, 0);
 //! ```
 
+pub use t2opt_autotune as autotune;
 pub use t2opt_core as core;
 pub use t2opt_kernels as kernels;
 pub use t2opt_parallel as parallel;
@@ -46,6 +51,7 @@ pub use t2opt_sim as sim;
 
 /// One-stop imports for the common types of all member crates.
 pub mod prelude {
+    pub use t2opt_autotune::prelude::*;
     pub use t2opt_core::prelude::*;
     pub use t2opt_parallel::{Coalesce2, Coalesce3, Placement, Schedule, ThreadPool};
     pub use t2opt_sim::prelude::*;

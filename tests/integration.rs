@@ -18,7 +18,12 @@ fn advisor_offsets_fix_the_aliasing() {
 
     let chip = ChipConfig::ultrasparc_t2();
     let run = |layout| {
-        let cfg = TriadConfig { n: 1 << 19, layout, threads: 64, ntimes: 1 };
+        let cfg = TriadConfig {
+            n: 1 << 19,
+            layout,
+            threads: 64,
+            ntimes: 1,
+        };
         triad::run_sim(&cfg, &chip, &Placement::t2_scatter()).gbs
     };
     let aligned = run(TriadLayout::Align8k);
@@ -51,7 +56,12 @@ fn prediction_ranks_like_simulation() {
             StreamDesc::read(offsets[3]),
         ];
         predicted.push(advisor.predict(&streams).efficiency);
-        let cfg = TriadConfig { n: 1 << 19, layout, threads: 64, ntimes: 1 };
+        let cfg = TriadConfig {
+            n: 1 << 19,
+            layout,
+            threads: 64,
+            ntimes: 1,
+        };
         simulated.push(triad::run_sim(&cfg, &chip, &Placement::t2_scatter()).gbs);
     }
     assert!(
@@ -64,8 +74,18 @@ fn prediction_ranks_like_simulation() {
 #[test]
 fn host_stream_values_correct() {
     let pool = ThreadPool::new(6);
-    let cfg = StreamConfig { n: 50_000, offset: 13, threads: 6, ntimes: 1 };
-    for k in [StreamKernel::Copy, StreamKernel::Scale, StreamKernel::Add, StreamKernel::Triad] {
+    let cfg = StreamConfig {
+        n: 50_000,
+        offset: 13,
+        threads: 6,
+        ntimes: 1,
+    };
+    for k in [
+        StreamKernel::Copy,
+        StreamKernel::Scale,
+        StreamKernel::Add,
+        StreamKernel::Triad,
+    ] {
         assert!(stream::run_host(&cfg, k, &pool) > 0.0);
     }
 }
@@ -81,8 +101,14 @@ fn segmented_numerics_are_bit_identical() {
             .seg_align(seg_align)
             .shift(shift)
             .block_offset(offset);
-        let mut a = SegArray::<f64>::builder(n).segments(7).spec(spec.clone()).build();
-        let mut b = SegArray::<f64>::builder(n).segments(7).spec(spec.clone()).build();
+        let mut a = SegArray::<f64>::builder(n)
+            .segments(7)
+            .spec(spec.clone())
+            .build();
+        let mut b = SegArray::<f64>::builder(n)
+            .segments(7)
+            .spec(spec.clone())
+            .build();
         let mut c = SegArray::<f64>::builder(n).segments(7).spec(spec).build();
         b.fill_with(|i| (i as f64).sin());
         c.fill_with(|i| (i as f64).cos());
@@ -122,8 +148,16 @@ fn jacobi_end_to_end() {
 
     // Simulator ordering.
     let chip = ChipConfig::ultrasparc_t2();
-    let opt = jacobi::run_sim(&JacobiConfig::optimized(1024, 64), &chip, &Placement::t2_scatter());
-    let plain = jacobi::run_sim(&JacobiConfig::plain(1024, 64), &chip, &Placement::t2_scatter());
+    let opt = jacobi::run_sim(
+        &JacobiConfig::optimized(1024, 64),
+        &chip,
+        &Placement::t2_scatter(),
+    );
+    let plain = jacobi::run_sim(
+        &JacobiConfig::plain(1024, 64),
+        &chip,
+        &Placement::t2_scatter(),
+    );
     assert!(
         opt.mlups > plain.mlups,
         "optimized ({:.0}) must beat plain ({:.0}) at N = 1024",
@@ -160,6 +194,71 @@ fn lbm_end_to_end() {
         ijkv.l2_hit_rate,
         ivjk.l2_hit_rate
     );
+}
+
+/// The empirical autotuner must rediscover the advisor's analysis (§2.3)
+/// from measurements alone: on the T2 policy the exhaustive tuner's best
+/// triad block offset falls in the advisor's suggested offset class
+/// (≢ 0 mod 64 DP words = 512 B), beats the fully aliased baseline by the
+/// paper's margin, is deterministic, and a warm-cache rerun performs zero
+/// new simulations.
+#[test]
+fn autotuner_matches_advisor_and_reuses_cache() {
+    let chip = ChipConfig::ultrasparc_t2();
+    let workload = Workload::triad_smoke(1 << 14, 64);
+    let space = ParamSpace::offset_sweep(128, 512);
+    let cache_path = std::env::temp_dir().join(format!(
+        "t2opt-integration-cache-{}.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&cache_path);
+
+    let mut tuner = Tuner::new(workload.clone(), chip.clone(), space.clone())
+        .strategy(SearchStrategy::Exhaustive)
+        .cache(ResultCache::at_path(&cache_path).unwrap());
+    let report = tuner.run();
+
+    // Offset class: the winner must de-alias the three arrays, i.e. land
+    // off the 512 B super-line period — the class LayoutAdvisor::t2()
+    // suggests ([0, 128, 256, 384] per-array steps, non-zero mod 512).
+    let best_offset = report.best.spec.block_offset;
+    assert_ne!(
+        best_offset % 512,
+        0,
+        "best offset must leave the aliased class: {report:?}"
+    );
+    let suggested = LayoutAdvisor::t2().suggest_offsets(4);
+    assert!(
+        suggested.contains(&best_offset),
+        "best offset {best_offset} should be one of the advisor's {suggested:?}"
+    );
+
+    // Acceptance: ≥ 1.5× the fully aliased (offset ≡ 0 mod 512 B) baseline.
+    let aliased = LayoutSpec::new().base_align(8192);
+    let speedup = report
+        .speedup_over(&aliased)
+        .expect("the sweep includes the aliased baseline");
+    assert!(
+        speedup >= 1.5,
+        "best layout must reach 1.5x over the aliased baseline, got {speedup:.2}x"
+    );
+
+    // Determinism: an independent cold run reproduces the result exactly.
+    let rerun = Tuner::new(workload.clone(), chip.clone(), space.clone()).run();
+    assert_eq!(rerun.best.spec, report.best.spec);
+    assert_eq!(rerun.best.gbs, report.best.gbs);
+
+    // Warm cache (reloaded from disk): zero new simulations, same winner.
+    let mut warm =
+        Tuner::new(workload, chip, space).cache(ResultCache::at_path(&cache_path).unwrap());
+    let warm_report = warm.run();
+    assert_eq!(
+        warm_report.simulations_run, 0,
+        "warm rerun must be pure cache"
+    );
+    assert_eq!(warm_report.cache_hits, report.trials.len() as u64);
+    assert_eq!(warm_report.best.spec, report.best.spec);
+    let _ = std::fs::remove_file(&cache_path);
 }
 
 /// The whole prelude is usable as documented in the README.

@@ -1,0 +1,102 @@
+//! Offline, workspace-local stand-in for `core_affinity`.
+//!
+//! Pinning in this workspace is explicitly best-effort (see
+//! `t2opt_parallel::placement::pin_current_thread`): the simulator is where
+//! placement is exact, the host pool merely *asks* for affinity. On Linux
+//! this stand-in performs a real `sched_setaffinity` through a raw syscall
+//! (no libc dependency); elsewhere it reports failure and the caller
+//! proceeds unpinned.
+
+/// Identifier of one logical CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreId {
+    /// OS index of the logical CPU.
+    pub id: usize,
+}
+
+/// Returns the logical CPUs available to this process, or `None` when the
+/// count cannot be determined.
+pub fn get_core_ids() -> Option<Vec<CoreId>> {
+    let n = std::thread::available_parallelism().ok()?.get();
+    Some((0..n).map(|id| CoreId { id }).collect())
+}
+
+/// Pins the calling thread to `core`. Returns `true` on success.
+pub fn set_for_current(core: CoreId) -> bool {
+    imp::set_for_current(core.id)
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    pub fn set_for_current(core: usize) -> bool {
+        // cpu_set_t is 1024 bits on Linux.
+        let mut mask = [0u64; 16];
+        if core >= 1024 {
+            return false;
+        }
+        mask[core / 64] |= 1u64 << (core % 64);
+        // sched_setaffinity(0, sizeof(mask), &mask)
+        let ret: i64;
+        unsafe {
+            #[cfg(target_arch = "x86_64")]
+            {
+                std::arch::asm!(
+                    "syscall",
+                    inlateout("rax") 203i64 => ret, // __NR_sched_setaffinity
+                    in("rdi") 0usize,
+                    in("rsi") std::mem::size_of_val(&mask),
+                    in("rdx") mask.as_ptr(),
+                    lateout("rcx") _,
+                    lateout("r11") _,
+                    options(nostack),
+                );
+            }
+            #[cfg(target_arch = "aarch64")]
+            {
+                let x0: i64;
+                std::arch::asm!(
+                    "svc 0",
+                    in("x8") 122i64, // __NR_sched_setaffinity
+                    inlateout("x0") 0i64 => x0,
+                    in("x1") std::mem::size_of_val(&mask),
+                    in("x2") mask.as_ptr(),
+                    options(nostack),
+                );
+                ret = x0;
+            }
+            #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+            {
+                let _ = &mask;
+                ret = -1;
+            }
+        }
+        ret == 0
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    pub fn set_for_current(_core: usize) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_ids_enumerate() {
+        let ids = get_core_ids().expect("parallelism should be known");
+        assert!(!ids.is_empty());
+        assert_eq!(ids[0].id, 0);
+    }
+
+    #[test]
+    fn pinning_is_best_effort() {
+        if let Some(ids) = get_core_ids() {
+            // Must not panic; success depends on the platform.
+            let _ = set_for_current(ids[0]);
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Offline, workspace-local stand-in for `criterion`.
+//!
+//! Implements the group/`bench_function`/`bench_with_input` API subset this
+//! workspace's benches use, with a simple measurement loop: a short warm-up,
+//! then `sample_size` timed samples of an adaptively chosen iteration batch.
+//! Reports mean ns/iteration (and throughput when configured) on stdout. No
+//! statistics engine, no HTML reports — just honest wall-clock numbers so
+//! `cargo bench` works offline.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measured-quantity annotation for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new<N: std::fmt::Display, P: std::fmt::Display>(name: N, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the best sample, filled by `iter`.
+    best_ns_per_iter: f64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f`, storing the best (minimum) mean ns/iteration over the
+    /// configured number of samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up and batch sizing: grow the batch until one batch takes
+        // ≥ ~1 ms so Instant overhead is negligible.
+        let mut batch = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..self.sample_size.max(1) {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / batch as f64;
+            best = best.min(ns);
+        }
+        self.best_ns_per_iter = best;
+    }
+}
+
+/// A named group of benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares the per-iteration throughput for reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<N: std::fmt::Display, F>(&mut self, id: N, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            best_ns_per_iter: f64::NAN,
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        report(
+            &self.name,
+            &id.to_string(),
+            b.best_ns_per_iter,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<N: std::fmt::Display, I, F>(
+        &mut self,
+        id: N,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            best_ns_per_iter: f64::NAN,
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        report(
+            &self.name,
+            &id.to_string(),
+            b.best_ns_per_iter,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Finishes the group (report flushing is immediate; kept for API
+    /// compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn report(group: &str, id: &str, ns_per_iter: f64, throughput: Option<Throughput>) {
+    let time = if ns_per_iter >= 1e6 {
+        format!("{:.3} ms", ns_per_iter / 1e6)
+    } else if ns_per_iter >= 1e3 {
+        format!("{:.3} µs", ns_per_iter / 1e3)
+    } else {
+        format!("{ns_per_iter:.1} ns")
+    };
+    let thr = match throughput {
+        Some(Throughput::Bytes(b)) => {
+            format!("  {:.3} GiB/s", b as f64 / ns_per_iter / 1.073_741_824)
+        }
+        Some(Throughput::Elements(e)) => {
+            format!("  {:.1} Melem/s", e as f64 / ns_per_iter * 1e3)
+        }
+        None => String::new(),
+    };
+    println!("{group}/{id}: {time}/iter{thr}");
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a benchmark group.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<N: std::fmt::Display, F>(&mut self, id: N, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            best_ns_per_iter: f64::NAN,
+            sample_size: self.default_sample_size,
+        };
+        f(&mut b);
+        report("criterion", &id.to_string(), b.best_ns_per_iter, None);
+        self
+    }
+}
+
+/// Declares a group-runner function invoking each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        group.throughput(Throughput::Bytes(8));
+        group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        group.finish();
+    }
+}

@@ -1,0 +1,29 @@
+//! The deserialization half of the data model — declaration-only.
+//!
+//! Nothing in this workspace deserializes through serde (the autotune
+//! result cache parses JSON with its own parser), so this module exists
+//! solely to let `#[derive(Deserialize)]` compile. The derived impls
+//! return [`Error::custom`] if ever invoked.
+
+use std::fmt::Display;
+
+/// Error trait for deserializers.
+pub trait Error: Sized {
+    /// Builds an error from a display-able message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A value that can (nominally) be deserialized from serde's data model.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
+    where
+        D: Deserializer<'de>;
+}
+
+/// A deserializer over serde's data model. Declaration-only: no driver is
+/// provided, and the workspace never constructs one.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+}

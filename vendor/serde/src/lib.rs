@@ -1,0 +1,25 @@
+//! Offline, workspace-local stand-in for [`serde`](https://serde.rs).
+//!
+//! The build container has no network access and no registry mirror, so the
+//! real `serde` cannot be resolved. This crate reimplements exactly the
+//! subset of serde's data-model API that the workspace uses: the
+//! [`Serialize`]/[`Serializer`] traits (full 27-method serializer surface,
+//! as required by `t2opt_core::json`'s JSON serializer), the compound
+//! serializer traits, blanket impls for the std types that appear in
+//! results (integers, floats, `bool`, `char`, strings, slices, `Vec`,
+//! arrays, tuples, `Option`, references, `Box`, `BTreeMap`, `HashMap`), and
+//! a minimal `Deserialize`/`Deserializer` pair so `#[derive(Deserialize)]`
+//! compiles (nothing in the workspace deserializes through serde).
+//!
+//! The derive macros come from the sibling `vendor/serde_derive` crate and
+//! are re-exported here exactly like the real crate does.
+
+pub mod ser;
+
+pub mod de;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+// Macro-namespace re-export: `#[derive(serde::Serialize)]` resolves the
+// derive macro while `serde::Serialize` in type position resolves the trait.
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,328 @@
+//! Derive macros for the workspace-local `serde` stand-in (see
+//! `vendor/serde`). This is **not** the real `serde_derive`: it is a small,
+//! dependency-free implementation (no `syn`/`quote`) that covers exactly the
+//! shapes this repository derives on — plain structs with named fields,
+//! tuple structs, and enums with unit/tuple/struct variants. No generics,
+//! no `#[serde(...)]` attributes.
+//!
+//! `Serialize` expands to a real implementation against the serde data
+//! model. `Deserialize` expands to a stub that returns an error at runtime:
+//! nothing in the workspace deserializes through serde (the autotune result
+//! cache uses its own JSON parser), but the trait bound must exist for
+//! derives to compile.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derives `serde::Serialize` for non-generic structs and enums.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    gen_serialize(&name, &shape)
+        .parse()
+        .expect("serde_derive stub generated invalid Serialize impl")
+}
+
+/// Derives a stub `serde::Deserialize` (errors at runtime if ever invoked).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, _shape) = parse_item(input);
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D>(_deserializer: __D) -> ::std::result::Result<Self, __D::Error>\n\
+             where __D: ::serde::Deserializer<'de> {{\n\
+                 ::std::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\n\
+                     \"deserialization is not supported by the vendored serde stand-in\"))\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stub generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    // Skip outer attributes (`#[...]`, doc comments) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected item name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic type `{name}` is not supported");
+        }
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde_derive stub: unsupported struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive stub: unsupported enum body {other:?}"),
+        },
+        other => panic!("serde_derive stub: unsupported item kind `{other}`"),
+    };
+    (name, shape)
+}
+
+/// Parses `name: Type, ...` fields, skipping attributes and visibility;
+/// commas inside generic arguments are angle-depth-tracked.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                i += 1;
+                match tokens.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+                    other => {
+                        panic!("serde_derive stub: expected `:` after field, got {other:?}")
+                    }
+                }
+                i = skip_type(&tokens, i);
+            }
+            other => panic!("serde_derive stub: unexpected token in fields: {other:?}"),
+        }
+    }
+    fields
+}
+
+/// Advances past a type up to (and including) the next top-level `,`.
+fn skip_type(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Counts the fields of a tuple struct/variant (attributes such as doc
+/// comments on the fields are ignored).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0usize;
+    let mut depth = 0i32;
+    let mut segment_has_type = false;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if segment_has_type {
+                    count += 1;
+                }
+                segment_has_type = false;
+                i += 1;
+                continue;
+            }
+            _ => segment_has_type = true,
+        }
+        i += 1;
+    }
+    if segment_has_type {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                i += 1;
+                let kind = match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        i += 1;
+                        VariantKind::Tuple(count_tuple_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        i += 1;
+                        VariantKind::Struct(parse_named_fields(g.stream()))
+                    }
+                    _ => VariantKind::Unit,
+                };
+                // Skip a possible discriminant and the separating comma.
+                while i < tokens.len() {
+                    if let TokenTree::Punct(p) = &tokens[i] {
+                        if p.as_char() == ',' {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+                variants.push(Variant { name, kind });
+            }
+            other => panic!("serde_derive stub: unexpected token in enum body: {other:?}"),
+        }
+    }
+    variants
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::UnitStruct => {
+            format!("::serde::Serializer::serialize_unit_struct(__serializer, \"{name}\")")
+        }
+        Shape::NamedStruct(fields) => {
+            let mut s = String::new();
+            s.push_str("use ::serde::ser::SerializeStruct as _;\n");
+            s.push_str(&format!(
+                "let mut __st = ::serde::Serializer::serialize_struct(__serializer, \"{name}\", {})?;\n",
+                fields.len()
+            ));
+            for f in fields {
+                s.push_str(&format!("__st.serialize_field(\"{f}\", &self.{f})?;\n"));
+            }
+            s.push_str("__st.end()");
+            s
+        }
+        Shape::TupleStruct(n) => {
+            if *n == 1 {
+                format!(
+                    "::serde::Serializer::serialize_newtype_struct(__serializer, \"{name}\", &self.0)"
+                )
+            } else {
+                let mut s = String::new();
+                s.push_str("use ::serde::ser::SerializeTupleStruct as _;\n");
+                s.push_str(&format!(
+                    "let mut __st = ::serde::Serializer::serialize_tuple_struct(__serializer, \"{name}\", {n})?;\n"
+                ));
+                for k in 0..*n {
+                    s.push_str(&format!("__st.serialize_field(&self.{k})?;\n"));
+                }
+                s.push_str("__st.end()");
+                s
+            }
+        }
+        Shape::Enum(variants) => {
+            let mut s = String::new();
+            s.push_str("match self {\n");
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => s.push_str(&format!(
+                        "{name}::{vname} => ::serde::Serializer::serialize_unit_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\"),\n"
+                    )),
+                    VariantKind::Tuple(1) => s.push_str(&format!(
+                        "{name}::{vname}(__f0) => ::serde::Serializer::serialize_newtype_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\", __f0),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        s.push_str(&format!(
+                            "{name}::{vname}({}) => {{\nuse ::serde::ser::SerializeTupleVariant as _;\n\
+                             let mut __sv = ::serde::Serializer::serialize_tuple_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\", {n})?;\n",
+                            binders.join(", ")
+                        ));
+                        for b in &binders {
+                            s.push_str(&format!("__sv.serialize_field({b})?;\n"));
+                        }
+                        s.push_str("__sv.end()\n},\n");
+                    }
+                    VariantKind::Struct(fields) => {
+                        s.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\nuse ::serde::ser::SerializeStructVariant as _;\n\
+                             let mut __sv = ::serde::Serializer::serialize_struct_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\", {})?;\n",
+                            fields.join(", "),
+                            fields.len()
+                        ));
+                        for f in fields {
+                            s.push_str(&format!("__sv.serialize_field(\"{f}\", {f})?;\n"));
+                        }
+                        s.push_str("__sv.end()\n},\n");
+                    }
+                }
+            }
+            s.push_str("}\n");
+            s
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize<__S>(&self, __serializer: __S) -> ::std::result::Result<__S::Ok, __S::Error>\n\
+             where __S: ::serde::Serializer {{\n{body}\n}}\n\
+         }}"
+    )
+}
