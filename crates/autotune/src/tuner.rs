@@ -14,11 +14,12 @@ use crate::space::{ParamSpace, N_DIMS};
 use crate::workload::Workload;
 use serde::Serialize;
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use t2opt_core::advisor::LayoutAdvisor;
 use t2opt_core::layout::LayoutSpec;
 use t2opt_parallel::{Schedule, ThreadPool};
 use t2opt_sim::{ChipConfig, Simulation};
+use t2opt_telemetry::metrics::Sink;
 
 /// How the tuner walks the parameter space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -160,6 +161,7 @@ pub struct Tuner {
     strategy: SearchStrategy,
     cache: ResultCache,
     pool_threads: usize,
+    sink: Option<Arc<Sink>>,
 }
 
 impl Tuner {
@@ -176,7 +178,16 @@ impl Tuner {
             strategy: SearchStrategy::Exhaustive,
             cache: ResultCache::in_memory(),
             pool_threads: host,
+            sink: None,
         }
+    }
+
+    /// Attaches a telemetry sink: every trial gets a span, cache traffic
+    /// and pool activity become counters/histograms. A disabled sink (the
+    /// [`Sink::new`] default) costs one branch per event.
+    pub fn telemetry(mut self, sink: Arc<Sink>) -> Self {
+        self.sink = Some(sink);
+        self
     }
 
     /// Selects the search strategy.
@@ -227,7 +238,12 @@ impl Tuner {
         self.workload.validate(&self.chip);
         self.cache.reset_counters();
 
-        let pool = ThreadPool::new(self.pool_threads);
+        let _run_span = self.sink.as_ref().map(|s| s.span("tune.run", 0));
+        let pool = if self.sink.is_some() {
+            ThreadPool::instrumented(self.pool_threads)
+        } else {
+            ThreadPool::new(self.pool_threads)
+        };
         let mut trials: Vec<Trial> = Vec::new();
         let mut seen: BTreeMap<String, usize> = BTreeMap::new();
         let mut simulations_run = 0u64;
@@ -283,6 +299,21 @@ impl Tuner {
         // fail the tuning run — but not silent.
         if let Err(e) = self.cache.save() {
             eprintln!("t2opt-autotune: warning: could not persist result cache: {e}");
+        }
+
+        if let Some(sink) = &self.sink {
+            sink.counter("autotune.cache_hits").add(self.cache.hits());
+            sink.counter("autotune.cache_misses")
+                .add(self.cache.misses());
+            sink.counter("autotune.simulations_run")
+                .add(simulations_run);
+            if let Some(m) = pool.metrics() {
+                sink.counter("autotune.pool_jobs").add(m.jobs);
+                sink.counter("autotune.pool_busy_ns")
+                    .add(m.worker_busy_ns.iter().sum());
+                sink.counter("autotune.pool_queue_latency_mean_ns")
+                    .add(m.queue_latency_ns.mean() as u64);
+            }
         }
 
         TuneReport {
@@ -400,14 +431,22 @@ impl Tuner {
             let workload = &self.workload;
             let chip = &self.chip;
             let n_cores = self.chip.core.n_cores;
+            let sink = self.sink.clone();
             let run_specs: Vec<&LayoutSpec> = to_run.iter().map(|&i| &specs[i]).collect();
-            pool.parallel_for(0..to_run.len(), Schedule::Dynamic(1), |_tid, chunk| {
+            pool.parallel_for(0..to_run.len(), Schedule::Dynamic(1), |tid, chunk| {
                 for j in chunk {
+                    let spec = run_specs[j];
+                    let _span = sink.as_ref().map(|s| {
+                        s.span(
+                            format!("trial bo{} sh{}", spec.block_offset, spec.shift),
+                            tid as u32,
+                        )
+                    });
                     let mut sim = Simulation::new(chip.clone());
                     if workload.warmup() {
                         sim = sim.measure_after_barrier(0);
                     }
-                    let programs = workload.build_programs(run_specs[j]);
+                    let programs = workload.build_programs(spec);
                     let stats = sim.run_programs(programs, |tid| tid % n_cores);
                     let gbs = stats.reported_bandwidth_gbs(chip, workload.reported_bytes());
                     *slots[j].lock().expect("slot lock") = Some(gbs);
@@ -606,6 +645,63 @@ mod tests {
             (r.best.spec.clone(), r.best.gbs, r.trials.len())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn telemetry_sink_records_trials_and_cache_traffic() {
+        let sink = Sink::enabled();
+        let mut tuner =
+            smoke_tuner(ParamSpace::offset_sweep(128, 512)).telemetry(Arc::clone(&sink));
+        let cold = tuner.run();
+        let spans = sink.spans();
+        assert!(
+            spans.iter().any(|s| s.name == "tune.run"),
+            "run span missing: {spans:?}"
+        );
+        let trial_spans = spans
+            .iter()
+            .filter(|s| s.name.starts_with("trial "))
+            .count();
+        assert_eq!(trial_spans as u64, cold.simulations_run);
+        let counters: BTreeMap<String, u64> = sink.counter_values().into_iter().collect();
+        assert_eq!(counters["autotune.cache_misses"], cold.simulations_run);
+        assert_eq!(counters["autotune.cache_hits"], 0);
+        assert!(counters["autotune.pool_jobs"] > 0);
+        // A warm rerun adds hits, not misses or spans.
+        let warm = tuner.run();
+        assert_eq!(warm.simulations_run, 0);
+        let counters: BTreeMap<String, u64> = sink.counter_values().into_iter().collect();
+        assert_eq!(counters["autotune.cache_hits"], cold.trials.len() as u64);
+        assert_eq!(counters["autotune.cache_misses"], cold.simulations_run);
+    }
+
+    #[test]
+    fn jacobi_workload_tunes_toward_shifted_rows() {
+        // A small Fig. 6 instance: plain contiguous rows of a 64-row grid
+        // alias (64 × 512 B rows ≡ 0 mod 512); the advisor-style
+        // 512-align + 128-shift candidate must win.
+        let space = ParamSpace {
+            base_aligns: vec![8192],
+            seg_aligns: vec![1, 512],
+            shifts: vec![0, 128],
+            block_offsets: vec![0],
+        };
+        let mut tuner = Tuner::new(
+            Workload::jacobi_smoke(64, 16),
+            ChipConfig::ultrasparc_t2(),
+            space,
+        )
+        .pool_threads(4);
+        let report = tuner.run();
+        assert_eq!(
+            report.best.spec.shift, 128,
+            "only the 128 B row shift rotates controllers: {report:?}"
+        );
+        let plain = LayoutSpec::new().base_align(8192);
+        assert!(
+            report.speedup_over(&plain).unwrap() > 1.3,
+            "shifted rows must clearly beat aliased rows: {report:?}"
+        );
     }
 
     #[test]

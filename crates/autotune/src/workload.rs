@@ -48,6 +48,25 @@ pub enum Workload {
         /// Whether to run (and exclude) a cache-warming sweep first.
         warmup: bool,
     },
+    /// The 2-D five-point Jacobi sweep of Fig. 6 as a tunable workload:
+    /// two `dim × dim` toggle grids laid out one-segment-per-row under the
+    /// candidate spec (row alignment/shift are exactly what the tuner is
+    /// searching). Interior row `i` is owned by thread `(i − 1) mod
+    /// threads` (the paper's `schedule(static,1)`); updating it streams
+    /// three `src` rows and stores one `dst` row, four flops per site.
+    ///
+    /// This variant must stay *last* in the enum: [`crate::cache`] keys are
+    /// serialized workloads, and appending keeps old keys stable.
+    Jacobi {
+        /// Grid side (each grid is `dim × dim` elements; `dim ≥ 3`).
+        dim: usize,
+        /// Simulated threads (interior rows round-robined over them).
+        threads: usize,
+        /// Measured sweeps.
+        ntimes: u32,
+        /// Whether to run (and exclude) a cache-warming sweep first.
+        warmup: bool,
+    },
 }
 
 impl Workload {
@@ -75,7 +94,30 @@ impl Workload {
         }
     }
 
-    /// Stream kinds of the workload's arrays, loads first.
+    /// The Fig. 6 Jacobi sweep at full measurement fidelity: one warm-up
+    /// sweep, then one measured sweep.
+    pub fn jacobi(dim: usize, threads: usize) -> Self {
+        Workload::Jacobi {
+            dim,
+            threads,
+            ntimes: 1,
+            warmup: true,
+        }
+    }
+
+    /// A fast cold-cache Jacobi for smoke tests and CI (no warm-up sweep).
+    pub fn jacobi_smoke(dim: usize, threads: usize) -> Self {
+        Workload::Jacobi {
+            dim,
+            threads,
+            ntimes: 1,
+            warmup: false,
+        }
+    }
+
+    /// Stream kinds of the workload's arrays, loads first. For
+    /// [`Workload::Jacobi`] this is the per-row stream set (three `src`
+    /// rows, one `dst` row), not the array count — Jacobi has two arrays.
     pub fn kinds(&self) -> Vec<StreamKind> {
         match self {
             Workload::StreamMix { reads, writes, .. } => {
@@ -86,34 +128,49 @@ impl Workload {
             Workload::Triad { .. } => {
                 vec![StreamKind::Read, StreamKind::Read, StreamKind::Write]
             }
+            Workload::Jacobi { .. } => {
+                vec![
+                    StreamKind::Read,
+                    StreamKind::Read,
+                    StreamKind::Read,
+                    StreamKind::Write,
+                ]
+            }
         }
     }
 
-    /// Total elements per array.
+    /// Total elements per array (per grid for [`Workload::Jacobi`]).
     pub fn n(&self) -> usize {
         match self {
             Workload::StreamMix { n, .. } | Workload::Triad { n, .. } => *n,
+            Workload::Jacobi { dim, .. } => dim * dim,
         }
     }
 
     /// Simulated thread count.
     pub fn threads(&self) -> usize {
         match self {
-            Workload::StreamMix { threads, .. } | Workload::Triad { threads, .. } => *threads,
+            Workload::StreamMix { threads, .. }
+            | Workload::Triad { threads, .. }
+            | Workload::Jacobi { threads, .. } => *threads,
         }
     }
 
     /// Measured sweeps.
     pub fn ntimes(&self) -> u32 {
         match self {
-            Workload::StreamMix { ntimes, .. } | Workload::Triad { ntimes, .. } => *ntimes,
+            Workload::StreamMix { ntimes, .. }
+            | Workload::Triad { ntimes, .. }
+            | Workload::Jacobi { ntimes, .. } => *ntimes,
         }
     }
 
     /// Whether trials run a warm-up sweep (excluded from measurement).
     pub fn warmup(&self) -> bool {
         match self {
-            Workload::StreamMix { warmup, .. } | Workload::Triad { warmup, .. } => *warmup,
+            Workload::StreamMix { warmup, .. }
+            | Workload::Triad { warmup, .. }
+            | Workload::Jacobi { warmup, .. } => *warmup,
         }
     }
 
@@ -122,14 +179,20 @@ impl Workload {
         match self {
             Workload::StreamMix { .. } => 0.0,
             Workload::Triad { .. } => 2.0,
+            Workload::Jacobi { .. } => 4.0,
         }
     }
 
-    /// Bytes the kernel is credited with per full run (STREAM convention:
-    /// each array touched once per element per sweep), for
-    /// [`t2opt_sim::SimStats::reported_bandwidth_gbs`].
+    /// Bytes the kernel is credited with per full run, for
+    /// [`t2opt_sim::SimStats::reported_bandwidth_gbs`]. Stream workloads
+    /// use the STREAM convention (each array touched once per element per
+    /// sweep); Jacobi uses its usual credit of 16 B per streamed site (one
+    /// fresh `src` read plus one `dst` write — row reuse and RFO excluded).
     pub fn reported_bytes(&self) -> u64 {
-        (self.n() * 8 * self.kinds().len()) as u64 * self.ntimes() as u64
+        match self {
+            Workload::Jacobi { dim, ntimes, .. } => ((dim - 2) * dim * 16) as u64 * *ntimes as u64,
+            _ => (self.n() * 8 * self.kinds().len()) as u64 * self.ntimes() as u64,
+        }
     }
 
     /// Checks the workload fits the chip (thread capacity, non-empty).
@@ -151,16 +214,24 @@ impl Workload {
             self.threads(),
             capacity
         );
+        if let Workload::Jacobi { dim, .. } = self {
+            assert!(*dim >= 3, "Jacobi needs at least one interior row");
+        }
     }
 
     /// Lays out every array under `spec` in a fresh virtual address space:
     /// array `j` uses `spec` with block offset `j · spec.block_offset` and
-    /// is split into per-thread segments. Returns each array's (absolute
-    /// base address, segment layout).
+    /// is split into per-thread segments — except [`Workload::Jacobi`],
+    /// whose two grids are split one segment *per row* (the layout under
+    /// tune is the row layout). Returns each array's (absolute base
+    /// address, segment layout).
     pub fn layout_arrays(&self, spec: &LayoutSpec) -> Vec<(u64, SegLayout)> {
         let mut va = VirtualAlloc::new();
-        let plan = SegmentPlan::Count(self.threads());
-        (0..self.kinds().len())
+        let (n_arrays, plan) = match self {
+            Workload::Jacobi { dim, .. } => (2, SegmentPlan::Sizes(vec![*dim; *dim])),
+            _ => (self.kinds().len(), SegmentPlan::Count(self.threads())),
+        };
+        (0..n_arrays)
             .map(|j| {
                 let arr_spec = spec.clone().block_offset(j * spec.block_offset);
                 let layout = arr_spec.plan(self.n(), 8, &plan);
@@ -180,6 +251,15 @@ impl Workload {
     /// the measurement window opens at barrier 0 (use
     /// [`t2opt_sim::Simulation::measure_after_barrier`]).
     pub fn build_programs(&self, spec: &LayoutSpec) -> Vec<Program> {
+        if let Workload::Jacobi {
+            dim,
+            threads,
+            ntimes,
+            warmup,
+        } = self
+        {
+            return self.build_jacobi_programs(spec, *dim, *threads, *ntimes, *warmup);
+        }
         let kinds = self.kinds();
         let arrays = self.layout_arrays(spec);
         let sweeps = self.ntimes() as usize + usize::from(self.warmup());
@@ -207,11 +287,84 @@ impl Workload {
             .collect()
     }
 
+    /// Per-thread Jacobi programs: each sweep streams the thread's interior
+    /// rows (round-robin ownership, the paper's `static,1`) with the toggle
+    /// grids swapping roles between barrier-separated sweeps.
+    fn build_jacobi_programs(
+        &self,
+        spec: &LayoutSpec,
+        dim: usize,
+        threads: usize,
+        ntimes: u32,
+        warmup: bool,
+    ) -> Vec<Program> {
+        let arrays = self.layout_arrays(spec);
+        let row_base = |g: usize, i: usize| arrays[g].0 + arrays[g].1.seg_byte_starts[i] as u64;
+        let total_sweeps = ntimes as usize + usize::from(warmup);
+        (0..threads)
+            .map(|t| {
+                let mut sweeps = Vec::new();
+                for s in 0..total_sweeps {
+                    let (src, dst) = if s % 2 == 0 { (0, 1) } else { (1, 0) };
+                    let rows: Vec<StreamLoop> = (1..dim - 1)
+                        .filter(|i| (i - 1) % threads == t)
+                        .map(|i| {
+                            StreamLoop::new(
+                                vec![
+                                    StreamSpec::load(row_base(src, i - 1)),
+                                    StreamSpec::load(row_base(src, i)),
+                                    StreamSpec::load(row_base(src, i + 1)),
+                                    StreamSpec::store(row_base(dst, i)),
+                                ],
+                                dim,
+                                8,
+                                self.flops_per_elem(),
+                                64,
+                            )
+                        })
+                        .collect();
+                    sweeps.push(rows.into_iter().flatten());
+                }
+                chain_with_barriers(sweeps, 0)
+            })
+            .collect()
+    }
+
     /// The advisor's predicted controller-utilization efficiency for this
     /// workload under `spec`: the mean of [`LayoutAdvisor::predict`] over
     /// each thread's stream set (threads differ when the layout shifts
-    /// segments against each other).
+    /// segments against each other). For [`Workload::Jacobi`] the unit is
+    /// the interior row's stream set instead.
     pub fn predicted_efficiency(&self, advisor: &LayoutAdvisor, spec: &LayoutSpec) -> f64 {
+        if let Workload::Jacobi { dim, .. } = self {
+            let dim = *dim;
+            let arrays = self.layout_arrays(spec);
+            let row_base = |g: usize, i: usize| arrays[g].0 + arrays[g].1.seg_byte_starts[i] as u64;
+            let total: f64 = (1..dim - 1)
+                .map(|i| {
+                    let streams = vec![
+                        StreamDesc {
+                            base: row_base(0, i - 1),
+                            kind: StreamKind::Read,
+                        },
+                        StreamDesc {
+                            base: row_base(0, i),
+                            kind: StreamKind::Read,
+                        },
+                        StreamDesc {
+                            base: row_base(0, i + 1),
+                            kind: StreamKind::Read,
+                        },
+                        StreamDesc {
+                            base: row_base(1, i),
+                            kind: StreamKind::Write,
+                        },
+                    ];
+                    advisor.predict(&streams).efficiency
+                })
+                .sum();
+            return total / (dim - 2) as f64;
+        }
         let kinds = self.kinds();
         let arrays = self.layout_arrays(spec);
         let threads = self.threads();
@@ -292,6 +445,75 @@ mod tests {
         let barriers: Vec<&Op> = ops.iter().filter(|o| matches!(o, Op::Barrier(_))).collect();
         assert_eq!(barriers.len(), 1);
         assert_eq!(*barriers[0], Op::Barrier(0));
+    }
+
+    #[test]
+    fn jacobi_programs_cover_interior_rows() {
+        let w = Workload::jacobi_smoke(16, 7);
+        w.validate(&ChipConfig::ultrasparc_t2());
+        assert_eq!(w.n(), 256);
+        assert_eq!(w.flops_per_elem(), 4.0);
+        // 14 interior rows × 16 sites × 16 B.
+        assert_eq!(w.reported_bytes(), 14 * 16 * 16);
+        let spec = LayoutSpec::new().base_align(8192).seg_align(512).shift(128);
+        let programs = w.build_programs(&spec);
+        assert_eq!(programs.len(), 7);
+        // 14 interior rows round-robined over 7 threads → 2 rows each;
+        // a 16-element row is exactly 2 cache lines, 3 loads + 1 store.
+        let ops: Vec<Op> = programs.into_iter().next().unwrap().collect();
+        let reads = ops.iter().filter(|o| matches!(o, Op::Read(_))).count();
+        let writes = ops.iter().filter(|o| matches!(o, Op::Write(_))).count();
+        assert_eq!(reads, 2 * 3 * 2);
+        assert_eq!(writes, 2 * 2);
+        assert!(
+            !ops.iter().any(|o| matches!(o, Op::Barrier(_))),
+            "smoke variant: one sweep, no barrier"
+        );
+    }
+
+    #[test]
+    fn jacobi_warmup_adds_barrier_and_toggles_grids() {
+        let w = Workload::jacobi(16, 4);
+        let spec = LayoutSpec::new().base_align(8192).seg_align(512);
+        let ops: Vec<Op> = w
+            .build_programs(&spec)
+            .into_iter()
+            .next()
+            .unwrap()
+            .collect();
+        let barriers: Vec<&Op> = ops.iter().filter(|o| matches!(o, Op::Barrier(_))).collect();
+        assert_eq!(barriers.len(), 1);
+        assert_eq!(*barriers[0], Op::Barrier(0));
+        // The warm-up sweep writes grid 1, the measured sweep grid 0: the
+        // first store before and after the barrier must differ.
+        let bar = ops
+            .iter()
+            .position(|o| matches!(o, Op::Barrier(_)))
+            .unwrap();
+        let first_store = |s: &[Op]| {
+            s.iter()
+                .find_map(|o| match o {
+                    Op::Write(a) => Some(*a),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert_ne!(first_store(&ops[..bar]), first_store(&ops[bar..]));
+    }
+
+    #[test]
+    fn jacobi_prediction_prefers_shifted_rows() {
+        let w = Workload::jacobi_smoke(64, 16);
+        let advisor = LayoutAdvisor::t2();
+        let plain = w.predicted_efficiency(&advisor, &LayoutSpec::new().base_align(8192));
+        let shifted = w.predicted_efficiency(
+            &advisor,
+            &LayoutSpec::new().base_align(8192).seg_align(512).shift(128),
+        );
+        assert!(
+            shifted > 1.5 * plain,
+            "rotating rows must rank far above aliased rows: {plain} vs {shifted}"
+        );
     }
 
     #[test]

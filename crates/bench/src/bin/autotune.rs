@@ -14,10 +14,16 @@
 //! With `--cache`, re-running the same sweep is incremental: already
 //! measured candidates are served from the content-addressed cache and the
 //! report counts zero new simulations.
+//!
+//! `--telemetry <path>` records a span per simulated trial plus cache and
+//! pool counters, and writes them as a Chrome-trace file after the run.
 
+use std::sync::Arc;
 use t2opt_autotune::{ParamSpace, ResultCache, SearchStrategy, Tuner, Workload};
 use t2opt_bench::{write_json, Args, Table};
 use t2opt_sim::ChipConfig;
+use t2opt_telemetry::metrics::Sink;
+use t2opt_telemetry::prelude::spans_chrome_trace;
 
 fn main() {
     let args = Args::from_env();
@@ -50,6 +56,10 @@ fn main() {
     let mut tuner = Tuner::new(workload, ChipConfig::ultrasparc_t2(), space).strategy(strategy);
     if let Some(path) = args.get_str("cache") {
         tuner = tuner.cache(ResultCache::at_path(path).expect("failed to load result cache"));
+    }
+    let sink = args.get_str("telemetry").map(|_| Sink::enabled());
+    if let Some(s) = &sink {
+        tuner = tuner.telemetry(Arc::clone(s));
     }
 
     eprintln!("autotune: {reads}r/{writes}w stream mix, N = {n}, {threads} threads, {strategy:?}");
@@ -118,5 +128,14 @@ fn main() {
     if let Some(path) = args.get_str("json") {
         write_json(path, &report).expect("failed to write JSON");
         eprintln!("wrote {path}");
+    }
+
+    if let (Some(path), Some(sink)) = (args.get_str("telemetry"), &sink) {
+        for (name, value) in sink.counter_values() {
+            println!("telemetry: {name} = {value}");
+        }
+        let trace = spans_chrome_trace(&sink.spans(), &sink.counter_values());
+        std::fs::write(path, trace).expect("failed to write Chrome trace");
+        eprintln!("wrote Chrome trace {path}");
     }
 }

@@ -10,7 +10,14 @@
 //! cargo run --release -p t2opt-bench --bin fig2_stream -- --full  # paper-size N = 2^25
 //! cargo run --release -p t2opt-bench --bin fig2_stream -- \
 //!     --kernel copy --threads 64 --max-offset 256 --step 2 --json fig2.json
+//! cargo run --release -p t2opt-bench --bin fig2_stream -- \
+//!     --telemetry trace.json --telemetry-offset 0    # time-resolved diagnostic
 //! ```
+//!
+//! `--telemetry <path>` switches to diagnostic mode: one traced run at
+//! `--telemetry-offset` (default 0, the aliased worst case), printing the
+//! per-window controller heatmap and the aliasing report, and writing a
+//! Chrome-trace file (load it at `chrome://tracing` or Perfetto).
 //!
 //! Expected shape (paper): deep minima at offsets ≡ 0 (mod 64 words =
 //! 512 B) where all arrays share one memory controller; ~2× partial
@@ -19,8 +26,10 @@
 
 use t2opt_bench::experiments::{fig2_series, offset_range};
 use t2opt_bench::{write_json, Args, Table};
-use t2opt_kernels::stream::StreamKernel;
+use t2opt_kernels::stream::{self, StreamConfig, StreamKernel};
+use t2opt_parallel::Placement;
 use t2opt_sim::ChipConfig;
+use t2opt_telemetry::prelude::{ascii_heatmap, chrome_trace, AliasConfig, AliasReport};
 
 fn main() {
     let args = Args::from_env();
@@ -47,6 +56,34 @@ fn main() {
         }
     };
     let chip = ChipConfig::ultrasparc_t2();
+
+    if let Some(path) = args.get_str("telemetry") {
+        let offset: usize = args.get("telemetry-offset", 0);
+        let interval: u64 = args.get("interval", 4096);
+        let t = *threads.first().expect("at least one thread count");
+        eprintln!(
+            "fig2 telemetry: STREAM {} N = {n}, offset {offset}, {t} threads, \
+             {interval}-cycle windows",
+            kernel.name()
+        );
+        let cfg = StreamConfig::fig2(n, offset, t);
+        let (res, timeline) =
+            stream::run_sim_traced(&cfg, kernel, &chip, &Placement::t2_scatter(), interval);
+        println!(
+            "{}: {:.2} GB/s reported, mc_balance {:.2}",
+            kernel.name(),
+            res.reported_gbs,
+            res.mc_balance
+        );
+        print!("{}", ascii_heatmap(&timeline, 72));
+        let report = AliasReport::analyze(&timeline, &AliasConfig::default());
+        println!("{}", report.summary());
+        let trace = chrome_trace(&timeline, &[], chip.clock_hz / 1e6);
+        t2opt_core::json::parse_json(&trace).expect("generated Chrome trace must be valid JSON");
+        std::fs::write(path, trace).expect("failed to write Chrome trace");
+        eprintln!("wrote Chrome trace {path}");
+        return;
+    }
 
     if args.has_flag("compare-threads") {
         // E7: peak bandwidth does not change going 32 → 64 threads

@@ -23,6 +23,7 @@
 use crate::common::{place_threads, VirtualAlloc};
 use serde::{Deserialize, Serialize};
 use t2opt_parallel::{chunk_assignment, Placement, Schedule, ThreadPool};
+use t2opt_sim::telemetry::timeline::{StreamLabel, Timeline, TraceConfig};
 use t2opt_sim::trace::{chain_with_barriers, Program, StreamLoop, StreamSpec};
 use t2opt_sim::{ChipConfig, SimStats, Simulation};
 
@@ -124,17 +125,21 @@ impl StreamConfig {
     }
 }
 
+/// Base addresses of the three COMMON-block arrays under `cfg`: one
+/// contiguous page-aligned region (Fortran storage sequence), each array
+/// `ndim = N + offset` words long.
+pub fn common_block_bases(cfg: &StreamConfig) -> (u64, u64, u64) {
+    let ndim = (cfg.n + cfg.offset) as u64 * 8;
+    let mut va = VirtualAlloc::new();
+    let a = va.alloc(3 * ndim, 8192, 0);
+    (a, a + ndim, a + 2 * ndim)
+}
+
 /// Builds the per-thread simulator programs for one STREAM run: a warm-up
 /// sweep, a barrier (id 0, where the measurement window opens), then
 /// `ntimes` measured sweeps separated by barriers.
 pub fn build_trace(cfg: &StreamConfig, kernel: StreamKernel, chip: &ChipConfig) -> Vec<Program> {
-    // COMMON block: one contiguous region, page-aligned (Fortran storage
-    // sequence); each array is ndim = N + offset words long.
-    let ndim = (cfg.n + cfg.offset) as u64 * 8;
-    let mut va = VirtualAlloc::new();
-    let a = va.alloc(3 * ndim, 8192, 0);
-    let b = a + ndim;
-    let c = a + 2 * ndim;
+    let (a, b, c) = common_block_bases(cfg);
     let line = chip.l2.line;
 
     let assignment = chunk_assignment(Schedule::Static, cfg.n, cfg.threads);
@@ -195,6 +200,37 @@ pub fn run_sim(
         mc_balance: stats.mc_balance(),
         stats,
     }
+}
+
+/// Like [`run_sim`] but with time-resolved tracing: also returns a
+/// [`Timeline`] sampled every `interval` cycles, its stream labels set to
+/// the kernel's three arrays (A/B/C) so
+/// [`t2opt_sim::telemetry::alias::AliasReport`] can name aliased streams.
+pub fn run_sim_traced(
+    cfg: &StreamConfig,
+    kernel: StreamKernel,
+    chip: &ChipConfig,
+    placement: &Placement,
+    interval: u64,
+) -> (StreamResult, Timeline) {
+    let programs = build_trace(cfg, kernel, chip);
+    let threads = place_threads(programs, placement, chip.core.n_cores);
+    let sim = Simulation::new(chip.clone()).measure_after_barrier(0);
+    let (a, b, c) = common_block_bases(cfg);
+    let trace = TraceConfig::with_interval(interval).streams(vec![
+        StreamLabel::new("A", a),
+        StreamLabel::new("B", b),
+        StreamLabel::new("C", c),
+    ]);
+    let (stats, timeline) = sim.run_traced(threads, &trace);
+    let reported = cfg.reported_bytes_per_sweep(kernel) * cfg.ntimes as u64;
+    let result = StreamResult {
+        reported_gbs: stats.reported_bandwidth_gbs(chip, reported),
+        actual_gbs: stats.actual_bandwidth_gbs(chip),
+        mc_balance: stats.mc_balance(),
+        stats,
+    };
+    (result, timeline)
 }
 
 /// Host-side STREAM (plain slices + thread pool), returning the reported
@@ -362,6 +398,36 @@ mod tests {
             (at64 - at0).abs() / at0 < 0.25,
             "offset 64 {at64:.1} must be ≈ offset 0 {at0:.1}"
         );
+    }
+
+    #[test]
+    fn traced_run_reports_identical_stats() {
+        let chip = small_chip();
+        let cfg = StreamConfig {
+            n: 1 << 14,
+            offset: 0,
+            threads: 16,
+            ntimes: 1,
+        };
+        let plain = run_sim(&cfg, StreamKernel::Triad, &chip, &Placement::t2_scatter());
+        let (traced, timeline) = run_sim_traced(
+            &cfg,
+            StreamKernel::Triad,
+            &chip,
+            &Placement::t2_scatter(),
+            2048,
+        );
+        assert_eq!(
+            plain.stats, traced.stats,
+            "tracing must not perturb the simulation"
+        );
+        assert_eq!(timeline.interval, 2048);
+        assert_eq!(timeline.streams.len(), 3);
+        assert!(!timeline.windows.is_empty());
+        // All three COMMON-block arrays are congruent mod 512 at offset 0.
+        let (a, b, c) = common_block_bases(&cfg);
+        assert_eq!(a % 512, b % 512);
+        assert_eq!(b % 512, c % 512);
     }
 
     #[test]

@@ -33,5 +33,5 @@ pub mod schedule;
 
 pub use coalesce::{Coalesce2, Coalesce3};
 pub use placement::Placement;
-pub use pool::ThreadPool;
+pub use pool::{PoolMetricsSnapshot, ThreadPool};
 pub use schedule::{chunk_assignment, Chunk, Schedule};

@@ -13,8 +13,11 @@ use crate::schedule::{chunk_assignment, Chunk, ChunkCursor, Schedule};
 use parking_lot::{Condvar, Mutex};
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
+use t2opt_telemetry::metrics::{Counter, Histogram, HistogramSnapshot};
 
 /// Type-erased pointer to the job closure currently being broadcast.
 #[derive(Clone, Copy)]
@@ -30,12 +33,39 @@ struct State {
     remaining: usize,
     panicked: usize,
     shutdown: bool,
+    /// Wall-clock instant the current job was broadcast; only stamped when
+    /// the pool is instrumented (queue-latency measurement).
+    dispatched: Option<Instant>,
+}
+
+/// Live instrumentation shared between the pool handle and its workers.
+struct PoolMetrics {
+    jobs: Counter,
+    queue_latency_ns: Histogram,
+    busy_ns: Vec<AtomicU64>,
+    created: Instant,
+}
+
+/// Point-in-time copy of an instrumented pool's counters; see
+/// [`ThreadPool::metrics`].
+#[derive(Debug, Clone)]
+pub struct PoolMetricsSnapshot {
+    /// Jobs broadcast so far (one per `run`/`parallel_for` call).
+    pub jobs: u64,
+    /// Dispatch→pickup latency observed by each worker, in nanoseconds
+    /// (log2-bucketed).
+    pub queue_latency_ns: HistogramSnapshot,
+    /// Per-worker nanoseconds spent inside job closures.
+    pub worker_busy_ns: Vec<u64>,
+    /// Per-worker busy fraction of the pool's lifetime so far, in [0, 1].
+    pub busy_fraction: Vec<f64>,
 }
 
 struct Shared {
     state: Mutex<State>,
     start: Condvar,
     done: Condvar,
+    metrics: Option<PoolMetrics>,
 }
 
 /// A fixed team of worker threads; see the module docs.
@@ -67,7 +97,29 @@ impl ThreadPool {
 
     /// Creates a pool of `n` workers pinned according to `placement`.
     pub fn with_placement(n: usize, placement: Placement) -> Self {
+        Self::build(n, placement, false)
+    }
+
+    /// Like [`ThreadPool::new`] but with instrumentation enabled: every
+    /// dispatch is counted and timed, and per-worker busy time is
+    /// accumulated. Read the results with [`ThreadPool::metrics`].
+    pub fn instrumented(n: usize) -> Self {
+        Self::build(n, Placement::None, true)
+    }
+
+    /// Like [`ThreadPool::with_placement`] with instrumentation enabled.
+    pub fn instrumented_with_placement(n: usize, placement: Placement) -> Self {
+        Self::build(n, placement, true)
+    }
+
+    fn build(n: usize, placement: Placement, instrument: bool) -> Self {
         let n = n.max(1);
+        let metrics = instrument.then(|| PoolMetrics {
+            jobs: Counter::new(),
+            queue_latency_ns: Histogram::new(),
+            busy_ns: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            created: Instant::now(),
+        });
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 generation: 0,
@@ -75,9 +127,11 @@ impl ThreadPool {
                 remaining: 0,
                 panicked: 0,
                 shutdown: false,
+                dispatched: None,
             }),
             start: Condvar::new(),
             done: Condvar::new(),
+            metrics,
         });
         let workers = (0..n)
             .map(|tid| {
@@ -107,6 +161,34 @@ impl ThreadPool {
         &self.placement
     }
 
+    /// A snapshot of the pool's instrumentation, or `None` for a pool built
+    /// without it ([`ThreadPool::new`] / [`ThreadPool::with_placement`]).
+    pub fn metrics(&self) -> Option<PoolMetricsSnapshot> {
+        let m = self.shared.metrics.as_ref()?;
+        let elapsed_ns = m.created.elapsed().as_nanos() as u64;
+        let worker_busy_ns: Vec<u64> = m
+            .busy_ns
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let busy_fraction = worker_busy_ns
+            .iter()
+            .map(|&b| {
+                if elapsed_ns == 0 {
+                    0.0
+                } else {
+                    (b as f64 / elapsed_ns as f64).min(1.0)
+                }
+            })
+            .collect();
+        Some(PoolMetricsSnapshot {
+            jobs: m.jobs.get(),
+            queue_latency_ns: m.queue_latency_ns.snapshot(),
+            worker_busy_ns,
+            busy_fraction,
+        })
+    }
+
     /// Runs `f(tid)` once on every worker and blocks until all are done
     /// (the OpenMP `parallel` region). Panics in workers are collected and
     /// re-raised here after the barrier.
@@ -127,6 +209,10 @@ impl ThreadPool {
         state.job = Some(ptr);
         state.remaining = self.n;
         state.panicked = 0;
+        if let Some(m) = &self.shared.metrics {
+            m.jobs.inc();
+            state.dispatched = Some(Instant::now());
+        }
         self.shared.start.notify_all();
         while state.remaining > 0 {
             self.shared.done.wait(&mut state);
@@ -203,7 +289,7 @@ fn worker_loop(tid: usize, core: Option<usize>, shared: Arc<Shared>) {
     }
     let mut seen_generation = 0u64;
     loop {
-        let job = {
+        let (job, dispatched) = {
             let mut state = shared.state.lock();
             loop {
                 if state.shutdown {
@@ -212,15 +298,24 @@ fn worker_loop(tid: usize, core: Option<usize>, shared: Arc<Shared>) {
                 if state.generation != seen_generation {
                     if let Some(job) = state.job {
                         seen_generation = state.generation;
-                        break job;
+                        break (job, state.dispatched);
                     }
                 }
                 shared.start.wait(&mut state);
             }
         };
+        let started = shared.metrics.as_ref().map(|m| {
+            if let Some(d) = dispatched {
+                m.queue_latency_ns.record(d.elapsed().as_nanos() as u64);
+            }
+            Instant::now()
+        });
         // SAFETY: `run` keeps the closure alive until `remaining == 0`,
         // which we only signal after the call returns.
         let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(tid) }));
+        if let (Some(m), Some(t0)) = (&shared.metrics, started) {
+            m.busy_ns[tid].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
         let mut state = shared.state.lock();
         if result.is_err() {
             state.panicked += 1;
@@ -375,6 +470,29 @@ mod tests {
             total.fetch_add(r.len(), Ordering::Relaxed);
         });
         assert_eq!(total.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn uninstrumented_pool_has_no_metrics() {
+        let pool = ThreadPool::new(2);
+        assert!(pool.metrics().is_none());
+    }
+
+    #[test]
+    fn instrumented_pool_counts_jobs_and_busy_time() {
+        let pool = ThreadPool::instrumented(4);
+        for _ in 0..5 {
+            pool.run(|_tid| {
+                std::hint::black_box((0..10_000u64).sum::<u64>());
+            });
+        }
+        let m = pool.metrics().expect("instrumented pool has metrics");
+        assert_eq!(m.jobs, 5);
+        // Every worker picked up every job, so 4 × 5 latency samples.
+        assert_eq!(m.queue_latency_ns.count, 20);
+        assert_eq!(m.worker_busy_ns.len(), 4);
+        assert!(m.worker_busy_ns.iter().all(|&b| b > 0));
+        assert!(m.busy_fraction.iter().all(|&f| (0.0..=1.0).contains(&f)));
     }
 
     #[test]

@@ -53,6 +53,8 @@ use crate::trace::{Op, Program};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::VecDeque;
+use t2opt_telemetry::probe::{NoProbe, SimProbe, StallKind};
+use t2opt_telemetry::timeline::{Timeline, TimelineRecorder, TraceConfig};
 
 /// One simulated hardware thread: which core it is pinned to and what it
 /// executes.
@@ -125,21 +127,78 @@ impl Simulation {
     where
         F: Fn(usize) -> usize,
     {
-        let threads = programs
+        self.run(Self::specs_from(programs, core_of))
+    }
+
+    /// As [`Simulation::run_programs`], but with time-resolved telemetry:
+    /// returns the [`Timeline`] collected under `trace` alongside the
+    /// statistics.
+    pub fn run_programs_traced<F>(
+        &self,
+        programs: Vec<Program>,
+        core_of: F,
+        trace: &TraceConfig,
+    ) -> (SimStats, Timeline)
+    where
+        F: Fn(usize) -> usize,
+    {
+        self.run_traced(Self::specs_from(programs, core_of), trace)
+    }
+
+    fn specs_from<F>(programs: Vec<Program>, core_of: F) -> Vec<ThreadSpec>
+    where
+        F: Fn(usize) -> usize,
+    {
+        programs
             .into_iter()
             .enumerate()
             .map(|(tid, program)| ThreadSpec::new(core_of(tid), program))
-            .collect();
-        self.run(threads)
+            .collect()
     }
 
     /// Runs the given threads to completion and returns the statistics.
+    ///
+    /// This is the uninstrumented path: it monomorphizes over the no-op
+    /// [`NoProbe`], so it compiles to exactly the same code — and produces
+    /// bitwise-identical [`SimStats`] — as before the telemetry hooks
+    /// existed.
     ///
     /// # Panics
     /// Panics if a thread's core index is out of range, if a core's
     /// hardware-thread capacity is exceeded, or on inconsistent barrier use
     /// (deadlock: some threads finished while others wait).
     pub fn run(&self, threads: Vec<ThreadSpec>) -> SimStats {
+        self.run_with_probe(threads, &mut NoProbe)
+    }
+
+    /// Runs the threads with time-resolved telemetry: per-MC busy/queue/
+    /// NACK windows, per-bank samples, per-thread stall breakdowns, and a
+    /// bounded event log, collected into a [`Timeline`]. The measurement
+    /// window of the timeline follows [`Simulation::measure_after_barrier`]
+    /// exactly as the statistics do.
+    pub fn run_traced(
+        &self,
+        threads: Vec<ThreadSpec>,
+        trace: &TraceConfig,
+    ) -> (SimStats, Timeline) {
+        let mut recorder = TimelineRecorder::new(
+            self.cfg.n_controllers(),
+            self.cfg.n_banks(),
+            threads.len(),
+            trace,
+        );
+        let stats = self.run_with_probe(threads, &mut recorder);
+        let timeline = recorder.finish(stats.end_cycle);
+        (stats, timeline)
+    }
+
+    /// Runs the threads against a caller-supplied [`SimProbe`] — the
+    /// generic instrumentation entry point [`Simulation::run`] and
+    /// [`Simulation::run_traced`] are wrappers over.
+    ///
+    /// # Panics
+    /// As [`Simulation::run`].
+    pub fn run_with_probe<P: SimProbe>(&self, threads: Vec<ThreadSpec>, probe: &mut P) -> SimStats {
         let cfg = &self.cfg;
         let n_threads = threads.len();
         assert!(n_threads > 0, "need at least one thread");
@@ -198,6 +257,9 @@ impl Simulation {
             /// Latest completion over everything this thread issued.
             drain_until: u64,
             wait: Wait,
+            /// Cycle at which the thread parked (barrier/drift), for the
+            /// stall probes.
+            park_start: u64,
             finished: bool,
         }
         let mut ts: Vec<ThreadState> = threads
@@ -210,6 +272,7 @@ impl Simulation {
                 stores: VecDeque::new(),
                 drain_until: 0,
                 wait: Wait::None,
+                park_start: 0,
                 finished: false,
             })
             .collect();
@@ -266,6 +329,7 @@ impl Simulation {
                         let now = $now;
                         drift_parked.retain(|&p| {
                             if gang_count[p as usize] < gang_min.saturating_add(w) {
+                                probe.stall(p, StallKind::Drift, ts[p as usize].park_start, now);
                                 ts[p as usize].wait = Wait::None;
                                 push(&mut heap, &mut seq, now, p);
                                 false
@@ -306,6 +370,9 @@ impl Simulation {
                         .ceil()
                         .max(1.0) as u64;
                     let start = now.max(fpu_busy[core]);
+                    if start > now {
+                        probe.stall(tid, StallKind::Fpu, now, start);
+                    }
                     fpu_busy[core] = start + cycles;
                     stats.flops += flops as u64;
                     push(&mut heap, &mut seq, start + cycles, tid);
@@ -322,17 +389,21 @@ impl Simulation {
                         let release = b.release;
                         let waiters = std::mem::take(&mut b.waiters);
                         for &w in &waiters {
+                            probe.stall(w, StallKind::Barrier, ts[w as usize].park_start, release);
                             ts[w as usize].wait = Wait::None;
                             in_gang[w as usize] = true;
                             push(&mut heap, &mut seq, release, w);
                         }
                         push(&mut heap, &mut seq, release, tid);
+                        probe.barrier_release(id, release);
                         if self.measure_after_barrier == Some(id) {
                             stats.reset_window(release);
+                            probe.window_reset(release);
                         }
                         gang_update!(release);
                     } else {
                         ts[tid as usize].wait = Wait::Barrier;
+                        ts[tid as usize].park_start = now;
                         b.waiters.push(tid);
                         // Leave the gang while parked, else a straggler on
                         // the way to the barrier could deadlock the window.
@@ -350,6 +421,7 @@ impl Simulation {
                         {
                             ts[tid as usize].pending = Some(op);
                             ts[tid as usize].wait = Wait::Drift;
+                            ts[tid as usize].park_start = now;
                             drift_parked.push(tid);
                             continue;
                         }
@@ -362,6 +434,7 @@ impl Simulation {
                         if t.loads.len() >= outstanding_limit {
                             let wake = *t.loads.front().unwrap();
                             t.pending = Some(op);
+                            probe.stall(tid, StallKind::LoadMiss, now, wake);
                             push(&mut heap, &mut seq, wake, tid);
                             continue;
                         }
@@ -372,6 +445,7 @@ impl Simulation {
                         if t.stores.len() >= store_buffer {
                             let wake = *t.stores.front().unwrap();
                             t.pending = Some(op);
+                            probe.stall(tid, StallKind::StoreBuffer, now, wake);
                             push(&mut heap, &mut seq, wake, tid);
                             continue;
                         }
@@ -384,6 +458,7 @@ impl Simulation {
                         .expect("mem_pipes > 0");
                     if pipe_free > now {
                         ts[tid as usize].pending = Some(op);
+                        probe.stall(tid, StallKind::Pipe, now, pipe_free);
                         push(&mut heap, &mut seq, pipe_free, tid);
                         continue;
                     }
@@ -408,7 +483,10 @@ impl Simulation {
                             };
                             ts[tid as usize].pending = Some(op);
                             pipes[core][pipe_idx] = now + 2;
-                            push(&mut heap, &mut seq, wake.max(now + 1), tid);
+                            let retry_at = wake.max(now + 1);
+                            probe.nack(now, tid, mc, bank, mc_full);
+                            probe.stall(tid, StallKind::Nack, now, retry_at);
+                            push(&mut heap, &mut seq, retry_at, tid);
                             continue;
                         }
                     }
@@ -418,6 +496,7 @@ impl Simulation {
                     bank_busy[bank] = bank_start + cfg.l2.bank_cycles;
                     stats.bank_accesses[bank] += 1;
                     stats.mem_ops += 1;
+                    probe.bank_access(bank, bank_start);
                     // The op is committed: advance this thread's gang
                     // progress.
                     let old_count = gang_count[tid as usize];
@@ -450,12 +529,26 @@ impl Simulation {
                                 stats.mc_busy_cycles[vmc] += out.busy_added;
                                 stats.l2_writebacks += 1;
                                 mc_admitted[vmc].push_back(out.completion);
+                                probe.mc_service(
+                                    vmc,
+                                    bank_done,
+                                    out.busy_added,
+                                    mc_admitted[vmc].len(),
+                                    true,
+                                );
                             }
                             let out = mcs[mc].service_read(bank_done);
                             stats.mc_read_bytes[mc] += line_bytes;
                             stats.mc_busy_cycles[mc] += out.busy_added;
                             mc_admitted[mc].push_back(out.completion);
                             bank_inflight[bank].push_back(out.completion);
+                            probe.mc_service(
+                                mc,
+                                bank_done,
+                                out.busy_added,
+                                mc_admitted[mc].len(),
+                                false,
+                            );
                             let t = &mut ts[tid as usize];
                             if is_write {
                                 // Store miss: the RFO drains from the store
@@ -471,6 +564,7 @@ impl Simulation {
                                     // Budget full (the T2 case): block until
                                     // the data returns.
                                     let wake = *t.loads.front().unwrap();
+                                    probe.stall(tid, StallKind::LoadMiss, bank_done, wake);
                                     push(&mut heap, &mut seq, wake, tid);
                                 } else {
                                     // Hit-under-miss headroom (ablations).

@@ -50,6 +50,8 @@ pub mod mc;
 pub mod stats;
 pub mod trace;
 
+pub use t2opt_telemetry as telemetry;
+
 /// Convenient re-exports of the most used types.
 pub mod prelude {
     pub use crate::config::{ChipConfig, CoreConfig, L2Config, MemConfig};
@@ -57,6 +59,8 @@ pub mod prelude {
     pub use crate::stats::SimStats;
     pub use crate::trace::{chain_with_barriers, Dir, Op, Program, StreamLoop, StreamSpec};
     pub use t2opt_core::mapping::{AddressMap, MapPolicy};
+    pub use t2opt_telemetry::alias::{AliasConfig, AliasReport};
+    pub use t2opt_telemetry::timeline::{StreamLabel, Timeline, TraceConfig};
 }
 
 pub use config::ChipConfig;

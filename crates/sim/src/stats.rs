@@ -132,6 +132,19 @@ impl SimStats {
         mean / max as f64
     }
 
+    /// Per-controller busy fraction over the measurement window, in [0, 1].
+    /// Returns all zeros for a zero-length window instead of dividing by it.
+    pub fn mc_utilization(&self) -> Vec<f64> {
+        let cycles = self.cycles();
+        if cycles == 0 {
+            return vec![0.0; self.mc_busy_cycles.len()];
+        }
+        self.mc_busy_cycles
+            .iter()
+            .map(|&b| (b as f64 / cycles as f64).min(1.0))
+            .collect()
+    }
+
     /// Achieved flop rate in Gflop/s.
     pub fn gflops(&self, cfg: &ChipConfig) -> f64 {
         let secs = cfg.cycles_to_secs(self.cycles());
@@ -187,6 +200,40 @@ mod tests {
         assert_eq!(s.mc_read_bytes[2], 0);
         assert_eq!(s.start_cycle, 777);
         assert_eq!(s.cycles(), 0);
+    }
+
+    /// A zero-length measurement window (e.g. a run that ends on the very
+    /// cycle the window opens) must yield finite zeros from every derived
+    /// metric, never NaN or infinity.
+    #[test]
+    fn zero_length_window_yields_finite_zeros() {
+        let cfg = ChipConfig::ultrasparc_t2();
+        let mut s = SimStats::new(4, 8);
+        s.reset_window(1_000);
+        // Counters may be non-zero even when the window has zero length
+        // (events land exactly on the boundary cycle).
+        s.mc_read_bytes[0] = 4096;
+        s.mc_busy_cycles[1] = 64;
+        s.flops = 128;
+        assert_eq!(s.cycles(), 0);
+        assert_eq!(s.actual_bandwidth_gbs(&cfg), 0.0);
+        assert_eq!(s.reported_bandwidth_gbs(&cfg, 4096), 0.0);
+        assert_eq!(s.mlups(&cfg, 100), 0.0);
+        assert_eq!(s.gflops(&cfg), 0.0);
+        assert_eq!(s.mc_utilization(), vec![0.0; 4]);
+        // And an end_cycle that drifted *before* start_cycle saturates too.
+        s.end_cycle = 0;
+        assert_eq!(s.cycles(), 0);
+        assert_eq!(s.actual_bandwidth_gbs(&cfg), 0.0);
+    }
+
+    #[test]
+    fn mc_utilization_guards_and_clamps() {
+        let mut s = SimStats::new(2, 8);
+        s.start_cycle = 0;
+        s.end_cycle = 1000;
+        s.mc_busy_cycles = vec![500, 2000];
+        assert_eq!(s.mc_utilization(), vec![0.5, 1.0]);
     }
 
     #[test]

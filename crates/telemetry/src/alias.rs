@@ -1,0 +1,288 @@
+//! MC-imbalance diagnostics: detecting the runtime signature of mod-512
+//! congruence aliasing from a [`Timeline`].
+//!
+//! The paper's §2.1 convoy — "all threads hit exactly one memory controller
+//! at a time… successive controllers are of course used in turn, but not
+//! concurrently" — is invisible in run totals (over the whole run every
+//! controller moves the same bytes) but obvious per window: each active
+//! window has one hot controller, so its *effective parallelism*
+//! (Σ busy / max busy) collapses toward 1. [`AliasReport::analyze`] flags
+//! exactly that, and names the address streams whose bases share a 512 B
+//! congruence class — the static cause of the dynamic signature.
+
+use crate::timeline::Timeline;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// The 512 B controller-aliasing period of the T2 mapping (address bits
+/// 8:7 select the controller, so bases equal mod 512 follow the same
+/// controller sequence).
+pub const ALIAS_PERIOD: u64 = 512;
+
+/// Thresholds for [`AliasReport::analyze`].
+#[derive(Debug, Clone, Serialize)]
+pub struct AliasConfig {
+    /// A window is flagged when its effective parallelism (Σ busy cycles
+    /// over max per-controller busy cycles) falls below this. The default
+    /// of 1.8 is calibrated against the T2 simulator at ~4096-cycle
+    /// windows: a fully aliased STREAM triad convoys at ≈ 1.0–1.6 per
+    /// window while the advisor's 128 B spread stays ≥ 1.9 (the three
+    /// streams rotate through the controllers together, so fine windows
+    /// never reach the controller count even when nothing aliases).
+    pub parallelism_threshold: f64,
+    /// Windows whose busiest controller is busy for less than this fraction
+    /// of the window are considered idle and skipped (ramp-up/drain tails).
+    pub min_activity: f64,
+}
+
+impl Default for AliasConfig {
+    fn default() -> Self {
+        AliasConfig {
+            parallelism_threshold: 1.8,
+            min_activity: 0.05,
+        }
+    }
+}
+
+/// One flagged window.
+#[derive(Debug, Clone, Serialize)]
+pub struct WindowFlag {
+    /// Index into `Timeline::windows`.
+    pub index: usize,
+    /// First cycle of the window.
+    pub start_cycle: u64,
+    /// The window's effective parallelism.
+    pub effective_parallelism: f64,
+    /// The window's max/mean busy imbalance.
+    pub imbalance: f64,
+    /// The hot controller.
+    pub hot_mc: usize,
+}
+
+/// The outcome of the aliasing analysis; see the module docs.
+#[derive(Debug, Clone, Serialize)]
+pub struct AliasReport {
+    /// Active (non-idle) windows examined.
+    pub windows_considered: usize,
+    /// Windows whose effective parallelism fell below the threshold.
+    pub windows_flagged: usize,
+    /// `windows_flagged / windows_considered` (0 when nothing was active).
+    pub flagged_fraction: f64,
+    /// Mean effective parallelism over the active windows.
+    pub mean_effective_parallelism: f64,
+    /// The flagged windows, in time order.
+    pub flags: Vec<WindowFlag>,
+    /// Groups of stream names whose bases are congruent mod
+    /// [`ALIAS_PERIOD`] — the named culprits. Only populated when windows
+    /// were flagged; each group lists ≥ 2 streams.
+    pub aliased_streams: Vec<Vec<String>>,
+}
+
+impl AliasReport {
+    /// Analyzes a timeline under the given thresholds.
+    pub fn analyze(timeline: &Timeline, cfg: &AliasConfig) -> Self {
+        let min_busy = cfg.min_activity * timeline.interval as f64;
+        let mut flags = Vec::new();
+        let mut considered = 0usize;
+        let mut eff_sum = 0.0f64;
+        for (index, w) in timeline.windows.iter().enumerate() {
+            let max = w.mc_busy.iter().copied().max().unwrap_or(0);
+            if (max as f64) < min_busy {
+                continue;
+            }
+            considered += 1;
+            let eff = w.effective_parallelism();
+            eff_sum += eff;
+            if eff < cfg.parallelism_threshold {
+                let hot_mc = w
+                    .mc_busy
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(_, &b)| b)
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                flags.push(WindowFlag {
+                    index,
+                    start_cycle: w.start_cycle,
+                    effective_parallelism: eff,
+                    imbalance: w.imbalance(),
+                    hot_mc,
+                });
+            }
+        }
+        let aliased_streams = if flags.is_empty() {
+            Vec::new()
+        } else {
+            congruent_groups(timeline)
+        };
+        AliasReport {
+            windows_considered: considered,
+            windows_flagged: flags.len(),
+            flagged_fraction: if considered == 0 {
+                0.0
+            } else {
+                flags.len() as f64 / considered as f64
+            },
+            mean_effective_parallelism: if considered == 0 {
+                0.0
+            } else {
+                eff_sum / considered as f64
+            },
+            flags,
+            aliased_streams,
+        }
+    }
+
+    /// Whether the run shows the aliasing signature (any window flagged).
+    pub fn is_aliased(&self) -> bool {
+        self.windows_flagged > 0
+    }
+
+    /// A terminal-friendly one-paragraph summary.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "{}/{} active windows flagged ({:.0}%), mean effective parallelism {:.2}",
+            self.windows_flagged,
+            self.windows_considered,
+            self.flagged_fraction * 100.0,
+            self.mean_effective_parallelism,
+        );
+        if self.aliased_streams.is_empty() {
+            if self.windows_flagged == 0 {
+                s.push_str(" — no MC aliasing signature");
+            }
+        } else {
+            let groups: Vec<String> = self
+                .aliased_streams
+                .iter()
+                .map(|g| format!("{{{}}}", g.join(", ")))
+                .collect();
+            s.push_str(&format!(
+                " — streams congruent mod {} B: {}",
+                ALIAS_PERIOD,
+                groups.join(" ")
+            ));
+        }
+        s
+    }
+}
+
+/// Groups the timeline's stream labels by base address mod
+/// [`ALIAS_PERIOD`]; groups with ≥ 2 members share a controller sequence.
+fn congruent_groups(timeline: &Timeline) -> Vec<Vec<String>> {
+    let mut classes: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    for s in &timeline.streams {
+        classes
+            .entry(s.base % ALIAS_PERIOD)
+            .or_default()
+            .push(s.name.clone());
+    }
+    classes.into_values().filter(|g| g.len() >= 2).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::{StreamLabel, Timeline, Window};
+
+    /// A synthetic 4-MC timeline from per-window busy vectors.
+    fn timeline(busy: Vec<[u64; 4]>, streams: Vec<StreamLabel>) -> Timeline {
+        let interval = 1000;
+        let windows: Vec<Window> = busy
+            .iter()
+            .enumerate()
+            .map(|(i, b)| Window {
+                start_cycle: i as u64 * interval,
+                mc_busy: b.to_vec(),
+                mc_nacks: vec![0; 4],
+                mc_queue_peak: vec![0; 4],
+                bank_accesses: vec![0; 8],
+                mem_ops: b.iter().sum::<u64>() / 12,
+            })
+            .collect();
+        Timeline {
+            interval,
+            n_mcs: 4,
+            n_banks: 8,
+            start_cycle: 0,
+            end_cycle: busy.len() as u64 * interval,
+            windows,
+            thread_stalls: Vec::new(),
+            streams,
+            events: Vec::new(),
+            events_dropped: 0,
+        }
+    }
+
+    fn abc(offs: [u64; 3]) -> Vec<StreamLabel> {
+        vec![
+            StreamLabel::new("A", offs[0]),
+            StreamLabel::new("B", (1 << 30) + offs[1]),
+            StreamLabel::new("C", (2 << 30) + offs[2]),
+        ]
+    }
+
+    #[test]
+    fn uniform_timeline_raises_no_flags() {
+        let t = timeline(vec![[800, 810, 790, 805]; 6], abc([0, 128, 256]));
+        let r = AliasReport::analyze(&t, &AliasConfig::default());
+        assert_eq!(r.windows_considered, 6);
+        assert_eq!(r.windows_flagged, 0);
+        assert!(!r.is_aliased());
+        assert!(r.aliased_streams.is_empty());
+        assert!(r.mean_effective_parallelism > 3.9);
+        assert!(r.summary().contains("no MC aliasing signature"));
+    }
+
+    #[test]
+    fn one_hot_rotation_is_flagged_and_streams_named() {
+        // The §2.1 convoy: each window has exactly one busy controller,
+        // rotating in turn.
+        let busy: Vec<[u64; 4]> = (0..8)
+            .map(|i| {
+                let mut b = [0u64; 4];
+                b[i % 4] = 900;
+                b
+            })
+            .collect();
+        let t = timeline(busy, abc([0, 0, 0]));
+        let r = AliasReport::analyze(&t, &AliasConfig::default());
+        assert_eq!(r.windows_considered, 8);
+        assert_eq!(r.windows_flagged, 8);
+        assert!((r.flagged_fraction - 1.0).abs() < 1e-12);
+        assert!(r.is_aliased());
+        assert_eq!(r.aliased_streams, vec![vec!["A", "B", "C"]]);
+        assert_eq!(r.flags[2].hot_mc, 2);
+        assert!(r.summary().contains("A, B, C"));
+    }
+
+    #[test]
+    fn idle_windows_are_skipped() {
+        let t = timeline(
+            vec![[900, 0, 0, 0], [10, 0, 0, 0], [0, 0, 0, 0]],
+            abc([0, 0, 0]),
+        );
+        let r = AliasReport::analyze(&t, &AliasConfig::default());
+        assert_eq!(r.windows_considered, 1);
+        assert_eq!(r.windows_flagged, 1);
+    }
+
+    #[test]
+    fn spread_offsets_produce_no_congruent_group() {
+        let busy = vec![[900, 0, 0, 0]];
+        let t = timeline(busy, abc([0, 128, 256]));
+        let r = AliasReport::analyze(&t, &AliasConfig::default());
+        // Flagged on activity, but no stream group shares a residue.
+        assert!(r.is_aliased());
+        assert!(r.aliased_streams.is_empty());
+    }
+
+    #[test]
+    fn empty_timeline_is_clean() {
+        let t = timeline(Vec::new(), Vec::new());
+        let r = AliasReport::analyze(&t, &AliasConfig::default());
+        assert_eq!(r.windows_considered, 0);
+        assert_eq!(r.flagged_fraction, 0.0);
+        assert_eq!(r.mean_effective_parallelism, 0.0);
+    }
+}

@@ -1,0 +1,400 @@
+//! Exporters: JSON-lines, Chrome-trace (`chrome://tracing` / Perfetto),
+//! and a terminal ASCII heatmap.
+//!
+//! All JSON is produced through `t2opt_core::json` (the workspace's
+//! dependency-free serializer). The Chrome-trace envelope
+//! (`{"traceEvents": [...]}`) is assembled by hand around
+//! serde-serialized event objects because the vendored derive supports
+//! plain structs only.
+
+use crate::metrics::SpanRecord;
+use crate::timeline::Timeline;
+use serde::Serialize;
+use t2opt_core::json::to_json_string;
+
+#[derive(Serialize)]
+struct NameArgs {
+    name: String,
+}
+
+#[derive(Serialize)]
+struct MetaEvent {
+    ph: String,
+    pid: u32,
+    tid: u32,
+    name: String,
+    args: NameArgs,
+}
+
+#[derive(Serialize)]
+struct SliceEvent {
+    ph: String,
+    pid: u32,
+    tid: u32,
+    name: String,
+    cat: String,
+    ts: f64,
+    dur: f64,
+}
+
+#[derive(Serialize)]
+struct ValueArgs {
+    value: f64,
+}
+
+#[derive(Serialize)]
+struct CounterEvent {
+    ph: String,
+    pid: u32,
+    tid: u32,
+    name: String,
+    ts: f64,
+    args: ValueArgs,
+}
+
+/// Process id used for simulator-timeline rows in the Chrome trace.
+const SIM_PID: u32 = 1;
+/// Process id used for host spans (pool workers, tuner trials).
+const HOST_PID: u32 = 2;
+
+fn meta(pid: u32, tid: u32, key: &str, name: &str) -> String {
+    to_json_string(&MetaEvent {
+        ph: "M".to_string(),
+        pid,
+        tid,
+        name: key.to_string(),
+        args: NameArgs {
+            name: name.to_string(),
+        },
+    })
+}
+
+fn span_event(pid: u32, s: &SpanRecord) -> String {
+    to_json_string(&SliceEvent {
+        ph: "X".to_string(),
+        pid,
+        tid: s.tid,
+        name: s.name.clone(),
+        cat: "host".to_string(),
+        ts: s.start_us,
+        dur: s.dur_us,
+    })
+}
+
+fn envelope(events: Vec<String>) -> String {
+    format!("{{\"traceEvents\":[{}]}}", events.join(","))
+}
+
+/// Renders a [`Timeline`] (plus optional host spans) as a Chrome-trace
+/// JSON string. `cycles_per_us` converts simulator cycles to trace
+/// microseconds (1200 for the 1.2 GHz T2); timeline timestamps are
+/// rebased to the measurement-window open.
+pub fn chrome_trace(timeline: &Timeline, spans: &[SpanRecord], cycles_per_us: f64) -> String {
+    assert!(cycles_per_us > 0.0, "need a positive cycle rate");
+    let us = |cycle: u64| cycle.saturating_sub(timeline.start_cycle) as f64 / cycles_per_us;
+    let mut events = Vec::new();
+    events.push(meta(SIM_PID, 0, "process_name", "t2opt-sim"));
+    for mc in 0..timeline.n_mcs {
+        events.push(meta(SIM_PID, mc as u32, "thread_name", &format!("MC{mc}")));
+    }
+    for w in &timeline.windows {
+        for mc in 0..timeline.n_mcs {
+            let busy = w.mc_busy[mc];
+            if busy == 0 {
+                continue;
+            }
+            events.push(to_json_string(&SliceEvent {
+                ph: "X".to_string(),
+                pid: SIM_PID,
+                tid: mc as u32,
+                name: "busy".to_string(),
+                cat: "mc".to_string(),
+                ts: us(w.start_cycle),
+                dur: busy.min(timeline.interval) as f64 / cycles_per_us,
+            }));
+        }
+        events.push(to_json_string(&CounterEvent {
+            ph: "C".to_string(),
+            pid: SIM_PID,
+            tid: 0,
+            name: "effective_parallelism".to_string(),
+            ts: us(w.start_cycle),
+            args: ValueArgs {
+                value: w.effective_parallelism(),
+            },
+        }));
+        events.push(to_json_string(&CounterEvent {
+            ph: "C".to_string(),
+            pid: SIM_PID,
+            tid: 0,
+            name: "nacks".to_string(),
+            ts: us(w.start_cycle),
+            args: ValueArgs {
+                value: w.mc_nacks.iter().sum::<u64>() as f64,
+            },
+        }));
+    }
+    if !spans.is_empty() {
+        events.push(meta(HOST_PID, 0, "process_name", "t2opt-host"));
+        events.extend(spans.iter().map(|s| span_event(HOST_PID, s)));
+    }
+    envelope(events)
+}
+
+/// Renders host spans and counters alone (no simulator timeline) as a
+/// Chrome-trace JSON string — the shape the autotuner exports.
+pub fn spans_chrome_trace(spans: &[SpanRecord], counters: &[(String, u64)]) -> String {
+    let mut events = Vec::new();
+    events.push(meta(HOST_PID, 0, "process_name", "t2opt-host"));
+    events.extend(spans.iter().map(|s| span_event(HOST_PID, s)));
+    let end_us = spans
+        .iter()
+        .map(|s| s.start_us + s.dur_us)
+        .fold(0.0f64, f64::max);
+    for (name, value) in counters {
+        events.push(to_json_string(&CounterEvent {
+            ph: "C".to_string(),
+            pid: HOST_PID,
+            tid: 0,
+            name: name.clone(),
+            ts: end_us,
+            args: ValueArgs {
+                value: *value as f64,
+            },
+        }));
+    }
+    envelope(events)
+}
+
+#[derive(Serialize)]
+struct MetaLine {
+    record: String,
+    interval: u64,
+    n_mcs: usize,
+    n_banks: usize,
+    start_cycle: u64,
+    end_cycle: u64,
+    events_dropped: u64,
+}
+
+#[derive(Serialize)]
+struct WindowLine {
+    record: String,
+    index: usize,
+    window: crate::timeline::Window,
+}
+
+#[derive(Serialize)]
+struct StallLine {
+    record: String,
+    tid: usize,
+    stalls: crate::timeline::ThreadStalls,
+}
+
+#[derive(Serialize)]
+struct StreamLine {
+    record: String,
+    stream: crate::timeline::StreamLabel,
+}
+
+#[derive(Serialize)]
+struct EventLine {
+    record: String,
+    event: crate::timeline::SimEvent,
+}
+
+/// Serializes a [`Timeline`] as JSON-lines: one `meta` record, then one
+/// record per stream label, window, thread-stall row, and retained event.
+pub fn timeline_jsonl(timeline: &Timeline) -> String {
+    let mut lines = Vec::new();
+    lines.push(to_json_string(&MetaLine {
+        record: "meta".to_string(),
+        interval: timeline.interval,
+        n_mcs: timeline.n_mcs,
+        n_banks: timeline.n_banks,
+        start_cycle: timeline.start_cycle,
+        end_cycle: timeline.end_cycle,
+        events_dropped: timeline.events_dropped,
+    }));
+    for s in &timeline.streams {
+        lines.push(to_json_string(&StreamLine {
+            record: "stream".to_string(),
+            stream: s.clone(),
+        }));
+    }
+    for (index, w) in timeline.windows.iter().enumerate() {
+        lines.push(to_json_string(&WindowLine {
+            record: "window".to_string(),
+            index,
+            window: w.clone(),
+        }));
+    }
+    for (tid, s) in timeline.thread_stalls.iter().enumerate() {
+        lines.push(to_json_string(&StallLine {
+            record: "stalls".to_string(),
+            tid,
+            stalls: *s,
+        }));
+    }
+    for e in &timeline.events {
+        lines.push(to_json_string(&EventLine {
+            record: "event".to_string(),
+            event: e.clone(),
+        }));
+    }
+    lines.join("\n") + "\n"
+}
+
+/// Utilization shade ramp, lowest to highest.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Renders a `cycles × MC` utilization heatmap for the terminal: one row
+/// per controller, one column per (group of) window(s), shaded by busy
+/// fraction, plus an `eff` row showing each column's effective parallelism
+/// as a digit.
+pub fn ascii_heatmap(timeline: &Timeline, max_cols: usize) -> String {
+    let max_cols = max_cols.max(1);
+    let n = timeline.windows.len();
+    if n == 0 {
+        return "MC heatmap: (empty timeline)\n".to_string();
+    }
+    let group = n.div_ceil(max_cols);
+    let cols = n.div_ceil(group);
+    let mut out = format!(
+        "MC utilization heatmap: cycles {}..{} ({} windows of {} cycles, {} per column)\n",
+        timeline.start_cycle, timeline.end_cycle, n, timeline.interval, group,
+    );
+    for mc in 0..timeline.n_mcs {
+        out.push_str(&format!("  MC{mc} |"));
+        for c in 0..cols {
+            let lo = c * group;
+            let hi = (lo + group).min(n);
+            let mean: f64 =
+                (lo..hi).map(|w| timeline.utilization(w, mc)).sum::<f64>() / (hi - lo) as f64;
+            let idx = (mean * (RAMP.len() - 1) as f64).round() as usize;
+            out.push(RAMP[idx.min(RAMP.len() - 1)] as char);
+        }
+        out.push_str("|\n");
+    }
+    out.push_str("  eff |");
+    for c in 0..cols {
+        let lo = c * group;
+        let hi = (lo + group).min(n);
+        let mean: f64 = (lo..hi)
+            .map(|w| timeline.windows[w].effective_parallelism())
+            .sum::<f64>()
+            / (hi - lo) as f64;
+        let digit = (mean.round() as u64).min(9);
+        out.push(char::from_digit(digit as u32, 10).unwrap_or('9'));
+    }
+    out.push_str("|\n");
+    out.push_str(&format!(
+        "  shade: '{}' = idle … '{}' = saturated; eff = Σbusy/max busy per column\n",
+        RAMP[0] as char,
+        RAMP[RAMP.len() - 1] as char,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::SimProbe;
+    use crate::timeline::{StreamLabel, Timeline, TimelineRecorder, TraceConfig};
+    use t2opt_core::json::parse_json;
+
+    fn sample_timeline() -> Timeline {
+        let cfg = TraceConfig::with_interval(100)
+            .streams(vec![StreamLabel::new("A", 0), StreamLabel::new("B", 512)]);
+        let mut r = TimelineRecorder::new(4, 8, 2, &cfg);
+        r.mc_service(0, 10, 80, 4, false);
+        r.mc_service(1, 120, 60, 2, true);
+        r.bank_access(3, 15);
+        r.nack(130, 1, 1, 3, true);
+        r.stall(0, crate::probe::StallKind::Nack, 130, 160);
+        r.barrier_release(0, 190);
+        r.finish(200)
+    }
+
+    #[test]
+    fn chrome_trace_parses_and_has_events() {
+        let t = sample_timeline();
+        let spans = vec![SpanRecord {
+            name: "trial".to_string(),
+            tid: 1,
+            start_us: 5.0,
+            dur_us: 10.0,
+        }];
+        let json = chrome_trace(&t, &spans, 1200.0);
+        let v = parse_json(&json).expect("valid JSON");
+        let events = v
+            .as_object()
+            .and_then(|o| o.get("traceEvents"))
+            .and_then(|e| e.as_array())
+            .expect("traceEvents array");
+        assert!(events.len() >= 8);
+        // Every event has a ph.
+        assert!(events
+            .iter()
+            .all(|e| e.as_object().and_then(|o| o.get("ph")).is_some()));
+    }
+
+    #[test]
+    fn spans_chrome_trace_parses() {
+        let spans = vec![SpanRecord {
+            name: "t".to_string(),
+            tid: 0,
+            start_us: 0.0,
+            dur_us: 1.0,
+        }];
+        let json = spans_chrome_trace(&spans, &[("cache_hits".to_string(), 7)]);
+        let v = parse_json(&json).expect("valid JSON");
+        let events = v
+            .as_object()
+            .and_then(|o| o.get("traceEvents"))
+            .and_then(|e| e.as_array())
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 3);
+    }
+
+    #[test]
+    fn jsonl_lines_each_parse() {
+        let t = sample_timeline();
+        let jsonl = timeline_jsonl(&t);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        // meta + 2 streams + 2 windows + 2 stall rows + 2 events.
+        assert_eq!(lines.len(), 9);
+        for line in lines {
+            parse_json(line).expect("each line is valid JSON");
+        }
+        assert!(jsonl.contains("\"record\": \"meta\"") || jsonl.contains("\"record\":\"meta\""));
+    }
+
+    #[test]
+    fn heatmap_renders_all_mcs() {
+        let t = sample_timeline();
+        let map = ascii_heatmap(&t, 80);
+        assert!(map.contains("MC0"));
+        assert!(map.contains("MC3"));
+        assert!(map.contains("eff"));
+        // Window 0 has MC0 at 80% busy → a dense shade in row MC0.
+        let mc0_row = map.lines().find(|l| l.contains("MC0")).unwrap();
+        assert!(mc0_row.contains('%') || mc0_row.contains('@') || mc0_row.contains('#'));
+    }
+
+    #[test]
+    fn heatmap_groups_windows_to_fit() {
+        let t = sample_timeline();
+        let map = ascii_heatmap(&t, 1);
+        let mc0_row = map.lines().find(|l| l.contains("MC0")).unwrap();
+        let cells = mc0_row.split('|').nth(1).unwrap();
+        assert_eq!(cells.len(), 1);
+    }
+
+    #[test]
+    fn empty_timeline_heatmap_is_graceful() {
+        let cfg = TraceConfig::default();
+        let t = TimelineRecorder::new(4, 8, 0, &cfg).finish(0);
+        assert!(ascii_heatmap(&t, 80).contains("empty"));
+    }
+}

@@ -1,0 +1,47 @@
+//! Telemetry substrate for the t2opt workspace.
+//!
+//! The paper (and the repo up to now) diagnoses memory-controller aliasing
+//! only through end-to-end bandwidth: one aggregate
+//! [`SimStats`](https://docs.rs/t2opt-sim) per run. *When* and *where* a
+//! controller saturates is invisible, yet that is exactly the signal that
+//! separates "all threads hit one controller at a time" (the mod-512
+//! convoy of §2.1) from a genuinely balanced run. This crate supplies the
+//! missing layers:
+//!
+//! * [`metrics`] — host-side primitives: atomic [`metrics::Counter`]s,
+//!   fixed-log2-bucket [`metrics::Histogram`]s, span timers, a bounded
+//!   [`metrics::RingLog`] event buffer, and a process-wide/thread-local
+//!   [`metrics::Sink`] that is **disabled by default** and nearly free when
+//!   disabled (one relaxed atomic load per probe).
+//! * [`probe`] — the simulator-side hook trait [`probe::SimProbe`]. The
+//!   engine is generic over it and runs with the no-op [`probe::NoProbe`]
+//!   unless tracing is requested, so the uninstrumented path monomorphizes
+//!   to exactly the pre-instrumentation code: disabled telemetry is
+//!   *zero*-cost and bitwise deterministic.
+//! * [`timeline`] — time-resolved collection: per-MC busy/queue/NACK
+//!   samples bucketed into fixed windows of `interval` cycles, per-bank
+//!   access counts, per-thread stall breakdowns, and a bounded event log,
+//!   assembled into a serializable [`timeline::Timeline`].
+//! * [`alias`] — the [`alias::AliasReport`] analysis pass: per-window MC
+//!   imbalance (max/mean), effective-parallelism flagging (the runtime
+//!   signature of mod-512 congruence aliasing), and naming of the offending
+//!   address streams.
+//! * [`export`] — JSON-lines, Chrome-trace (`chrome://tracing` /
+//!   Perfetto), and terminal ASCII-heatmap exporters.
+
+#![warn(missing_docs)]
+
+pub mod alias;
+pub mod export;
+pub mod metrics;
+pub mod probe;
+pub mod timeline;
+
+/// The most commonly used telemetry types.
+pub mod prelude {
+    pub use crate::alias::{AliasConfig, AliasReport};
+    pub use crate::export::{ascii_heatmap, chrome_trace, spans_chrome_trace, timeline_jsonl};
+    pub use crate::metrics::{Counter, Histogram, RingLog, Sink, SpanRecord};
+    pub use crate::probe::{NoProbe, SimProbe, StallKind};
+    pub use crate::timeline::{StreamLabel, Timeline, TimelineRecorder, TraceConfig};
+}

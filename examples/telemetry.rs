@@ -1,0 +1,39 @@
+//! Time-resolved telemetry on the simulated T2: trace the same STREAM
+//! triad twice — once with the arrays congruent mod 512 B (the Fig. 2
+//! worst case, all streams convoying on one memory controller at a time)
+//! and once at the advisor's 128 B relative offset — and show how the
+//! per-window controller heatmap and the aliasing report tell them apart
+//! even though both runs move the same total bytes per controller.
+//!
+//! Run with: `cargo run --release --example telemetry`
+
+use t2opt::kernels::stream::{self, StreamConfig, StreamKernel};
+use t2opt::prelude::*;
+
+fn traced(offset: usize, label: &str) {
+    let chip = ChipConfig::ultrasparc_t2();
+    let cfg = StreamConfig::fig2(1 << 18, offset, 64);
+    let (res, timeline) = stream::run_sim_traced(
+        &cfg,
+        StreamKernel::Triad,
+        &chip,
+        &Placement::t2_scatter(),
+        4096,
+    );
+    println!("== {label} (offset {offset}) ==");
+    println!(
+        "reported {:.2} GB/s, run-total mc_balance {:.2}",
+        res.reported_gbs, res.mc_balance
+    );
+    print!("{}", ascii_heatmap(&timeline, 72));
+    let report = AliasReport::analyze(&timeline, &AliasConfig::default());
+    println!("{}\n", report.summary());
+}
+
+fn main() {
+    // Offset 0: A, B, C bases all ≡ 0 mod 512 — the controller convoy.
+    traced(0, "aliased");
+    // Offset 16 DP words = 128 B: consecutive arrays land on consecutive
+    // controllers (the paper's optimum).
+    traced(16, "advisor-spread");
+}

@@ -22,7 +22,11 @@
 //! * [`autotune`](t2opt_autotune) — the empirical counterpart to the
 //!   analytic advisor: searches the layout space by running batched
 //!   simulator trials in parallel, with a persistent result cache and an
-//!   advisor-agreement cross-check.
+//!   advisor-agreement cross-check;
+//! * [`telemetry`](t2opt_telemetry) — zero-cost-when-disabled counters,
+//!   histograms and spans, time-resolved simulator timelines with
+//!   MC-imbalance (aliasing) diagnostics, and Chrome-trace / JSON-lines /
+//!   ASCII-heatmap exporters.
 //!
 //! ## Quickstart
 //!
@@ -48,6 +52,7 @@ pub use t2opt_core as core;
 pub use t2opt_kernels as kernels;
 pub use t2opt_parallel as parallel;
 pub use t2opt_sim as sim;
+pub use t2opt_telemetry as telemetry;
 
 /// One-stop imports for the common types of all member crates.
 pub mod prelude {
@@ -55,4 +60,5 @@ pub mod prelude {
     pub use t2opt_core::prelude::*;
     pub use t2opt_parallel::{Coalesce2, Coalesce3, Placement, Schedule, ThreadPool};
     pub use t2opt_sim::prelude::*;
+    pub use t2opt_telemetry::prelude::*;
 }

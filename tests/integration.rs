@@ -261,6 +261,86 @@ fn autotuner_matches_advisor_and_reuses_cache() {
     let _ = std::fs::remove_file(&cache_path);
 }
 
+/// The time-resolved telemetry must detect mod-512 aliasing at runtime:
+/// on the fully aliased layout the report flags (nearly) every active
+/// window and names the congruent streams; on the advisor's 128 B spread
+/// it flags nothing.
+#[test]
+fn telemetry_flags_aliasing_and_clears_advisor_layout() {
+    let chip = ChipConfig::ultrasparc_t2();
+    let trace = |offset: usize| {
+        let cfg = StreamConfig::fig2(1 << 18, offset, 64);
+        let (_, timeline) = stream::run_sim_traced(
+            &cfg,
+            StreamKernel::Triad,
+            &chip,
+            &Placement::t2_scatter(),
+            4096,
+        );
+        AliasReport::analyze(&timeline, &AliasConfig::default())
+    };
+
+    // Offset 0: A, B, C bases all congruent mod 512 B — the convoy.
+    let aliased = trace(0);
+    assert!(
+        aliased.windows_considered > 0,
+        "the traced run must produce active windows"
+    );
+    assert!(
+        aliased.flagged_fraction >= 0.8,
+        "aliased layout must flag >= 80% of active windows, got {:.0}% ({}/{})",
+        aliased.flagged_fraction * 100.0,
+        aliased.windows_flagged,
+        aliased.windows_considered
+    );
+    let named: Vec<&str> = aliased
+        .aliased_streams
+        .iter()
+        .flatten()
+        .map(String::as_str)
+        .collect();
+    for s in ["A", "B", "C"] {
+        assert!(
+            named.contains(&s),
+            "the report must name stream {s} as a culprit, got {named:?}"
+        );
+    }
+
+    // Offset 16 DP words = 128 B: consecutive arrays on consecutive
+    // controllers (the advisor's suggestion) — nothing to flag.
+    let spread = trace(16);
+    assert_eq!(
+        spread.windows_flagged,
+        0,
+        "advisor-spread layout must produce zero flags: {}",
+        spread.summary()
+    );
+    assert!(spread.aliased_streams.is_empty());
+}
+
+/// Tracing must be observationally free: a traced run's SimStats are
+/// bitwise identical to the untraced run's (the `NoProbe` path is the
+/// same machine).
+#[test]
+fn telemetry_disabled_is_bitwise_identical() {
+    let chip = ChipConfig::ultrasparc_t2();
+    let cfg = StreamConfig::fig2(1 << 16, 8, 32);
+    let plain = stream::run_sim(&cfg, StreamKernel::Triad, &chip, &Placement::t2_scatter());
+    let (traced, timeline) = stream::run_sim_traced(
+        &cfg,
+        StreamKernel::Triad,
+        &chip,
+        &Placement::t2_scatter(),
+        4096,
+    );
+    assert_eq!(
+        plain.stats, traced.stats,
+        "tracing perturbed the simulation"
+    );
+    assert_eq!(plain.reported_gbs, traced.reported_gbs);
+    assert!(!timeline.windows.is_empty());
+}
+
 /// The whole prelude is usable as documented in the README.
 #[test]
 fn prelude_surface() {
