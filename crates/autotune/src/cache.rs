@@ -13,10 +13,21 @@
 //! diff-friendly:
 //!
 //! ```json
-//! {"version":1,"entries":{"89ab…":12.5,"cdef…":3.25}}
+//! {"version":2,"entries":{"89ab…":12.5},"meta":{"89ab…":{"tag":"triad",…}}}
 //! ```
+//!
+//! Version 2 adds the optional `meta` side-table: for each key, the
+//! workload-family tag, a chip fingerprint, and the candidate layout. That
+//! is what makes the cache *transferable across kernels*: the exact keys of
+//! a triad sweep never match a Jacobi or LBM trial, but the layouts that
+//! ranked best under the same chip live in the same mod-512 residue classes
+//! (the T2's controller interleave is pure address arithmetic), so
+//! [`ResultCache::transfer_seed`] can hand a new search the best *foreign*
+//! layout as its starting point. Version-1 files (no `meta`) still load;
+//! they simply cannot seed transfers.
 
 use crate::workload::Workload;
+use serde::Serialize;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use t2opt_core::json::{parse_json, to_json_string, JsonValue};
@@ -25,7 +36,25 @@ use t2opt_sim::ChipConfig;
 
 /// On-disk format version; bump when the trial semantics change in a way
 /// that invalidates old measurements.
-const FORMAT_VERSION: f64 = 1.0;
+const FORMAT_VERSION: f64 = 2.0;
+
+/// Side-table record describing what a cache entry measured, keyed next to
+/// its bandwidth. This is the lookup structure for cross-kernel transfer:
+/// `tag` groups entries into workload families (rankings only transfer
+/// *between* families, values don't transfer at all), `chip` fences off
+/// measurements from different memory systems, and `spec` is the layout the
+/// bandwidth was measured under.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct TrialMeta {
+    /// Workload-family tag ([`Workload::tag`]).
+    pub tag: String,
+    /// Chip fingerprint ([`ResultCache::chip_fingerprint`]), stored as a
+    /// hex string: the minimal JSON parser reads numbers as `f64`, which
+    /// cannot round-trip a full 64-bit hash.
+    pub chip: String,
+    /// The candidate layout the entry measured.
+    pub spec: LayoutSpec,
+}
 
 /// A content-addressed map from trial key to measured bandwidth (GB/s),
 /// optionally backed by a JSON file. See the module docs.
@@ -33,6 +62,7 @@ const FORMAT_VERSION: f64 = 1.0;
 pub struct ResultCache {
     path: Option<PathBuf>,
     entries: BTreeMap<String, f64>,
+    meta: BTreeMap<String, TrialMeta>,
     hits: u64,
     misses: u64,
     dirty: bool,
@@ -45,6 +75,7 @@ impl ResultCache {
         ResultCache {
             path: None,
             entries: BTreeMap::new(),
+            meta: BTreeMap::new(),
             hits: 0,
             misses: 0,
             dirty: false,
@@ -60,12 +91,14 @@ impl ResultCache {
         let mut cache = ResultCache::in_memory();
         if path.exists() {
             let text = std::fs::read_to_string(&path)?;
-            cache.entries = parse_entries(&text).map_err(|e| {
+            let (entries, meta) = parse_file(&text).map_err(|e| {
                 std::io::Error::new(
                     std::io::ErrorKind::InvalidData,
                     format!("corrupt result cache {}: {e}", path.display()),
                 )
             })?;
+            cache.entries = entries;
+            cache.meta = meta;
         }
         cache.path = Some(path);
         Ok(cache)
@@ -103,6 +136,75 @@ impl ResultCache {
         self.dirty = self.dirty || prev != Some(gbs);
     }
 
+    /// Records a measured bandwidth plus the transfer side-table record
+    /// describing it (see [`TrialMeta`]); entries inserted this way become
+    /// visible to [`ResultCache::transfer_seed`].
+    pub fn insert_with_meta(&mut self, key: String, gbs: f64, meta: TrialMeta) {
+        let prev = self.meta.insert(key.clone(), meta.clone());
+        self.dirty = self.dirty || prev.as_ref() != Some(&meta);
+        self.insert(key, gbs);
+    }
+
+    /// FNV-1a 64 fingerprint (hex) of a chip's canonical JSON — the fence
+    /// [`ResultCache::transfer_seed`] uses to keep layouts measured on one
+    /// memory system from seeding searches on another.
+    pub fn chip_fingerprint(chip: &ChipConfig) -> String {
+        format!("{:016x}", fnv1a64(to_json_string(chip).as_bytes()))
+    }
+
+    /// Cross-kernel seeding: the best layout any *foreign* workload family
+    /// (different [`TrialMeta::tag`]) measured on the same chip, with its
+    /// shift and block offset reduced mod `period` (the memory-controller
+    /// interleave period — on the T2, 512 B; layouts in the same residue
+    /// class produce the same controller walk, so the reduction only
+    /// canonicalizes, never changes behavior).
+    ///
+    /// Ranking is *relative within each family*: each entry scores
+    /// `gbs / family_max`, so a slow kernel's clear winner beats a fast
+    /// kernel's mediocre candidate. Absolute bandwidths never transfer.
+    /// Ties break to the lexicographically smallest key, keeping the seed
+    /// deterministic for a given cache state.
+    pub fn transfer_seed(&self, target_tag: &str, chip: &str, period: usize) -> Option<LayoutSpec> {
+        assert!(period > 0, "interleave period must be positive");
+        let mut family_max: BTreeMap<&str, f64> = BTreeMap::new();
+        for (key, m) in &self.meta {
+            if m.tag == target_tag || m.chip != chip {
+                continue;
+            }
+            let Some(&gbs) = self.entries.get(key) else {
+                continue;
+            };
+            let best = family_max.entry(m.tag.as_str()).or_insert(f64::MIN);
+            *best = best.max(gbs);
+        }
+        let mut winner: Option<(f64, &String, &TrialMeta)> = None;
+        for (key, m) in &self.meta {
+            if m.tag == target_tag || m.chip != chip {
+                continue;
+            }
+            let Some(&gbs) = self.entries.get(key) else {
+                continue;
+            };
+            let fam = family_max[m.tag.as_str()];
+            let score = if fam > 0.0 { gbs / fam } else { 0.0 };
+            let better = match winner {
+                None => true,
+                // BTreeMap iterates keys ascending, so on a tie the
+                // earlier (smaller) key wins by keeping `>` strict.
+                Some((best, _, _)) => score > best,
+            };
+            if better {
+                winner = Some((score, key, m));
+            }
+        }
+        winner.map(|(_, _, m)| {
+            m.spec
+                .clone()
+                .shift(m.spec.shift % period)
+                .block_offset(m.spec.block_offset % period)
+        })
+    }
+
     /// Writes the cache back to its backing file. A no-op for in-memory
     /// caches and when nothing changed since the last load/save.
     pub fn save(&mut self) -> std::io::Result<()> {
@@ -115,8 +217,9 @@ impl ResultCache {
         std::fs::write(
             path,
             format!(
-                r#"{{"version":{FORMAT_VERSION},"entries":{}}}"#,
-                to_json_string(&self.entries)
+                r#"{{"version":{FORMAT_VERSION},"entries":{},"meta":{}}}"#,
+                to_json_string(&self.entries),
+                to_json_string(&self.meta)
             ),
         )?;
         self.dirty = false;
@@ -152,25 +255,74 @@ impl ResultCache {
     }
 }
 
-fn parse_entries(text: &str) -> Result<BTreeMap<String, f64>, String> {
+type CacheTables = (BTreeMap<String, f64>, BTreeMap<String, TrialMeta>);
+
+fn parse_file(text: &str) -> Result<CacheTables, String> {
     let doc = parse_json(text).map_err(|e| e.to_string())?;
     let obj = doc.as_object().ok_or("top level must be an object")?;
     match obj.get("version").and_then(JsonValue::as_f64) {
-        Some(v) if v == FORMAT_VERSION => {}
+        // Version 1 lacks the meta side-table but its entries are still
+        // valid measurements; load them (they just cannot seed transfers).
+        Some(v) if v == 1.0 || v == FORMAT_VERSION => {}
         other => return Err(format!("unsupported cache version {other:?}")),
     }
-    let entries = obj
+    let entries: BTreeMap<String, f64> = obj
         .get("entries")
         .and_then(JsonValue::as_object)
-        .ok_or("missing \"entries\" object")?;
-    entries
+        .ok_or("missing \"entries\" object")?
         .iter()
         .map(|(k, v)| {
             v.as_f64()
                 .map(|gbs| (k.clone(), gbs))
                 .ok_or_else(|| format!("entry {k:?} is not a number"))
         })
-        .collect()
+        .collect::<Result<_, _>>()?;
+    let mut meta = BTreeMap::new();
+    if let Some(table) = obj.get("meta").and_then(JsonValue::as_object) {
+        for (k, v) in table {
+            meta.insert(
+                k.clone(),
+                parse_meta(v).map_err(|e| format!("meta {k:?}: {e}"))?,
+            );
+        }
+    }
+    Ok((entries, meta))
+}
+
+fn parse_meta(v: &JsonValue) -> Result<TrialMeta, String> {
+    let obj = v.as_object().ok_or("must be an object")?;
+    let field_str = |name: &str| -> Result<String, String> {
+        obj.get(name)
+            .and_then(JsonValue::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| format!("missing string field {name:?}"))
+    };
+    let spec = obj
+        .get("spec")
+        .and_then(JsonValue::as_object)
+        .ok_or("missing \"spec\" object")?;
+    let field_usize = |name: &str| -> Result<usize, String> {
+        spec.get(name)
+            .and_then(JsonValue::as_f64)
+            .map(|f| f as usize)
+            .ok_or_else(|| format!("missing numeric spec field {name:?}"))
+    };
+    let (ba, sa) = (field_usize("base_align")?, field_usize("seg_align")?);
+    for (name, v) in [("base_align", ba), ("seg_align", sa)] {
+        if !v.max(1).is_power_of_two() {
+            return Err(format!("spec field {name:?} = {v} is not a power of two"));
+        }
+    }
+    Ok(TrialMeta {
+        tag: field_str("tag")?,
+        chip: field_str("chip")?,
+        // Rebuild through the setters so loaded specs are canonical.
+        spec: LayoutSpec::new()
+            .base_align(ba)
+            .seg_align(sa)
+            .shift(field_usize("shift")?)
+            .block_offset(field_usize("block_offset")?),
+    })
 }
 
 fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -267,5 +419,106 @@ mod tests {
         std::fs::write(&path, r#"{"version":99,"entries":{}}"#).unwrap();
         assert!(ResultCache::at_path(&path).is_err());
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn accepts_version_1_files_without_meta() {
+        let path = tmp_path("v1.json");
+        std::fs::write(&path, r#"{"version":1,"entries":{"aa":3.5}}"#).unwrap();
+        let mut c = ResultCache::at_path(&path).unwrap();
+        assert_eq!(c.get("aa"), Some(3.5));
+        assert_eq!(
+            c.transfer_seed("jacobi", "anything", 512),
+            None,
+            "v1 entries carry no meta, so nothing can transfer"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    fn meta(tag: &str, chip: &str, spec: LayoutSpec) -> TrialMeta {
+        TrialMeta {
+            tag: tag.into(),
+            chip: chip.into(),
+            spec,
+        }
+    }
+
+    #[test]
+    fn meta_round_trips_through_disk() {
+        let path = tmp_path("meta_roundtrip.json");
+        let _ = std::fs::remove_file(&path);
+        let chip = ResultCache::chip_fingerprint(&ChipConfig::ultrasparc_t2());
+        let spec = LayoutSpec::new().base_align(8192).seg_align(512).shift(128);
+        let mut c = ResultCache::at_path(&path).unwrap();
+        c.insert_with_meta("aa".into(), 9.0, meta("triad", &chip, spec.clone()));
+        c.save().unwrap();
+
+        let reloaded = ResultCache::at_path(&path).unwrap();
+        assert_eq!(
+            reloaded.transfer_seed("jacobi", &chip, 512),
+            Some(spec),
+            "meta must survive a save/load cycle"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn transfer_seed_ranks_relatively_within_families() {
+        let chip = "cafe";
+        let mut c = ResultCache::in_memory();
+        // Slow family: clear winner at 2 GB/s (score 1.0 on "good").
+        let good = LayoutSpec::new().base_align(8192).block_offset(128);
+        c.insert_with_meta("s0".into(), 2.0, meta("stream_mix", chip, good.clone()));
+        c.insert_with_meta(
+            "s1".into(),
+            0.5,
+            meta("stream_mix", chip, LayoutSpec::new()),
+        );
+        // Fast family: higher absolute bandwidths, but "bad" is only its
+        // runner-up (score 10/16 < 1.0).
+        c.insert_with_meta(
+            "t0".into(),
+            16.0,
+            meta("triad", chip, good.clone().shift(64)),
+        );
+        c.insert_with_meta("t1".into(), 10.0, meta("triad", chip, LayoutSpec::new()));
+        let seed = c.transfer_seed("jacobi", chip, 512).unwrap();
+        // Both family winners score 1.0; the tie breaks to the smaller
+        // key "s0" — proving absolute bandwidth does not leak across.
+        assert_eq!(seed, good);
+    }
+
+    #[test]
+    fn transfer_seed_skips_own_family_and_foreign_chips() {
+        let mut c = ResultCache::in_memory();
+        c.insert_with_meta(
+            "j0".into(),
+            99.0,
+            meta("jacobi", "cafe", LayoutSpec::new().shift(64)),
+        );
+        c.insert_with_meta(
+            "x0".into(),
+            99.0,
+            meta("triad", "beef", LayoutSpec::new().shift(64)),
+        );
+        assert_eq!(
+            c.transfer_seed("jacobi", "cafe", 512),
+            None,
+            "own-family and wrong-chip entries must not seed"
+        );
+        assert!(c.transfer_seed("lbm_IvJK", "cafe", 512).is_some());
+    }
+
+    #[test]
+    fn transfer_seed_canonicalizes_mod_period() {
+        let mut c = ResultCache::in_memory();
+        let spec = LayoutSpec::new()
+            .base_align(8192)
+            .shift(512 + 128)
+            .block_offset(1024 + 64);
+        c.insert_with_meta("a0".into(), 5.0, meta("triad", "cafe", spec));
+        let seed = c.transfer_seed("jacobi", "cafe", 512).unwrap();
+        assert_eq!(seed.shift, 128);
+        assert_eq!(seed.block_offset, 64);
     }
 }

@@ -12,16 +12,22 @@
 //!
 //! The pieces:
 //!
-//! - [`Workload`] — what to measure: a stream mix or the STREAM triad, with
-//!   problem size, thread count, and measurement protocol.
+//! - [`Workload`] — what to measure: a stream mix, the STREAM triad, the
+//!   Jacobi sweep, or the D3Q19 LBM propagation step (Fig. 7's IJKv/IvJK
+//!   layouts), with problem size, thread count, and measurement protocol.
 //! - [`ParamSpace`] — the candidate grid over the four layout parameters.
 //! - [`SearchStrategy`] — how to walk it: [`SearchStrategy::Exhaustive`],
-//!   [`SearchStrategy::CoordinateDescent`], or
+//!   [`SearchStrategy::CoordinateDescent`],
 //!   [`SearchStrategy::AdvisorSeeded`] (start from the paper's closed form,
-//!   refine locally).
+//!   refine locally), [`SearchStrategy::SimulatedAnnealing`] (seeded,
+//!   deterministic; escapes the local optima of the non-separable space),
+//!   or [`SearchStrategy::TransferSeeded`] (start from the best layout a
+//!   *different* kernel's sweep cached on the same chip).
 //! - [`ResultCache`] — persistent, content-addressed memoization of trials,
 //!   so repeated sweeps and CI runs are incremental; a warm cache re-runs a
-//!   sweep with **zero** new simulations.
+//!   sweep with **zero** new simulations. Since format v2 each entry also
+//!   carries [`cache::TrialMeta`], enabling the cross-kernel
+//!   [`ResultCache::transfer_seed`] lookup.
 //! - [`Tuner`] / [`TuneReport`] — the engine and its output: ranked trials,
 //!   the winner, cache counters, and an [`Agreement`] section
 //!   cross-validating the analytic prediction against the measurements
@@ -51,7 +57,7 @@ pub mod space;
 pub mod tuner;
 pub mod workload;
 
-pub use cache::ResultCache;
+pub use cache::{ResultCache, TrialMeta};
 pub use space::{ParamSpace, N_DIMS};
 pub use tuner::{Agreement, Divergence, SearchStrategy, Trial, TuneReport, Tuner};
 pub use workload::Workload;

@@ -62,6 +62,22 @@ impl ParamSpace {
         }
     }
 
+    /// The Fig. 7 LBM padding sweep: page-aligned grids, segments packed
+    /// or padded out to the 512 B super-line, inter-segment shifts up to
+    /// one controller step, and the two toggle grids packed or displaced
+    /// by one controller line. Small (12 candidates) because one LBM trial
+    /// simulates 38 streams per row — yet it spans the paper's comparison:
+    /// packed IJKv aliases, padded + shifted IJKv recovers, and IvJK is
+    /// near-optimal already packed.
+    pub fn lbm_padding_sweep() -> Self {
+        ParamSpace {
+            base_aligns: vec![8192],
+            seg_aligns: vec![1, 512],
+            shifts: vec![0, 64, 128],
+            block_offsets: vec![0, 128],
+        }
+    }
+
     /// Per-dimension sizes `[|base_aligns|, |seg_aligns|, |shifts|,
     /// |block_offsets|]`.
     pub fn dims(&self) -> [usize; N_DIMS] {

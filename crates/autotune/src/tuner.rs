@@ -9,7 +9,7 @@
 //! [`ResultCache`], checked *before* dispatch: a warm cache re-runs a sweep
 //! with zero new simulations.
 
-use crate::cache::ResultCache;
+use crate::cache::{ResultCache, TrialMeta};
 use crate::space::{ParamSpace, N_DIMS};
 use crate::workload::Workload;
 use serde::Serialize;
@@ -45,11 +45,39 @@ pub enum SearchStrategy {
         /// Upper bound on full rounds over the four dimensions.
         max_rounds: usize,
     },
+    /// Simulated annealing from the space's origin: a seeded xorshift64*
+    /// PRNG proposes single-coordinate moves, accepted by the Metropolis
+    /// rule on *relative* bandwidth loss under geometric cooling (fixed
+    /// endpoints [`ANNEAL_T0`] → [`ANNEAL_T_END`]). Unlike coordinate
+    /// descent this escapes the local optima of the non-separable
+    /// `(seg_align, shift, block_offset)` space — improving one parameter
+    /// alone can hurt until a second one moves with it. Fully
+    /// deterministic for a fixed `seed`; repeated proposals cost nothing
+    /// (the result cache absorbs them).
+    SimulatedAnnealing {
+        /// PRNG seed; equal seeds reproduce the identical trial sequence.
+        seed: u64,
+        /// Proposal steps (≈ upper bound on fresh simulations + 1).
+        steps: usize,
+    },
+    /// Coordinate descent seeded by the best *cross-kernel* cached layout:
+    /// [`crate::cache::ResultCache::transfer_seed`] picks the
+    /// relatively-best layout any other workload family measured on this
+    /// chip (mod-512 residue classes make layouts transferable), and the
+    /// descent refines from there. With an empty or unrelated cache this
+    /// degrades gracefully to plain coordinate descent from the origin.
+    TransferSeeded {
+        /// Upper bound on full rounds over the four dimensions.
+        max_rounds: usize,
+    },
 }
 
 impl SearchStrategy {
     /// The default refinement budget used by the convenience constructors.
     pub const DEFAULT_ROUNDS: usize = 4;
+
+    /// The default annealing proposal budget.
+    pub const DEFAULT_STEPS: usize = 64;
 
     /// Coordinate descent with the default round budget.
     pub fn coordinate_descent() -> Self {
@@ -61,6 +89,21 @@ impl SearchStrategy {
     /// Advisor-seeded descent with the default round budget.
     pub fn advisor_seeded() -> Self {
         SearchStrategy::AdvisorSeeded {
+            max_rounds: Self::DEFAULT_ROUNDS,
+        }
+    }
+
+    /// Simulated annealing with the default step budget.
+    pub fn simulated_annealing(seed: u64) -> Self {
+        SearchStrategy::SimulatedAnnealing {
+            seed,
+            steps: Self::DEFAULT_STEPS,
+        }
+    }
+
+    /// Cache-transfer-seeded descent with the default round budget.
+    pub fn transfer_seeded() -> Self {
+        SearchStrategy::TransferSeeded {
             max_rounds: Self::DEFAULT_ROUNDS,
         }
     }
@@ -248,41 +291,68 @@ impl Tuner {
         let mut seen: BTreeMap<String, usize> = BTreeMap::new();
         let mut simulations_run = 0u64;
 
-        match self.strategy {
-            SearchStrategy::Exhaustive => {
-                let dims = self.space.dims();
-                let mut all = Vec::with_capacity(self.space.len());
-                for b in 0..dims[0] {
-                    for s in 0..dims[1] {
-                        for h in 0..dims[2] {
-                            for o in 0..dims[3] {
-                                all.push([b, s, h, o]);
+        // Resolve strategy seeds before the walk borrows `self` for its
+        // objective closure.
+        let strategy = self.strategy;
+        let dims = self.space.dims();
+        let transfer_start = match strategy {
+            SearchStrategy::TransferSeeded { .. } => {
+                let fingerprint = ResultCache::chip_fingerprint(&self.chip);
+                let period = self.chip.map.geometry().super_line() as usize;
+                self.cache
+                    .transfer_seed(&self.workload.tag(), &fingerprint, period)
+                    .map(|spec| self.space.nearest_index(&spec))
+            }
+            _ => None,
+        };
+        let transfer_seed_used = transfer_start.is_some();
+        let advisor_start = match strategy {
+            SearchStrategy::AdvisorSeeded { .. } => {
+                Some(self.space.nearest_index(&self.advisor().suggest_layout()))
+            }
+            _ => None,
+        };
+
+        {
+            let mut eval = |batch: &[[usize; N_DIMS]]| {
+                self.measure(batch, &pool, &mut trials, &mut seen, &mut simulations_run)
+            };
+            match strategy {
+                SearchStrategy::Exhaustive => {
+                    let mut all = Vec::with_capacity(dims.iter().product());
+                    for b in 0..dims[0] {
+                        for s in 0..dims[1] {
+                            for h in 0..dims[2] {
+                                for o in 0..dims[3] {
+                                    all.push([b, s, h, o]);
+                                }
                             }
                         }
                     }
+                    eval(&all);
                 }
-                self.measure(&all, &pool, &mut trials, &mut seen, &mut simulations_run);
-            }
-            SearchStrategy::CoordinateDescent { max_rounds } => {
-                self.descend(
-                    [0; N_DIMS],
-                    max_rounds,
-                    &pool,
-                    &mut trials,
-                    &mut seen,
-                    &mut simulations_run,
-                );
-            }
-            SearchStrategy::AdvisorSeeded { max_rounds } => {
-                let seed = self.space.nearest_index(&self.advisor().suggest_layout());
-                self.descend(
-                    seed,
-                    max_rounds,
-                    &pool,
-                    &mut trials,
-                    &mut seen,
-                    &mut simulations_run,
-                );
+                SearchStrategy::CoordinateDescent { max_rounds } => {
+                    descend_impl(dims, [0; N_DIMS], max_rounds, &mut eval);
+                }
+                SearchStrategy::AdvisorSeeded { max_rounds } => {
+                    descend_impl(
+                        dims,
+                        advisor_start.expect("advisor seed resolved above"),
+                        max_rounds,
+                        &mut eval,
+                    );
+                }
+                SearchStrategy::SimulatedAnnealing { seed, steps } => {
+                    anneal_impl(dims, [0; N_DIMS], seed, steps, &mut eval);
+                }
+                SearchStrategy::TransferSeeded { max_rounds } => {
+                    descend_impl(
+                        dims,
+                        transfer_start.unwrap_or([0; N_DIMS]),
+                        max_rounds,
+                        &mut eval,
+                    );
+                }
             }
         }
 
@@ -307,6 +377,9 @@ impl Tuner {
                 .add(self.cache.misses());
             sink.counter("autotune.simulations_run")
                 .add(simulations_run);
+            if transfer_seed_used {
+                sink.counter("autotune.transfer_seed_used").add(1);
+            }
             if let Some(m) = pool.metrics() {
                 sink.counter("autotune.pool_jobs").add(m.jobs);
                 sink.counter("autotune.pool_busy_ns")
@@ -325,53 +398,6 @@ impl Tuner {
             simulations_run,
             agreement,
             trials,
-        }
-    }
-
-    /// Cyclic coordinate descent from `start`.
-    fn descend(
-        &mut self,
-        start: [usize; N_DIMS],
-        max_rounds: usize,
-        pool: &ThreadPool,
-        trials: &mut Vec<Trial>,
-        seen: &mut BTreeMap<String, usize>,
-        simulations_run: &mut u64,
-    ) {
-        let dims = self.space.dims();
-        let mut cur = start;
-        let mut cur_gbs = self.measure(&[cur], pool, trials, seen, simulations_run)[0];
-        for _ in 0..max_rounds {
-            let mut improved = false;
-            for dim in 0..N_DIMS {
-                let line: Vec<[usize; N_DIMS]> = (0..dims[dim])
-                    .map(|v| {
-                        let mut idx = cur;
-                        idx[dim] = v;
-                        idx
-                    })
-                    .collect();
-                let gbs = self.measure(&line, pool, trials, seen, simulations_run);
-                // Argmax along the line; ties to the lowest grid value so
-                // the walk is deterministic.
-                let (best_v, &best_gbs) = gbs
-                    .iter()
-                    .enumerate()
-                    .max_by(|(ai, a), (bi, b)| {
-                        a.partial_cmp(b)
-                            .expect("bandwidth is finite")
-                            .then(bi.cmp(ai))
-                    })
-                    .expect("dimension is non-empty");
-                if best_gbs > cur_gbs {
-                    cur[dim] = best_v;
-                    cur_gbs = best_gbs;
-                    improved = true;
-                }
-            }
-            if !improved {
-                break;
-            }
         }
     }
 
@@ -453,12 +479,24 @@ impl Tuner {
                 }
             });
             *simulations_run += to_run.len() as u64;
+            let tag = self.workload.tag();
+            let fingerprint = ResultCache::chip_fingerprint(&self.chip);
             for (j, &i) in to_run.iter().enumerate() {
                 let gbs = slots[j]
                     .lock()
                     .expect("slot lock")
                     .expect("every dispatched trial completes");
-                self.cache.insert(keys[i].clone(), gbs);
+                // Fresh measurements carry transfer meta so later searches
+                // of *other* kernels can seed from them.
+                self.cache.insert_with_meta(
+                    keys[i].clone(),
+                    gbs,
+                    TrialMeta {
+                        tag: tag.clone(),
+                        chip: fingerprint.clone(),
+                        spec: specs[i].clone(),
+                    },
+                );
                 seen.insert(keys[i].clone(), trials.len());
                 trials.push(Trial {
                     spec: specs[i].clone(),
@@ -471,6 +509,141 @@ impl Tuner {
 
         keys.iter().map(|key| trials[seen[key]].gbs).collect()
     }
+}
+
+/// Annealing start temperature (relative-bandwidth units: at `T0` a move
+/// costing 25 % of the current bandwidth is accepted with probability
+/// `1/e`).
+pub const ANNEAL_T0: f64 = 0.25;
+
+/// Annealing end temperature — cold enough that only near-neutral moves
+/// are still accepted in the final steps.
+pub const ANNEAL_T_END: f64 = 0.005;
+
+/// xorshift64\* step: fast, well-distributed, and trivially portable — the
+/// determinism the fixed-seed reproducibility tests pin down.
+fn xorshift64star(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+/// Uniform draw in `[0, 1)` from the top 53 bits of one PRNG step.
+fn rand_unit(state: &mut u64) -> f64 {
+    (xorshift64star(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Cyclic coordinate descent over the grid `dims` from `start`, driven by
+/// a batch objective (higher is better): sweep one dimension at a time,
+/// move to its best value, stop when a full round improves nothing or
+/// `max_rounds` is reached. Returns the final position and value.
+///
+/// A free function over the objective so walkers are unit-testable against
+/// synthetic landscapes; [`Tuner::run`] passes a closure that simulates
+/// (cache-first) and records trials.
+pub(crate) fn descend_impl<F>(
+    dims: [usize; N_DIMS],
+    start: [usize; N_DIMS],
+    max_rounds: usize,
+    eval: &mut F,
+) -> ([usize; N_DIMS], f64)
+where
+    F: FnMut(&[[usize; N_DIMS]]) -> Vec<f64>,
+{
+    let mut cur = start;
+    let mut cur_gbs = eval(&[cur])[0];
+    for _ in 0..max_rounds {
+        let mut improved = false;
+        for dim in 0..N_DIMS {
+            let line: Vec<[usize; N_DIMS]> = (0..dims[dim])
+                .map(|v| {
+                    let mut idx = cur;
+                    idx[dim] = v;
+                    idx
+                })
+                .collect();
+            let gbs = eval(&line);
+            // Argmax along the line; ties to the lowest grid value so
+            // the walk is deterministic.
+            let (best_v, &best_gbs) = gbs
+                .iter()
+                .enumerate()
+                .max_by(|(ai, a), (bi, b)| {
+                    a.partial_cmp(b)
+                        .expect("bandwidth is finite")
+                        .then(bi.cmp(ai))
+                })
+                .expect("dimension is non-empty");
+            if best_gbs > cur_gbs {
+                cur[dim] = best_v;
+                cur_gbs = best_gbs;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    (cur, cur_gbs)
+}
+
+/// Simulated annealing over the grid `dims` from `start` (see
+/// [`SearchStrategy::SimulatedAnnealing`] for the schedule): each step
+/// proposes one random single-coordinate move, always accepts
+/// improvements, and accepts a relative loss `δ < 0` with probability
+/// `exp(δ / T)` under geometric cooling from [`ANNEAL_T0`] to
+/// [`ANNEAL_T_END`]. Returns the best position *ever visited* and its
+/// value (the walk itself may end somewhere worse).
+pub(crate) fn anneal_impl<F>(
+    dims: [usize; N_DIMS],
+    start: [usize; N_DIMS],
+    seed: u64,
+    steps: usize,
+    eval: &mut F,
+) -> ([usize; N_DIMS], f64)
+where
+    F: FnMut(&[[usize; N_DIMS]]) -> Vec<f64>,
+{
+    let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+    if state == 0 {
+        state = 0x2545_f491_4f6c_dd1d;
+    }
+    let mut cur = start;
+    let mut cur_gbs = eval(&[cur])[0];
+    let (mut best, mut best_gbs) = (cur, cur_gbs);
+    let movable: Vec<usize> = (0..N_DIMS).filter(|&d| dims[d] > 1).collect();
+    if movable.is_empty() {
+        return (best, best_gbs);
+    }
+    let denom = steps.saturating_sub(1).max(1) as f64;
+    for step in 0..steps {
+        let t = ANNEAL_T0 * (ANNEAL_T_END / ANNEAL_T0).powf(step as f64 / denom);
+        let dim = movable[(xorshift64star(&mut state) % movable.len() as u64) as usize];
+        // A uniformly random *different* value along `dim`.
+        let mut v = (xorshift64star(&mut state) % (dims[dim] as u64 - 1)) as usize;
+        if v >= cur[dim] {
+            v += 1;
+        }
+        let mut cand = cur;
+        cand[dim] = v;
+        let gbs = eval(&[cand])[0];
+        let accept = gbs >= cur_gbs || {
+            let delta_rel = (gbs - cur_gbs) / cur_gbs.max(f64::MIN_POSITIVE);
+            rand_unit(&mut state) < (delta_rel / t).exp()
+        };
+        if accept {
+            cur = cand;
+            cur_gbs = gbs;
+            if cur_gbs > best_gbs {
+                best = cur;
+                best_gbs = cur_gbs;
+            }
+        }
+    }
+    (best, best_gbs)
 }
 
 /// Builds the [`Agreement`] section: Spearman rank correlation plus the
@@ -702,6 +875,202 @@ mod tests {
             report.speedup_over(&plain).unwrap() > 1.3,
             "shifted rows must clearly beat aliased rows: {report:?}"
         );
+    }
+
+    /// A deceptive non-separable 3×3 landscape over (seg_align, shift):
+    /// the origin is a local optimum for *both* axis sweeps — every
+    /// single-coordinate move from (0, 0) loses — while the global optimum
+    /// sits diagonally at (2, 2). Exactly the trap coordinate descent
+    /// cannot leave and annealing must.
+    const DECEPTIVE: [[f64; 3]; 3] = [[10.0, 6.0, 7.0], [6.0, 8.0, 9.0], [7.0, 9.0, 20.0]];
+    const DECEPTIVE_DIMS: [usize; N_DIMS] = [1, 3, 3, 1];
+
+    fn deceptive_eval(batch: &[[usize; N_DIMS]]) -> Vec<f64> {
+        batch.iter().map(|i| DECEPTIVE[i[1]][i[2]]).collect()
+    }
+
+    #[test]
+    fn coordinate_descent_stalls_on_the_deceptive_landscape() {
+        let (pos, val) = descend_impl(DECEPTIVE_DIMS, [0; N_DIMS], 8, &mut deceptive_eval);
+        assert_eq!(pos, [0; N_DIMS], "every axis sweep from the origin loses");
+        assert_eq!(val, 10.0);
+    }
+
+    #[test]
+    fn annealing_escapes_the_deceptive_landscape() {
+        let (pos, val) = anneal_impl(DECEPTIVE_DIMS, [0; N_DIMS], 7, 64, &mut deceptive_eval);
+        assert_eq!(val, 20.0, "annealing must reach the diagonal optimum");
+        assert_eq!(pos, [0, 2, 2, 0]);
+        // The acceptance criterion, stated directly: annealing strictly
+        // beats coordinate descent here.
+        let (_, cd_val) = descend_impl(DECEPTIVE_DIMS, [0; N_DIMS], 8, &mut deceptive_eval);
+        assert!(val > cd_val);
+    }
+
+    #[test]
+    fn annealing_with_a_fixed_seed_reproduces_the_trial_sequence() {
+        let run = |seed: u64| {
+            let mut visits: Vec<[usize; N_DIMS]> = Vec::new();
+            let result = anneal_impl(DECEPTIVE_DIMS, [0; N_DIMS], seed, 48, &mut |batch| {
+                visits.extend_from_slice(batch);
+                deceptive_eval(batch)
+            });
+            (visits, result)
+        };
+        let (v1, r1) = run(1234);
+        let (v2, r2) = run(1234);
+        assert_eq!(v1, v2, "same seed, same proposal sequence");
+        assert_eq!(r1, r2);
+        let (v3, _) = run(99);
+        assert_ne!(v1, v3, "a different seed must explore differently");
+    }
+
+    #[test]
+    fn annealing_matches_or_beats_descent_on_the_simulator() {
+        let space = ParamSpace::t2_default();
+        let cd = smoke_tuner(space.clone())
+            .strategy(SearchStrategy::coordinate_descent())
+            .run();
+        let sa = smoke_tuner(space)
+            .strategy(SearchStrategy::simulated_annealing(42))
+            .run();
+        assert!(
+            sa.best.gbs >= cd.best.gbs,
+            "annealing must not lose to descent: {} vs {}",
+            sa.best.gbs,
+            cd.best.gbs
+        );
+    }
+
+    #[test]
+    fn annealing_with_fixed_seed_is_deterministic_end_to_end() {
+        let run = || {
+            smoke_tuner(ParamSpace::t2_default())
+                .strategy(SearchStrategy::simulated_annealing(7))
+                .run()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.best.spec, b.best.spec);
+        assert_eq!(a.best.gbs, b.best.gbs);
+        let specs = |r: &TuneReport| r.trials.iter().map(|t| t.spec.clone()).collect::<Vec<_>>();
+        assert_eq!(specs(&a), specs(&b), "identical trial set, same order");
+    }
+
+    /// A Jacobi space with a *unique* optimum at (shift 64, offset 0) and
+    /// the origin placed at offset 64, so a cold descent must move twice
+    /// (shift, then offset) and its second round sweeps lines a seeded
+    /// start never visits. seg_align is omitted: 512 B rows make it a
+    /// no-op, and its exact ties would let path order pick the winner.
+    fn jacobi_transfer_space() -> ParamSpace {
+        ParamSpace {
+            base_aligns: vec![8192],
+            seg_aligns: vec![1],
+            shifts: vec![0, 64, 128],
+            block_offsets: vec![64, 0, 128],
+        }
+    }
+
+    fn jacobi_transfer_tuner() -> Tuner {
+        Tuner::new(
+            Workload::jacobi_smoke(64, 16),
+            ChipConfig::ultrasparc_t2(),
+            jacobi_transfer_space(),
+        )
+        .pool_threads(4)
+        .strategy(SearchStrategy::transfer_seeded())
+    }
+
+    #[test]
+    fn transfer_seeded_falls_back_to_origin_descent_when_cache_is_cold() {
+        let sink = Sink::enabled();
+        let report = jacobi_transfer_tuner().telemetry(Arc::clone(&sink)).run();
+        assert!(report.simulations_run > 0);
+        let counters: BTreeMap<String, u64> = sink.counter_values().into_iter().collect();
+        assert!(
+            !counters.contains_key("autotune.transfer_seed_used"),
+            "no foreign entries, nothing to transfer: {counters:?}"
+        );
+    }
+
+    #[test]
+    fn transfer_seeded_warm_run_same_winner_fewer_simulations() {
+        // Cold: nothing cached, descent starts at the space origin.
+        let cold = jacobi_transfer_tuner().run();
+
+        // Warm: a foreign "triad" family already measured the paper's
+        // rotating layout as its winner on this chip; the Jacobi search is
+        // seeded from it.
+        let chip = ChipConfig::ultrasparc_t2();
+        let fingerprint = ResultCache::chip_fingerprint(&chip);
+        let mut cache = ResultCache::in_memory();
+        let winner = LayoutSpec::new().base_align(8192).shift(64);
+        for (key, gbs, spec) in [
+            ("t0", 16.0, winner.clone()),
+            ("t1", 4.0, LayoutSpec::new().base_align(8192)),
+        ] {
+            cache.insert_with_meta(
+                key.into(),
+                gbs,
+                TrialMeta {
+                    tag: "triad".into(),
+                    chip: fingerprint.clone(),
+                    spec,
+                },
+            );
+        }
+        let sink = Sink::enabled();
+        let warm = jacobi_transfer_tuner()
+            .cache(cache)
+            .telemetry(Arc::clone(&sink))
+            .run();
+
+        assert_eq!(
+            warm.best.spec, cold.best.spec,
+            "transfer changes the path, not the destination"
+        );
+        assert!(
+            warm.simulations_run < cold.simulations_run,
+            "warm start must simulate strictly less: {} vs {}",
+            warm.simulations_run,
+            cold.simulations_run
+        );
+        let counters: BTreeMap<String, u64> = sink.counter_values().into_iter().collect();
+        assert_eq!(counters["autotune.transfer_seed_used"], 1);
+        assert_eq!(counters["autotune.simulations_run"], warm.simulations_run);
+    }
+
+    #[test]
+    fn a_triad_sweep_seeds_a_jacobi_search_through_a_shared_cache() {
+        // End to end: an actual triad tuning run populates the cache, and
+        // the Jacobi search transfers its winner.
+        let chip = ChipConfig::ultrasparc_t2();
+        let triad_space = ParamSpace {
+            base_aligns: vec![8192],
+            seg_aligns: vec![1, 512],
+            shifts: vec![0, 128],
+            block_offsets: vec![0],
+        };
+        let mut triad = Tuner::new(
+            Workload::triad_smoke(1 << 12, 16),
+            chip.clone(),
+            triad_space,
+        )
+        .pool_threads(4);
+        triad.run();
+        let shared = triad.into_cache();
+
+        let sink = Sink::enabled();
+        let report = jacobi_transfer_tuner()
+            .cache(shared)
+            .telemetry(Arc::clone(&sink))
+            .run();
+        let counters: BTreeMap<String, u64> = sink.counter_values().into_iter().collect();
+        assert_eq!(
+            counters.get("autotune.transfer_seed_used"),
+            Some(&1),
+            "a populated foreign family must seed the search"
+        );
+        assert!(report.best.gbs > 0.0);
     }
 
     #[test]

@@ -13,6 +13,8 @@ use serde::Serialize;
 use t2opt_core::advisor::{LayoutAdvisor, StreamDesc, StreamKind};
 use t2opt_core::layout::{LayoutSpec, SegLayout, SegmentPlan};
 use t2opt_kernels::common::VirtualAlloc;
+use t2opt_kernels::lbm::{LbmLayout, C, FLOPS_PER_SITE, Q};
+use t2opt_parallel::{chunk_assignment, Schedule};
 use t2opt_sim::trace::{chain_with_barriers, Program, StreamLoop, StreamSpec};
 use t2opt_sim::ChipConfig;
 
@@ -54,15 +56,41 @@ pub enum Workload {
     /// searching). Interior row `i` is owned by thread `(i − 1) mod
     /// threads` (the paper's `schedule(static,1)`); updating it streams
     /// three `src` rows and stores one `dst` row, four flops per site.
-    ///
-    /// This variant must stay *last* in the enum: [`crate::cache`] keys are
-    /// serialized workloads, and appending keeps old keys stable.
     Jacobi {
         /// Grid side (each grid is `dim × dim` elements; `dim ≥ 3`).
         dim: usize,
         /// Simulated threads (interior rows round-robined over them).
         threads: usize,
         /// Measured sweeps.
+        ntimes: u32,
+        /// Whether to run (and exclude) a cache-warming sweep first.
+        warmup: bool,
+    },
+    /// The D3Q19 lattice-Boltzmann propagation step of Fig. 7 as a tunable
+    /// workload: two toggle distribution grids of `(N+2)³ × 19` elements,
+    /// segmented per data layout — IJKv into its 19 velocity blocks, IvJK
+    /// into its `(N+2)²` (y, z) pencils (see
+    /// [`LbmLayout::segment_sizes`]) — so the candidate's
+    /// `(seg_align, shift, block_offset)` is exactly the inter-block
+    /// padding the paper tunes by hand. Each measured sweep streams the 19
+    /// loads + 19 pushed stores of every sampled row (all z-planes,
+    /// `y_rows` sampled rows per plane), z-planes statically chunked over
+    /// threads.
+    ///
+    /// This variant must stay *last* in the enum: [`crate::cache`] keys are
+    /// serialized workloads, and appending keeps old keys stable.
+    Lbm {
+        /// Cubic domain side N without halo (`n ≥ 2`; grids are `(N+2)³`).
+        n: usize,
+        /// Distribution-array data layout under comparison.
+        layout: LbmLayout,
+        /// Simulated threads (z-planes statically chunked over them).
+        threads: usize,
+        /// Sampled y-rows per z-plane (clamped to `n`; the steady state is
+        /// row-homogeneous, so sampling preserves the aliasing physics at a
+        /// fraction of the cost).
+        y_rows: usize,
+        /// Measured sweeps (timesteps).
         ntimes: u32,
         /// Whether to run (and exclude) a cache-warming sweep first.
         warmup: bool,
@@ -115,6 +143,47 @@ impl Workload {
         }
     }
 
+    /// The Fig. 7 LBM propagation step at measurement fidelity: 16 sampled
+    /// y-rows per plane, one warm-up sweep, one measured sweep.
+    pub fn lbm(n: usize, layout: LbmLayout, threads: usize) -> Self {
+        Workload::Lbm {
+            n,
+            layout,
+            threads,
+            y_rows: 16,
+            ntimes: 1,
+            warmup: true,
+        }
+    }
+
+    /// A fast cold-cache LBM for smoke tests and CI: two sampled rows per
+    /// plane, no warm-up sweep (every access misses — the streaming regime
+    /// where the controller-aliasing effect lives).
+    pub fn lbm_smoke(n: usize, layout: LbmLayout, threads: usize) -> Self {
+        Workload::Lbm {
+            n,
+            layout,
+            threads,
+            y_rows: 2,
+            ntimes: 1,
+            warmup: false,
+        }
+    }
+
+    /// Short workload-family name used to group result-cache entries for
+    /// cross-kernel transfer (see [`crate::cache::ResultCache::
+    /// transfer_seed`]): workloads sharing a tag differ only in size or
+    /// protocol, so their cached layout rankings are *not* treated as
+    /// foreign knowledge.
+    pub fn tag(&self) -> String {
+        match self {
+            Workload::StreamMix { .. } => "stream_mix".into(),
+            Workload::Triad { .. } => "triad".into(),
+            Workload::Jacobi { .. } => "jacobi".into(),
+            Workload::Lbm { layout, .. } => format!("lbm_{}", layout.label()),
+        }
+    }
+
     /// Stream kinds of the workload's arrays, loads first. For
     /// [`Workload::Jacobi`] this is the per-row stream set (three `src`
     /// rows, one `dst` row), not the array count — Jacobi has two arrays.
@@ -136,14 +205,21 @@ impl Workload {
                     StreamKind::Write,
                 ]
             }
+            Workload::Lbm { .. } => {
+                let mut v = vec![StreamKind::Read; Q];
+                v.resize(2 * Q, StreamKind::Write);
+                v
+            }
         }
     }
 
-    /// Total elements per array (per grid for [`Workload::Jacobi`]).
+    /// Total elements per array (per grid for [`Workload::Jacobi`] and
+    /// [`Workload::Lbm`]).
     pub fn n(&self) -> usize {
         match self {
             Workload::StreamMix { n, .. } | Workload::Triad { n, .. } => *n,
             Workload::Jacobi { dim, .. } => dim * dim,
+            Workload::Lbm { n, layout, .. } => layout.volume(n + 2),
         }
     }
 
@@ -152,7 +228,8 @@ impl Workload {
         match self {
             Workload::StreamMix { threads, .. }
             | Workload::Triad { threads, .. }
-            | Workload::Jacobi { threads, .. } => *threads,
+            | Workload::Jacobi { threads, .. }
+            | Workload::Lbm { threads, .. } => *threads,
         }
     }
 
@@ -161,7 +238,8 @@ impl Workload {
         match self {
             Workload::StreamMix { ntimes, .. }
             | Workload::Triad { ntimes, .. }
-            | Workload::Jacobi { ntimes, .. } => *ntimes,
+            | Workload::Jacobi { ntimes, .. }
+            | Workload::Lbm { ntimes, .. } => *ntimes,
         }
     }
 
@@ -170,7 +248,8 @@ impl Workload {
         match self {
             Workload::StreamMix { warmup, .. }
             | Workload::Triad { warmup, .. }
-            | Workload::Jacobi { warmup, .. } => *warmup,
+            | Workload::Jacobi { warmup, .. }
+            | Workload::Lbm { warmup, .. } => *warmup,
         }
     }
 
@@ -180,7 +259,13 @@ impl Workload {
             Workload::StreamMix { .. } => 0.0,
             Workload::Triad { .. } => 2.0,
             Workload::Jacobi { .. } => 4.0,
+            Workload::Lbm { .. } => FLOPS_PER_SITE,
         }
+    }
+
+    /// Effective sampled y-rows per z-plane for [`Workload::Lbm`].
+    fn lbm_y_eff(n: usize, y_rows: usize) -> usize {
+        y_rows.min(n).max(1)
     }
 
     /// Bytes the kernel is credited with per full run, for
@@ -191,6 +276,14 @@ impl Workload {
     pub fn reported_bytes(&self) -> u64 {
         match self {
             Workload::Jacobi { dim, ntimes, .. } => ((dim - 2) * dim * 16) as u64 * *ntimes as u64,
+            Workload::Lbm {
+                n, y_rows, ntimes, ..
+            } => {
+                // 19 loads + 19 stores of 8 B per streamed site, over the
+                // sampled sites (x extent × sampled y rows × all z planes).
+                let sites = (n * Self::lbm_y_eff(*n, *y_rows) * n) as u64;
+                sites * (2 * Q as u64 * 8) * *ntimes as u64
+            }
             _ => (self.n() * 8 * self.kinds().len()) as u64 * self.ntimes() as u64,
         }
     }
@@ -217,18 +310,25 @@ impl Workload {
         if let Workload::Jacobi { dim, .. } = self {
             assert!(*dim >= 3, "Jacobi needs at least one interior row");
         }
+        if let Workload::Lbm { n, y_rows, .. } = self {
+            assert!(*n >= 2, "LBM needs an interior of at least 2^3 sites");
+            assert!(*y_rows >= 1, "LBM needs at least one sampled y-row");
+        }
     }
 
     /// Lays out every array under `spec` in a fresh virtual address space:
     /// array `j` uses `spec` with block offset `j · spec.block_offset` and
     /// is split into per-thread segments — except [`Workload::Jacobi`],
-    /// whose two grids are split one segment *per row* (the layout under
-    /// tune is the row layout). Returns each array's (absolute base
-    /// address, segment layout).
+    /// whose two grids are split one segment *per row*, and
+    /// [`Workload::Lbm`], whose two grids are split per
+    /// [`LbmLayout::segment_sizes`] (the layout under tune is the
+    /// inter-block padding). Returns each array's (absolute base address,
+    /// segment layout).
     pub fn layout_arrays(&self, spec: &LayoutSpec) -> Vec<(u64, SegLayout)> {
         let mut va = VirtualAlloc::new();
         let (n_arrays, plan) = match self {
             Workload::Jacobi { dim, .. } => (2, SegmentPlan::Sizes(vec![*dim; *dim])),
+            Workload::Lbm { n, layout, .. } => (2, SegmentPlan::Sizes(layout.segment_sizes(n + 2))),
             _ => (self.kinds().len(), SegmentPlan::Count(self.threads())),
         };
         (0..n_arrays)
@@ -259,6 +359,9 @@ impl Workload {
         } = self
         {
             return self.build_jacobi_programs(spec, *dim, *threads, *ntimes, *warmup);
+        }
+        if let Workload::Lbm { .. } = self {
+            return self.build_lbm_programs(spec);
         }
         let kinds = self.kinds();
         let arrays = self.layout_arrays(spec);
@@ -330,6 +433,81 @@ impl Workload {
             .collect()
     }
 
+    /// Per-thread (z, y) row list for [`Workload::Lbm`]: interior z-planes
+    /// statically chunked over threads (the paper's z-parallelization),
+    /// the first `y_eff` interior rows sampled in each plane.
+    fn lbm_rows(n: usize, threads: usize, y_rows: usize) -> Vec<Vec<(usize, usize)>> {
+        let y_eff = Self::lbm_y_eff(n, y_rows);
+        chunk_assignment(Schedule::Static, n, threads)
+            .into_iter()
+            .map(|chunks| {
+                chunks
+                    .iter()
+                    .flat_map(|ch| ch.range())
+                    .flat_map(|zi| (1..=y_eff).map(move |y| (zi + 1, y)))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Per-thread D3Q19 propagation programs: each sweep streams, for every
+    /// owned row, the 19 loads of the row's distributions plus the 19
+    /// pushed stores into the neighbor rows of the other toggle grid —
+    /// addressed through the candidate's segmented layout, so padding and
+    /// shift between velocity blocks (IJKv) or (y, z) pencils (IvJK) move
+    /// the stream bases exactly as the Fig. 7 hand-tuning does.
+    fn build_lbm_programs(&self, spec: &LayoutSpec) -> Vec<Program> {
+        let (n, layout, threads, y_rows, ntimes, warmup) = match self {
+            Workload::Lbm {
+                n,
+                layout,
+                threads,
+                y_rows,
+                ntimes,
+                warmup,
+            } => (*n, *layout, *threads, *y_rows, *ntimes, *warmup),
+            _ => unreachable!("build_lbm_programs on a non-LBM workload"),
+        };
+        let d = n + 2;
+        let arrays = self.layout_arrays(spec);
+        let addr = |g: usize, x: usize, y: usize, z: usize, v: usize| -> u64 {
+            let (seg, local) = layout.seg_coords(d, x, y, z, v);
+            arrays[g].0 + arrays[g].1.elem_byte_offset(seg, local) as u64
+        };
+        let rows_per_thread = Self::lbm_rows(n, threads, y_rows);
+        let total_sweeps = ntimes as usize + usize::from(warmup);
+        (0..threads)
+            .map(|t| {
+                let rows = &rows_per_thread[t];
+                let mut phases = Vec::new();
+                for s in 0..total_sweeps {
+                    let (src, dst) = if s % 2 == 0 { (0, 1) } else { (1, 0) };
+                    let mut row_loops: Vec<StreamLoop> = Vec::new();
+                    for &(z, y) in rows {
+                        let mut streams = Vec::with_capacity(2 * Q);
+                        for v in 0..Q {
+                            streams.push(StreamSpec::load(addr(src, 1, y, z, v)));
+                        }
+                        for (v, &(cx, cy, cz)) in C.iter().enumerate() {
+                            let nx = (1 + cx) as usize;
+                            let ny = (y as i32 + cy) as usize;
+                            let nz = (z as i32 + cz) as usize;
+                            streams.push(StreamSpec::store(addr(dst, nx, ny, nz, v)));
+                        }
+                        row_loops.push(
+                            StreamLoop::new(streams, n, 8, FLOPS_PER_SITE, 64)
+                                // Two touches per line keep the set-thrash
+                                // re-misses visible (as in kernels::lbm).
+                                .with_touches(2),
+                        );
+                    }
+                    phases.push(row_loops.into_iter().flatten());
+                }
+                chain_with_barriers(phases, 0)
+            })
+            .collect()
+    }
+
     /// The advisor's predicted controller-utilization efficiency for this
     /// workload under `spec`: the mean of [`LayoutAdvisor::predict`] over
     /// each thread's stream set (threads differ when the layout shifts
@@ -364,6 +542,52 @@ impl Workload {
                 })
                 .sum();
             return total / (dim - 2) as f64;
+        }
+        if let Workload::Lbm {
+            n,
+            layout,
+            threads,
+            y_rows,
+            ..
+        } = self
+        {
+            let (n, layout) = (*n, *layout);
+            let d = n + 2;
+            let arrays = self.layout_arrays(spec);
+            let addr = |g: usize, x: usize, y: usize, z: usize, v: usize| -> u64 {
+                let (seg, local) = layout.seg_coords(d, x, y, z, v);
+                arrays[g].0 + arrays[g].1.elem_byte_offset(seg, local) as u64
+            };
+            let rows: Vec<(usize, usize)> = Self::lbm_rows(n, *threads, *y_rows)
+                .into_iter()
+                .flatten()
+                .collect();
+            let total: f64 = rows
+                .iter()
+                .map(|&(z, y)| {
+                    let mut streams = Vec::with_capacity(2 * Q);
+                    for v in 0..Q {
+                        streams.push(StreamDesc {
+                            base: addr(0, 1, y, z, v),
+                            kind: StreamKind::Read,
+                        });
+                    }
+                    for (v, &(cx, cy, cz)) in C.iter().enumerate() {
+                        streams.push(StreamDesc {
+                            base: addr(
+                                1,
+                                (1 + cx) as usize,
+                                (y as i32 + cy) as usize,
+                                (z as i32 + cz) as usize,
+                                v,
+                            ),
+                            kind: StreamKind::Write,
+                        });
+                    }
+                    advisor.predict(&streams).efficiency
+                })
+                .sum();
+            return total / rows.len().max(1) as f64;
         }
         let kinds = self.kinds();
         let arrays = self.layout_arrays(spec);
@@ -513,6 +737,91 @@ mod tests {
         assert!(
             shifted > 1.5 * plain,
             "rotating rows must rank far above aliased rows: {plain} vs {shifted}"
+        );
+    }
+
+    #[test]
+    fn lbm_programs_cover_sampled_rows() {
+        let w = Workload::lbm_smoke(8, LbmLayout::IvJK, 4);
+        w.validate(&ChipConfig::ultrasparc_t2());
+        assert_eq!(w.n(), LbmLayout::IvJK.volume(10));
+        assert_eq!(w.flops_per_elem(), FLOPS_PER_SITE);
+        // 8 × 2 × 8 sampled sites × 38 streams × 8 B.
+        assert_eq!(w.reported_bytes(), 8 * 2 * 8 * 38 * 8);
+        let spec = LayoutSpec::new().base_align(8192);
+        let programs = w.build_programs(&spec);
+        assert_eq!(programs.len(), 4);
+        // 8 z-planes over 4 threads → 2 planes × 2 sampled rows each; one
+        // row is 8 doubles (64 B) per stream, walked in two 32 B
+        // sub-blocks (touches = 2). A load stream starts at x = 1, off
+        // line alignment, so its two sub-blocks cover 3 line-touches.
+        let ops: Vec<Op> = programs.into_iter().next().unwrap().collect();
+        let reads = ops.iter().filter(|o| matches!(o, Op::Read(_))).count();
+        let writes = ops.iter().filter(|o| matches!(o, Op::Write(_))).count();
+        assert_eq!(reads, 2 * 2 * Q * 3);
+        // Store streams land on neighbor offsets, some line-aligned
+        // (2 touches) and some not (3) — bound instead of pinning.
+        assert!(
+            (2 * 2 * Q * 2..=2 * 2 * Q * 3).contains(&writes),
+            "writes out of range: {writes}"
+        );
+        assert!(
+            !ops.iter().any(|o| matches!(o, Op::Barrier(_))),
+            "smoke variant: one sweep, no barrier"
+        );
+    }
+
+    #[test]
+    fn lbm_packed_spec_reproduces_flat_addresses() {
+        // With no padding the segmented addressing must agree with the
+        // flat LbmLayout::index addressing, for both layouts.
+        for layout in [LbmLayout::IJKv, LbmLayout::IvJK] {
+            let w = Workload::lbm_smoke(4, layout, 2);
+            let d = 6;
+            let arrays = w.layout_arrays(&LayoutSpec::new().base_align(8192));
+            for (base, seg) in &arrays {
+                for z in 0..d {
+                    for y in 0..d {
+                        for v in 0..Q {
+                            let (s, l) = layout.seg_coords(d, 2, y, z, v);
+                            assert_eq!(
+                                base + seg.elem_byte_offset(s, l) as u64,
+                                base + (layout.index(d, 2, y, z, v) * 8) as u64,
+                                "{layout:?} packed segmentation must be flat"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lbm_warmup_toggles_grids() {
+        let w = Workload::lbm(4, LbmLayout::IJKv, 8);
+        let spec = LayoutSpec::new().base_align(8192);
+        let ops: Vec<Op> = w
+            .build_programs(&spec)
+            .into_iter()
+            .next()
+            .unwrap()
+            .collect();
+        let bar = ops
+            .iter()
+            .position(|o| matches!(o, Op::Barrier(_)))
+            .expect("warm-up sweep must end in barrier 0");
+        let first_store = |s: &[Op]| {
+            s.iter()
+                .find_map(|o| match o {
+                    Op::Write(a) => Some(*a),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert_ne!(
+            first_store(&ops[..bar]),
+            first_store(&ops[bar..]),
+            "toggle grids must swap roles across the barrier"
         );
     }
 

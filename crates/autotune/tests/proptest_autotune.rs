@@ -1,0 +1,211 @@
+//! Property tests for the tuner's search space: every candidate a
+//! [`ParamSpace`] can emit must plan valid, in-bounds, non-overlapping,
+//! correctly aligned segments; spec normalization must be idempotent; and
+//! the cache's transfer machinery must survive arbitrary contents.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use t2opt_autotune::cache::{ResultCache, TrialMeta};
+use t2opt_autotune::{ParamSpace, Workload};
+use t2opt_core::layout::{LayoutSpec, SegmentPlan};
+use t2opt_sim::ChipConfig;
+
+/// A non-empty subset of `vals` selected by `mask` (the first value is
+/// forced in, so dimensions are never empty). Values stay unique and
+/// sorted — exactly the shape real sweep definitions have.
+fn subset(vals: &[usize], mask: u8) -> Vec<usize> {
+    vals.iter()
+        .enumerate()
+        .filter(|&(i, _)| i == 0 || mask & (1 << i) != 0)
+        .map(|(_, &v)| v)
+        .collect()
+}
+
+/// Arbitrary well-formed parameter spaces over realistic sweep values
+/// (alignments powers of two, shifts/offsets element-aligned).
+fn arb_space() -> impl Strategy<Value = ParamSpace> {
+    (0u8..255, 0u8..255, 0u8..255, 0u8..255).prop_map(|(b, s, h, o)| ParamSpace {
+        base_aligns: subset(&[64, 128, 4096, 8192], b),
+        seg_aligns: subset(&[1, 64, 512, 4096], s),
+        shifts: subset(&[0, 8, 64, 128, 136, 512], h),
+        block_offsets: subset(&[0, 64, 128, 192, 448], o),
+    })
+}
+
+proptest! {
+    /// Every candidate of every space yields a layout that validates:
+    /// segments ordered, disjoint, inside the allocation, summing to the
+    /// full length — the invariant the simulator trusts blindly.
+    #[test]
+    fn every_candidate_plans_valid_segments(
+        space in arb_space(),
+        len in 1usize..5_000,
+        segs in 1usize..24,
+    ) {
+        for spec in space.candidates() {
+            let layout = spec.plan(len, 8, &SegmentPlan::Count(segs));
+            layout.validate();
+            prop_assert_eq!(layout.seg_sizes.iter().sum::<usize>(), len);
+            let last = layout.num_segments() - 1;
+            prop_assert!(
+                layout.seg_byte_starts[last] + layout.seg_sizes[last] * 8
+                    <= layout.total_bytes,
+                "last segment must end inside the allocation"
+            );
+        }
+    }
+
+    /// The alignment arithmetic every candidate promises: segment `s`
+    /// starts at `block_offset + s·shift` past a `seg_align` boundary.
+    #[test]
+    fn candidate_segments_are_correctly_aligned(
+        space in arb_space(),
+        len in 1usize..5_000,
+        segs in 1usize..24,
+    ) {
+        for spec in space.candidates() {
+            let layout = spec.plan(len, 8, &SegmentPlan::Count(segs));
+            prop_assert_eq!(layout.seg_byte_starts[0], spec.block_offset);
+            for (s, &start) in layout.seg_byte_starts.iter().enumerate().skip(1) {
+                let unshifted = start - spec.block_offset - s * spec.shift;
+                prop_assert_eq!(
+                    unshifted % spec.seg_align.max(1), 0,
+                    "segment {} of {:?} off its alignment boundary", s, spec
+                );
+            }
+        }
+    }
+
+    /// Spec normalization is idempotent: re-applying the setters to a
+    /// candidate's own (already canonical) fields changes nothing, for
+    /// every candidate the space can emit.
+    #[test]
+    fn normalization_is_idempotent(space in arb_space()) {
+        for spec in space.candidates() {
+            let renormalized = LayoutSpec::new()
+                .base_align(spec.base_align)
+                .seg_align(spec.seg_align)
+                .shift(spec.shift)
+                .block_offset(spec.block_offset);
+            prop_assert_eq!(&renormalized, &spec);
+        }
+    }
+
+    /// Projecting an in-space candidate back into its space is the
+    /// identity — the guarantee seeding (advisor or transfer) relies on.
+    #[test]
+    fn nearest_index_is_identity_on_grid_points(space in arb_space()) {
+        let dims = space.dims();
+        for b in 0..dims[0] {
+            for s in 0..dims[1] {
+                for h in 0..dims[2] {
+                    for o in 0..dims[3] {
+                        let idx = [b, s, h, o];
+                        prop_assert_eq!(space.nearest_index(&space.spec_at(idx)), idx);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Workload arrays never overlap and always respect the base
+    /// alignment, whatever candidate the space proposes.
+    #[test]
+    fn workload_arrays_are_disjoint_and_aligned(
+        space in arb_space(),
+        n in 64usize..4_096,
+        threads in 1usize..32,
+    ) {
+        let w = Workload::triad_smoke(n, threads);
+        for spec in space.candidates() {
+            let arrays = w.layout_arrays(&spec);
+            for (base, layout) in &arrays {
+                prop_assert_eq!(base % spec.base_align as u64, 0);
+                layout.validate();
+            }
+            let mut spans: Vec<(u64, u64)> = arrays
+                .iter()
+                .map(|(b, l)| (*b, *b + l.total_bytes as u64))
+                .collect();
+            spans.sort();
+            for pair in spans.windows(2) {
+                prop_assert!(pair[0].1 <= pair[1].0, "arrays overlap: {:?}", spans);
+            }
+        }
+    }
+
+    /// The cache round-trips arbitrary contents (entries + transfer meta)
+    /// through disk byte-for-byte semantically: reloaded lookups and
+    /// transfer seeds are identical.
+    #[test]
+    fn cache_round_trips_arbitrary_contents(
+        gbs in proptest::collection::vec(0u32..1_000_000, 1..12),
+        tags in proptest::collection::vec(0usize..3, 1..12),
+    ) {
+        static UNIQUE: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "t2opt-proptest-cache-{}-{}.json",
+            std::process::id(),
+            UNIQUE.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_file(&path);
+        let names = ["triad", "jacobi", "lbm_IJKv"];
+        let chip = ResultCache::chip_fingerprint(&ChipConfig::ultrasparc_t2());
+        let mut cache = ResultCache::at_path(&path).unwrap();
+        for (i, (&g, &t)) in gbs.iter().zip(tags.iter()).enumerate() {
+            // Dyadic values round-trip exactly through the JSON text.
+            let bw = g as f64 * 0.25;
+            let spec = LayoutSpec::new()
+                .base_align(8192)
+                .shift((g as usize % 64) * 8)
+                .block_offset((g as usize % 7) * 64);
+            cache.insert_with_meta(
+                format!("{i:016x}"),
+                bw,
+                TrialMeta { tag: names[t].into(), chip: chip.clone(), spec },
+            );
+        }
+        cache.save().unwrap();
+
+        let mut reloaded = ResultCache::at_path(&path).unwrap();
+        prop_assert_eq!(reloaded.len(), cache.len());
+        for (i, (&g, _)) in gbs.iter().zip(tags.iter()).enumerate() {
+            prop_assert_eq!(reloaded.get(&format!("{i:016x}")), Some(g as f64 * 0.25));
+        }
+        for target in names {
+            prop_assert_eq!(
+                reloaded.transfer_seed(target, &chip, 512),
+                cache.transfer_seed(target, &chip, 512),
+                "transfer seeds must survive persistence"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Whatever the cache holds, a transfer seed is always canonical:
+    /// shift and block offset reduced into the controller period.
+    #[test]
+    fn transfer_seeds_are_always_canonical(
+        gbs in proptest::collection::vec(0u32..1_000, 1..10),
+        shifts in proptest::collection::vec(0usize..2_000, 1..10),
+    ) {
+        let mut cache = ResultCache::in_memory();
+        for (i, (&g, &sh)) in gbs.iter().zip(shifts.iter()).enumerate() {
+            cache.insert_with_meta(
+                format!("{i:02x}"),
+                g as f64,
+                TrialMeta {
+                    tag: "triad".into(),
+                    chip: "cafe".into(),
+                    spec: LayoutSpec::new().shift(sh).block_offset(sh * 3),
+                },
+            );
+        }
+        if let Some(seed) = cache.transfer_seed("jacobi", "cafe", 512) {
+            prop_assert!(seed.shift < 512);
+            prop_assert!(seed.block_offset < 512);
+        } else {
+            prop_assert!(false, "a populated foreign family must yield a seed");
+        }
+    }
+}

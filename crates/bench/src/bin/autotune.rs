@@ -7,13 +7,25 @@
 //! cargo run --release -p t2opt-bench --bin autotune -- --grid         # full 4-D default grid
 //! cargo run --release -p t2opt-bench --bin autotune -- --strategy descent
 //! cargo run --release -p t2opt-bench --bin autotune -- --strategy seeded
+//! cargo run --release -p t2opt-bench --bin autotune -- --strategy anneal --seed 42
+//! cargo run --release -p t2opt-bench --bin autotune -- --strategy transfer --cache tune.json
+//! cargo run --release -p t2opt-bench --bin autotune -- --workload lbm-ijkv   # Fig. 7 sweep
+//! cargo run --release -p t2opt-bench --bin autotune -- --workload jacobi
 //! cargo run --release -p t2opt-bench --bin autotune -- --smoke        # CI-sized problem
 //! cargo run --release -p t2opt-bench --bin autotune -- --cache results/tune.json
 //! ```
 //!
+//! `--workload` picks the kernel to tune: `mix` (default stream mix),
+//! `triad`, `jacobi`, or `lbm-ijkv` / `lbm-ivjk` (the Fig. 7 D3Q19
+//! propagation step in either layout; these default to the LBM padding
+//! sweep instead of the offset sweep). For LBM and Jacobi, `--n` is the
+//! cubic interior dimension, not the array length.
+//!
 //! With `--cache`, re-running the same sweep is incremental: already
 //! measured candidates are served from the content-addressed cache and the
-//! report counts zero new simulations.
+//! report counts zero new simulations. A shared cache also powers
+//! `--strategy transfer`: the search starts from the best layout another
+//! kernel family cached on the same chip.
 //!
 //! `--telemetry <path>` records a span per simulated trial plus cache and
 //! pool counters, and writes them as a Chrome-trace file after the run.
@@ -21,6 +33,7 @@
 use std::sync::Arc;
 use t2opt_autotune::{ParamSpace, ResultCache, SearchStrategy, Tuner, Workload};
 use t2opt_bench::{write_json, Args, Table};
+use t2opt_kernels::lbm::LbmLayout;
 use t2opt_sim::ChipConfig;
 use t2opt_telemetry::metrics::Sink;
 use t2opt_telemetry::prelude::spans_chrome_trace;
@@ -28,21 +41,53 @@ use t2opt_telemetry::prelude::spans_chrome_trace;
 fn main() {
     let args = Args::from_env();
     let smoke = args.has_flag("smoke");
-    let n: usize = args.get("n", if smoke { 1 << 12 } else { 1 << 19 });
     let threads: usize = args.get("threads", if smoke { 16 } else { 64 });
-    let reads: u32 = args.get("reads", 2);
-    let writes: u32 = args.get("writes", 1);
 
-    let workload = Workload::StreamMix {
-        reads,
-        writes,
-        n,
-        threads,
-        ntimes: 1,
-        warmup: !smoke,
+    let kind = args.get_str("workload").unwrap_or("mix").to_string();
+    let workload = match kind.as_str() {
+        "mix" => Workload::StreamMix {
+            reads: args.get("reads", 2),
+            writes: args.get("writes", 1),
+            n: args.get("n", if smoke { 1 << 12 } else { 1 << 19 }),
+            threads,
+            ntimes: 1,
+            warmup: !smoke,
+        },
+        "triad" => {
+            let n = args.get("n", if smoke { 1 << 12 } else { 1 << 19 });
+            if smoke {
+                Workload::triad_smoke(n, threads)
+            } else {
+                Workload::triad(n, threads)
+            }
+        }
+        "jacobi" => {
+            let dim = args.get("n", if smoke { 64 } else { 512 });
+            if smoke {
+                Workload::jacobi_smoke(dim, threads)
+            } else {
+                Workload::jacobi(dim, threads)
+            }
+        }
+        "lbm-ijkv" | "lbm-ivjk" => {
+            let layout = if kind == "lbm-ijkv" {
+                LbmLayout::IJKv
+            } else {
+                LbmLayout::IvJK
+            };
+            let n = args.get("n", if smoke { 16 } else { 34 });
+            if smoke {
+                Workload::lbm_smoke(n, layout, threads)
+            } else {
+                Workload::lbm(n, layout, threads)
+            }
+        }
+        other => panic!("unknown workload {other:?} (mix | triad | jacobi | lbm-ijkv | lbm-ivjk)"),
     };
     let space = if args.has_flag("grid") {
         ParamSpace::t2_default()
+    } else if kind.starts_with("lbm") {
+        ParamSpace::lbm_padding_sweep()
     } else {
         ParamSpace::offset_sweep(args.get("step", 64), 512)
     };
@@ -50,10 +95,15 @@ fn main() {
         "exhaustive" => SearchStrategy::Exhaustive,
         "descent" => SearchStrategy::coordinate_descent(),
         "seeded" => SearchStrategy::advisor_seeded(),
-        other => panic!("unknown strategy {other:?} (exhaustive | descent | seeded)"),
+        "anneal" => SearchStrategy::simulated_annealing(args.get("seed", 42)),
+        "transfer" => SearchStrategy::transfer_seeded(),
+        other => {
+            panic!("unknown strategy {other:?} (exhaustive | descent | seeded | anneal | transfer)")
+        }
     };
 
-    let mut tuner = Tuner::new(workload, ChipConfig::ultrasparc_t2(), space).strategy(strategy);
+    let mut tuner =
+        Tuner::new(workload.clone(), ChipConfig::ultrasparc_t2(), space).strategy(strategy);
     if let Some(path) = args.get_str("cache") {
         tuner = tuner.cache(ResultCache::at_path(path).expect("failed to load result cache"));
     }
@@ -62,7 +112,11 @@ fn main() {
         tuner = tuner.telemetry(Arc::clone(s));
     }
 
-    eprintln!("autotune: {reads}r/{writes}w stream mix, N = {n}, {threads} threads, {strategy:?}");
+    eprintln!(
+        "autotune: {} workload, N = {}, {threads} threads, {strategy:?}",
+        workload.tag(),
+        workload.n()
+    );
     let report = tuner.run();
 
     let mut table = Table::new(vec![

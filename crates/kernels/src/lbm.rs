@@ -115,6 +115,32 @@ impl LbmLayout {
         d * d * d * Q
     }
 
+    /// Contiguous trace segments of one distribution grid, for layout-tuned
+    /// traces: IJKv splits into the 19 velocity blocks (`d³` elements
+    /// each — the streams whose bases alias for unlucky N), IvJK into the
+    /// `d²` (y, z) pencils (`19·d` elements each — the 19 streams of one
+    /// row live *inside* a pencil and inherit its automatic skew). Padding
+    /// or shift inserted between these segments is exactly the Fig. 7
+    /// layout knob the autotuner searches.
+    pub fn segment_sizes(&self, d: usize) -> Vec<usize> {
+        match self {
+            LbmLayout::IJKv => vec![d * d * d; Q],
+            LbmLayout::IvJK => vec![Q * d; d * d],
+        }
+    }
+
+    /// (segment, local element) coordinates of site `(x, y, z, v)` under
+    /// the segmentation of [`LbmLayout::segment_sizes`]. With packed
+    /// segments this reproduces [`LbmLayout::index`] exactly.
+    #[inline]
+    pub fn seg_coords(&self, d: usize, x: usize, y: usize, z: usize, v: usize) -> (usize, usize) {
+        debug_assert!(x < d && y < d && z < d && v < Q);
+        match self {
+            LbmLayout::IJKv => (v, x + d * (y + d * z)),
+            LbmLayout::IvJK => (y + d * z, x + d * v),
+        }
+    }
+
     /// Label as in the Fig. 7 legend.
     pub fn label(&self) -> &'static str {
         match self {
@@ -665,6 +691,37 @@ mod tests {
             let a = layout.index(d, 3, 4, 5, 6);
             let b = layout.index(d, 4, 4, 5, 6);
             assert_eq!(b - a, 1, "{layout:?}");
+        }
+    }
+
+    #[test]
+    fn packed_segment_coords_reproduce_index() {
+        // The prefix-sum of segment_sizes plus the local coordinate must
+        // equal the flat index for every site: the tunable segmentation is
+        // the identity layout when no padding is inserted.
+        let d = 5;
+        for layout in [LbmLayout::IJKv, LbmLayout::IvJK] {
+            let sizes = layout.segment_sizes(d);
+            assert_eq!(sizes.iter().sum::<usize>(), layout.volume(d));
+            let mut prefix = vec![0usize; sizes.len()];
+            for s in 1..sizes.len() {
+                prefix[s] = prefix[s - 1] + sizes[s - 1];
+            }
+            for z in 0..d {
+                for y in 0..d {
+                    for x in 0..d {
+                        for v in 0..Q {
+                            let (seg, local) = layout.seg_coords(d, x, y, z, v);
+                            assert!(local < sizes[seg], "{layout:?} local out of segment");
+                            assert_eq!(
+                                prefix[seg] + local,
+                                layout.index(d, x, y, z, v),
+                                "{layout:?} packed segments must be the flat layout"
+                            );
+                        }
+                    }
+                }
+            }
         }
     }
 

@@ -357,3 +357,111 @@ fn prelude_surface() {
     let co = Coalesce2::new(3, 5);
     assert_eq!(co.len(), 15);
 }
+
+/// The Fig. 7 qualitative result, rediscovered by the autotuner rather
+/// than asserted from the closed form: at d = 36 the IJKv velocity stride
+/// (36³ · 8 B = 729 · 512 B) is fully aliased, so its best layout *must*
+/// shift the velocity blocks apart, while IvJK's short pencils
+/// (19 · 36 · 8 B) skew the controllers naturally and need at most one
+/// cache line of padding — and forcing its pencils onto 512 B boundaries
+/// re-creates the aliasing the natural stride avoids.
+#[test]
+fn lbm_autotune_reproduces_fig7_padding_asymmetry() {
+    let chip = ChipConfig::ultrasparc_t2();
+    let tune = |layout| {
+        Tuner::new(
+            Workload::lbm_smoke(34, layout, 16),
+            chip.clone(),
+            ParamSpace::lbm_padding_sweep(),
+        )
+        .strategy(SearchStrategy::Exhaustive)
+        .pool_threads(4)
+        .run()
+    };
+    let ijkv = tune(LbmLayout::IJKv);
+    let ivjk = tune(LbmLayout::IvJK);
+    let packed = LayoutSpec::new().base_align(8192);
+
+    // IJKv demands padding: its winner is shifted by at least a cache
+    // line, and strictly beats the packed layout.
+    assert!(
+        ijkv.best.spec.shift >= 64,
+        "aliased IJKv must want a shifted layout, got {:?}",
+        ijkv.best.spec
+    );
+    assert!(
+        ijkv.speedup_over(&packed).unwrap() > 1.0,
+        "shifting must strictly beat packed IJKv"
+    );
+
+    // IvJK needs at most one cache line of padding: its winner shifts by
+    // no more than 64 B and packed is within a few percent of it.
+    assert!(
+        ivjk.best.spec.shift <= 64,
+        "naturally skewed IvJK must not need more than one line of padding, got {:?}",
+        ivjk.best.spec
+    );
+    let ivjk_packed_gap = ivjk.speedup_over(&packed).unwrap();
+    assert!(
+        ivjk_packed_gap < 1.03,
+        "packed IvJK must sit within 3% of its tuned best, gap {ivjk_packed_gap:.4}"
+    );
+
+    // The cross-layout asymmetry itself: packed IvJK beats packed IJKv.
+    let gbs_at = |report: &TuneReport, spec: &LayoutSpec| {
+        report
+            .trials
+            .iter()
+            .find(|t| &t.spec == spec)
+            .map(|t| t.gbs)
+            .unwrap()
+    };
+    assert!(
+        gbs_at(&ivjk, &packed) > gbs_at(&ijkv, &packed),
+        "packed IvJK must beat packed IJKv (natural controller skew)"
+    );
+
+    // And forcing IvJK's pencils onto 512 B boundaries re-aliases them.
+    let force_aligned = LayoutSpec::new().base_align(8192).seg_align(512);
+    assert!(
+        ivjk.speedup_over(&force_aligned).unwrap() > 1.05,
+        "512 B-aligning IvJK pencils must cost noticeably"
+    );
+}
+
+/// Differential check of tuner vs advisor on the LBM workload: the
+/// empirical winner's simulated bandwidth must match or beat the
+/// advisor's closed-form pick. On IvJK it must *strictly* beat it — the
+/// advisor's segment-alignment rule backfires on naturally skewed
+/// pencils, which is precisely the case empirical tuning exists for.
+#[test]
+fn lbm_tuner_matches_or_beats_the_advisor_pick() {
+    let chip = ChipConfig::ultrasparc_t2();
+    let pick = LayoutAdvisor::t2().suggest_layout();
+    let tune = |layout| {
+        Tuner::new(
+            Workload::lbm_smoke(34, layout, 16),
+            chip.clone(),
+            ParamSpace::lbm_padding_sweep(),
+        )
+        .strategy(SearchStrategy::Exhaustive)
+        .pool_threads(4)
+        .run()
+    };
+    for layout in [LbmLayout::IJKv, LbmLayout::IvJK] {
+        let report = tune(layout);
+        let speedup = report
+            .speedup_over(&pick)
+            .expect("the advisor pick must be inside the padding sweep");
+        assert!(
+            speedup >= 1.0,
+            "{layout:?}: tuner winner must not lose to the advisor pick"
+        );
+        if layout == LbmLayout::IvJK {
+            assert!(
+                speedup > 1.05,
+                "IvJK: empirical tuning must beat the advisor's forced alignment, got {speedup:.4}"
+            );
+        }
+    }
+}
