@@ -5,6 +5,7 @@
 //! candidate has grid coordinates `[i0, i1, i2, i3]` — which is what the
 //! coordinate-descent and advisor-seeded strategies walk.
 
+use t2opt_core::chip::ChipSpec;
 use t2opt_core::layout::LayoutSpec;
 
 /// Number of tuned dimensions (the four Fig. 3 parameters).
@@ -49,17 +50,47 @@ impl ParamSpace {
         }
     }
 
+    /// A practical default grid derived from a chip topology: page or
+    /// cache-line base alignment, packed or period-padded segments, the
+    /// advisor's shift candidates, and block offsets spanning one
+    /// interleave period in steps of half a controller stride (never finer
+    /// than a cache line). For the T2 this reproduces the historical
+    /// hardcoded grid exactly — see [`ParamSpace::t2_default`].
+    pub fn for_chip(spec: &ChipSpec) -> Self {
+        let period = spec.interleave_period();
+        let line = spec.line_size();
+        let n_mc = spec.num_controllers();
+        let step = (period / (2 * n_mc)).max(line);
+        ParamSpace {
+            base_aligns: vec![line, 8192usize.max(period)],
+            seg_aligns: vec![0, period],
+            shifts: vec![0, period / n_mc],
+            block_offsets: (0..period).step_by(step).collect(),
+        }
+    }
+
+    /// The Fig. 4 offset sweep for an arbitrary chip: the block offset is
+    /// swept over one interleave period in controller-stride steps (so the
+    /// sweep always contains the advisor's suggested offset class and the
+    /// fully aliased zero offset).
+    pub fn offset_sweep_for(spec: &ChipSpec) -> Self {
+        let period = spec.interleave_period();
+        ParamSpace::offset_sweep(period / spec.num_controllers(), period)
+            .with_base_align(8192usize.max(period))
+    }
+
     /// A practical default grid for the T2: page or cache-line base
     /// alignment, packed or super-line-padded segments, the advisor's shift
     /// candidates, and block offsets over one super-line in cache-line
     /// steps.
     pub fn t2_default() -> Self {
-        ParamSpace {
-            base_aligns: vec![64, 8192],
-            seg_aligns: vec![0, 512],
-            shifts: vec![0, 128],
-            block_offsets: (0..512).step_by(64).collect(),
-        }
+        ParamSpace::for_chip(&ChipSpec::ultrasparc_t2())
+    }
+
+    /// Replaces the base-alignment dimension with a single value.
+    fn with_base_align(mut self, align: usize) -> Self {
+        self.base_aligns = vec![align];
+        self
     }
 
     /// The Fig. 7 LBM padding sweep: page-aligned grids, segments packed
@@ -183,6 +214,42 @@ mod tests {
         assert_eq!(s.block_offsets, vec![0, 64, 128, 192, 256, 320, 384, 448]);
         assert_eq!(s.len(), 8);
         assert!(s.candidates().iter().all(|c| c.base_align == 8192));
+    }
+
+    #[test]
+    fn t2_grid_derivation_reproduces_the_historical_literals() {
+        // `t2_default` used to hardcode this grid; it is now derived from
+        // the chip spec and must stay pinned to the same values.
+        let s = ParamSpace::t2_default();
+        assert_eq!(s.base_aligns, vec![64, 8192]);
+        assert_eq!(s.seg_aligns, vec![0, 512]);
+        assert_eq!(s.shifts, vec![0, 128]);
+        assert_eq!(s.block_offsets, (0..512).step_by(64).collect::<Vec<_>>());
+        assert_eq!(
+            ParamSpace::offset_sweep_for(&ChipSpec::ultrasparc_t2()),
+            ParamSpace::offset_sweep(128, 512)
+        );
+    }
+
+    #[test]
+    fn chip_grids_scale_with_the_interleave_period() {
+        let wide = ParamSpace::for_chip(&ChipSpec::wide_8mc());
+        assert_eq!(wide.seg_aligns, vec![0, 1024]);
+        assert_eq!(wide.shifts, vec![0, 128]);
+        assert_eq!(wide.block_offsets.len(), 16); // 1024 / 64
+        let budget = ParamSpace::for_chip(&ChipSpec::budget_2mc());
+        assert_eq!(budget.seg_aligns, vec![0, 256]);
+        assert_eq!(budget.shifts, vec![0, 128]);
+        assert_eq!(budget.block_offsets, vec![0, 64, 128, 192]);
+        // Page interleave: the grid must step whole pages, and the sweep
+        // must still include the advisor's suggested class.
+        let paged = ParamSpace::for_chip(&ChipSpec::t2_page_interleave());
+        assert_eq!(paged.seg_aligns, vec![0, 16384]);
+        assert_eq!(paged.shifts, vec![0, 4096]);
+        assert!(paged.block_offsets.contains(&4096));
+        let sweep = ParamSpace::offset_sweep_for(&ChipSpec::t2_page_interleave());
+        assert_eq!(sweep.block_offsets, vec![0, 4096, 8192, 12288]);
+        assert!(sweep.candidates().iter().all(|c| c.base_align == 16384));
     }
 
     #[test]

@@ -63,7 +63,8 @@ pub enum SearchStrategy {
     /// Coordinate descent seeded by the best *cross-kernel* cached layout:
     /// [`crate::cache::ResultCache::transfer_seed`] picks the
     /// relatively-best layout any other workload family measured on this
-    /// chip (mod-512 residue classes make layouts transferable), and the
+    /// chip (residue classes mod the chip's interleave period make layouts
+    /// transferable), and the
     /// descent refines from there. With an empty or unrelated cache this
     /// degrades gracefully to plain coordinate descent from the origin.
     TransferSeeded {
@@ -298,7 +299,7 @@ impl Tuner {
         let transfer_start = match strategy {
             SearchStrategy::TransferSeeded { .. } => {
                 let fingerprint = ResultCache::chip_fingerprint(&self.chip);
-                let period = self.chip.map.geometry().super_line() as usize;
+                let period = self.chip.interleave_period();
                 self.cache
                     .transfer_seed(&self.workload.tag(), &fingerprint, period)
                     .map(|spec| self.space.nearest_index(&spec))

@@ -293,6 +293,8 @@ impl Workload {
     /// # Panics
     /// Panics with a descriptive message if not.
     pub fn validate(&self, chip: &ChipConfig) {
+        chip.validate()
+            .unwrap_or_else(|e| panic!("workload targets an inconsistent chip: {e}"));
         let capacity = chip.core.n_cores * chip.core.threads_per_core;
         assert!(self.n() > 0, "workload needs at least one element");
         assert!(self.threads() > 0, "workload needs at least one thread");

@@ -29,19 +29,34 @@
 //!
 //! `--telemetry <path>` records a span per simulated trial plus cache and
 //! pool counters, and writes them as a Chrome-trace file after the run.
+//!
+//! `--chip <preset>` tunes for a different simulated topology (default
+//! `ultrasparc-t2`): the sweep grids, the advisor cross-validation, and
+//! the cache fingerprints all follow that chip's interleave period, and
+//! the JSON output records the preset name.
 
+use serde::Serialize;
 use std::sync::Arc;
-use t2opt_autotune::{ParamSpace, ResultCache, SearchStrategy, Tuner, Workload};
-use t2opt_bench::{write_json, Args, Table};
+use t2opt_autotune::{ParamSpace, ResultCache, SearchStrategy, TuneReport, Tuner, Workload};
+use t2opt_bench::{chip_from_args, write_json, Args, Table};
 use t2opt_kernels::lbm::LbmLayout;
-use t2opt_sim::ChipConfig;
 use t2opt_telemetry::metrics::Sink;
 use t2opt_telemetry::prelude::spans_chrome_trace;
+
+/// JSON envelope recording which chip preset the tuning ran on.
+#[derive(Serialize)]
+struct AutotuneOutput {
+    chip: String,
+    report: TuneReport,
+}
 
 fn main() {
     let args = Args::from_env();
     let smoke = args.has_flag("smoke");
-    let threads: usize = args.get("threads", if smoke { 16 } else { 64 });
+    let (spec, chip) = chip_from_args(&args);
+    let threads: usize = args
+        .get("threads", if smoke { 16 } else { 64 })
+        .min(chip.max_threads());
 
     let kind = args.get_str("workload").unwrap_or("mix").to_string();
     let workload = match kind.as_str() {
@@ -85,11 +100,15 @@ fn main() {
         other => panic!("unknown workload {other:?} (mix | triad | jacobi | lbm-ijkv | lbm-ivjk)"),
     };
     let space = if args.has_flag("grid") {
-        ParamSpace::t2_default()
+        ParamSpace::for_chip(&spec)
     } else if kind.starts_with("lbm") {
         ParamSpace::lbm_padding_sweep()
     } else {
-        ParamSpace::offset_sweep(args.get("step", 64), 512)
+        // The Fig. 4 sweep over one interleave period; `--step` overrides
+        // the granularity (T2 default: 64 B steps over 512 B).
+        let period = spec.interleave_period();
+        let step = args.get("step", (period / 8).max(spec.line_size()));
+        ParamSpace::offset_sweep(step, period)
     };
     let strategy = match args.get_str("strategy").unwrap_or("exhaustive") {
         "exhaustive" => SearchStrategy::Exhaustive,
@@ -102,8 +121,7 @@ fn main() {
         }
     };
 
-    let mut tuner =
-        Tuner::new(workload.clone(), ChipConfig::ultrasparc_t2(), space).strategy(strategy);
+    let mut tuner = Tuner::new(workload.clone(), chip, space).strategy(strategy);
     if let Some(path) = args.get_str("cache") {
         tuner = tuner.cache(ResultCache::at_path(path).expect("failed to load result cache"));
     }
@@ -113,8 +131,9 @@ fn main() {
     }
 
     eprintln!(
-        "autotune: {} workload, N = {}, {threads} threads, {strategy:?}",
+        "autotune: {} workload on {}, N = {}, {threads} threads, {strategy:?}",
         workload.tag(),
+        spec.name,
         workload.n()
     );
     let report = tuner.run();
@@ -180,7 +199,11 @@ fn main() {
     }
 
     if let Some(path) = args.get_str("json") {
-        write_json(path, &report).expect("failed to write JSON");
+        let out = AutotuneOutput {
+            chip: spec.name.clone(),
+            report: report.clone(),
+        };
+        write_json(path, &out).expect("failed to write JSON");
         eprintln!("wrote {path}");
     }
 

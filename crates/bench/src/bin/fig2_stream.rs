@@ -11,8 +11,14 @@
 //! cargo run --release -p t2opt-bench --bin fig2_stream -- \
 //!     --kernel copy --threads 64 --max-offset 256 --step 2 --json fig2.json
 //! cargo run --release -p t2opt-bench --bin fig2_stream -- \
+//!     --chip wide-8mc --threads 32                   # non-T2 topology
+//! cargo run --release -p t2opt-bench --bin fig2_stream -- \
 //!     --telemetry trace.json --telemetry-offset 0    # time-resolved diagnostic
 //! ```
+//!
+//! `--chip <preset>` selects the simulated topology (default
+//! `ultrasparc-t2`); the offset aliasing period then follows that chip's
+//! mapping, and the JSON output records the preset name.
 //!
 //! `--telemetry <path>` switches to diagnostic mode: one traced run at
 //! `--telemetry-offset` (default 0, the aliased worst case), printing the
@@ -24,12 +30,18 @@
 //! recovery at odd multiples of 32; period 64; 16 threads suffering less
 //! at the minima than 32/64; copy below triad.
 
-use t2opt_bench::experiments::{fig2_series, offset_range};
-use t2opt_bench::{write_json, Args, Table};
+use serde::Serialize;
+use t2opt_bench::experiments::{chip_scatter, fig2_series, offset_range, Fig2Row};
+use t2opt_bench::{chip_from_args, write_json, Args, Table};
 use t2opt_kernels::stream::{self, StreamConfig, StreamKernel};
-use t2opt_parallel::Placement;
-use t2opt_sim::ChipConfig;
 use t2opt_telemetry::prelude::{ascii_heatmap, chrome_trace, AliasConfig, AliasReport};
+
+/// JSON envelope recording which chip preset produced the sweep.
+#[derive(Serialize)]
+struct Fig2Output {
+    chip: String,
+    rows: Vec<Fig2Row>,
+}
 
 fn main() {
     let args = Args::from_env();
@@ -55,7 +67,20 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let chip = ChipConfig::ultrasparc_t2();
+    let (spec, chip) = chip_from_args(&args);
+    let threads: Vec<usize> = {
+        let capacity = chip.max_threads();
+        let (fit, over): (Vec<usize>, Vec<usize>) =
+            threads.into_iter().partition(|&t| t <= capacity);
+        if !over.is_empty() {
+            eprintln!(
+                "note: dropping thread counts {over:?} beyond {}'s {capacity} hardware threads",
+                spec.name
+            );
+        }
+        assert!(!fit.is_empty(), "no requested thread count fits the chip");
+        fit
+    };
 
     if let Some(path) = args.get_str("telemetry") {
         let offset: usize = args.get("telemetry-offset", 0);
@@ -68,7 +93,7 @@ fn main() {
         );
         let cfg = StreamConfig::fig2(n, offset, t);
         let (res, timeline) =
-            stream::run_sim_traced(&cfg, kernel, &chip, &Placement::t2_scatter(), interval);
+            stream::run_sim_traced(&cfg, kernel, &chip, &chip_scatter(&chip), interval);
         println!(
             "{}: {:.2} GB/s reported, mc_balance {:.2}",
             kernel.name(),
@@ -76,7 +101,7 @@ fn main() {
             res.mc_balance
         );
         print!("{}", ascii_heatmap(&timeline, 72));
-        let report = AliasReport::analyze(&timeline, &AliasConfig::default());
+        let report = AliasReport::analyze(&timeline, &AliasConfig::for_chip(&spec));
         println!("{}", report.summary());
         let trace = chrome_trace(&timeline, &[], chip.clock_hz / 1e6);
         t2opt_core::json::parse_json(&trace).expect("generated Chrome trace must be valid JSON");
@@ -90,7 +115,11 @@ fn main() {
         // (best offset), showing the chip is not short of outstanding
         // references at 32 threads already.
         let offsets = [16usize]; // the optimal 128 B relative offset
-        let rows = fig2_series(&chip, kernel, n, &offsets, &[8, 16, 32, 64]);
+        let counts: Vec<usize> = [8usize, 16, 32, 64]
+            .into_iter()
+            .filter(|&t| t <= chip.max_threads())
+            .collect();
+        let rows = fig2_series(&chip, kernel, n, &offsets, &counts);
         let mut table = Table::new(vec!["threads", "GB/s (offset 16)"]);
         for r in &rows {
             table.row(vec![r.threads.to_string(), format!("{:.2}", r.gbs)]);
@@ -100,8 +129,10 @@ fn main() {
     }
 
     eprintln!(
-        "fig2: STREAM {} sweep, N = {n}, offsets 0..={max_offset} step {step}, threads {threads:?}",
-        kernel.name()
+        "fig2: STREAM {} sweep on {}, N = {n}, offsets 0..={max_offset} step {step}, \
+         threads {threads:?}",
+        kernel.name(),
+        spec.name
     );
     let offsets = offset_range(max_offset, step);
     let rows = fig2_series(&chip, kernel, n, &offsets, &threads);
@@ -150,7 +181,11 @@ fn main() {
     summary.print();
 
     if let Some(path) = args.get_str("json") {
-        write_json(path, &rows).expect("failed to write JSON");
+        let out = Fig2Output {
+            chip: spec.name.clone(),
+            rows,
+        };
+        write_json(path, &out).expect("failed to write JSON");
         eprintln!("wrote {path}");
     }
 }

@@ -97,6 +97,14 @@ pub struct Fig2Row {
     pub mc_balance: f64,
 }
 
+/// Scatter placement across all of the chip's cores (identical to
+/// [`Placement::t2_scatter`] for the T2 configuration).
+pub fn chip_scatter(chip: &ChipConfig) -> Placement {
+    Placement::Scatter {
+        n_cores: chip.core.n_cores,
+    }
+}
+
 /// Sweeps STREAM bandwidth vs offset for each thread count (Fig. 2).
 pub fn fig2_series(
     chip: &ChipConfig,
@@ -111,9 +119,10 @@ pub fn fig2_series(
             points.push((offset, threads));
         }
     }
+    let placement = chip_scatter(chip);
     par_map(points, |&(offset, threads)| {
         let cfg = StreamConfig::fig2(n, offset, threads);
-        let res = stream::run_sim(&cfg, kernel, chip, &Placement::t2_scatter());
+        let res = stream::run_sim(&cfg, kernel, chip, &placement);
         Fig2Row {
             offset,
             threads,

@@ -21,3 +21,26 @@ pub mod output;
 
 pub use cli::Args;
 pub use output::{to_json_string, write_json, Table};
+
+use t2opt_core::chip::{ChipSpec, PRESET_NAMES};
+use t2opt_sim::ChipConfig;
+
+/// Resolves the `--chip <preset>` flag into a chip spec and its simulator
+/// configuration. Defaults to `ultrasparc-t2`; an unknown preset exits
+/// with the registry listing (user error, not a panic).
+pub fn chip_from_args(args: &Args) -> (ChipSpec, ChipConfig) {
+    let name = args.get_str("chip").unwrap_or(PRESET_NAMES[0]);
+    match ChipSpec::preset(name) {
+        Some(spec) => {
+            let config = ChipConfig::from_spec(&spec);
+            (spec, config)
+        }
+        None => {
+            eprintln!(
+                "unknown chip preset {name:?}; available: {}",
+                PRESET_NAMES.join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
+}

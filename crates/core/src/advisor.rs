@@ -165,6 +165,11 @@ impl LayoutAdvisor {
         LayoutAdvisor::new(MapPolicy::t2())
     }
 
+    /// Advisor for a chip preset's mapping policy.
+    pub fn for_chip(spec: &crate::chip::ChipSpec) -> Self {
+        LayoutAdvisor::new(spec.map)
+    }
+
     /// The mapping policy in use.
     pub fn policy(&self) -> &MapPolicy {
         &self.policy
@@ -176,11 +181,14 @@ impl LayoutAdvisor {
         let geo = self.policy.geometry();
         let n_mc = geo.num_controllers() as usize;
         let line = geo.line_size();
-        // One full mapping period for bit-sliced maps; a longer averaging
-        // window for hashed policies.
+        // One full interleave period for policies whose period is exact
+        // (bit-sliced and page-granular maps); a longer averaging window
+        // for hashed policies, whose true period is impractically large.
         let phases = match self.policy {
-            MapPolicy::Sliced(_) => (geo.super_line() / line) as usize,
-            _ => 4 * (geo.super_line() / line) as usize * n_mc,
+            MapPolicy::Sliced(_) | MapPolicy::PageInterleave { .. } => {
+                (self.policy.interleave_period() / line) as usize
+            }
+            MapPolicy::XorFold { .. } => 4 * (geo.super_line() / line) as usize * n_mc,
         };
         let mut load = vec![0u64; n_mc];
         let mut convoy_time = 0u64;
@@ -218,30 +226,30 @@ impl LayoutAdvisor {
 
     /// Suggested byte offsets for `n` equally-important streams so that at
     /// every phase the streams spread maximally over the controllers: stream
-    /// `i` is offset by `(i mod n_mc) · super_line / n_mc` bytes.
+    /// `i` is offset by `(i mod n_mc) · period / n_mc` bytes, where `period`
+    /// is the policy's [`MapPolicy::interleave_period`].
     ///
     /// For four streams on the T2 this yields the paper's optimum
     /// `[0, 128, 256, 384]` (§2.2: offsets 128/256/384 for B, C, D with A at
-    /// the page boundary).
+    /// the page boundary). Under page interleave the step grows to one page,
+    /// the smallest offset that changes controllers at all.
     pub fn suggest_offsets(&self, n: usize) -> Vec<usize> {
-        let geo = self.policy.geometry();
-        let n_mc = geo.num_controllers() as usize;
-        let step = (geo.super_line() as usize) / n_mc;
+        let n_mc = self.policy.geometry().num_controllers() as usize;
+        let step = self.policy.interleave_period() as usize / n_mc;
         (0..n).map(|i| (i % n_mc) * step).collect()
     }
 
     /// Suggested per-segment shift so that successive segments rotate through
-    /// the controllers: `super_line / n_mc` (128 B on the T2, the paper's
+    /// the controllers: `period / n_mc` (128 B on the T2, the paper's
     /// Jacobi choice).
     pub fn suggest_shift(&self) -> usize {
-        let geo = self.policy.geometry();
-        geo.super_line() as usize / geo.num_controllers() as usize
+        self.policy.interleave_period() as usize / self.policy.geometry().num_controllers() as usize
     }
 
-    /// Suggested segment alignment: the super-line (512 B on the T2), so
-    /// that shifts translate exactly into controller rotation.
+    /// Suggested segment alignment: the interleave period (512 B on the T2),
+    /// so that shifts translate exactly into controller rotation.
     pub fn suggest_seg_align(&self) -> usize {
-        self.policy.geometry().super_line() as usize
+        self.policy.interleave_period() as usize
     }
 
     /// The advisor's complete closed-form layout for the mapping: page base
@@ -257,17 +265,17 @@ impl LayoutAdvisor {
     /// access properties of the loop kernel … no 'trial and error' is
     /// required").
     pub fn suggest_layout(&self) -> crate::layout::LayoutSpec {
-        let geo = self.policy.geometry();
-        let page = 8192usize.max(geo.super_line() as usize);
+        let period = self.policy.interleave_period() as usize;
+        let page = 8192usize.max(period);
         crate::layout::LayoutSpec::new()
             .base_align(page)
             .seg_align(self.suggest_seg_align())
             .shift(self.suggest_shift())
-            .block_offset(geo.super_line() as usize / geo.num_controllers() as usize)
+            .block_offset(period / self.policy.geometry().num_controllers() as usize)
     }
 
     /// Brute-force check of the analytic suggestion: searches offsets over
-    /// multiples of `granularity` bytes within one super-line for the
+    /// multiples of `granularity` bytes within one interleave period for the
     /// stream combination maximizing predicted efficiency. Stream 0's offset
     /// varies too (only relative placement matters, but the search space is
     /// cheap). Returns (offsets, efficiency).
@@ -278,7 +286,7 @@ impl LayoutAdvisor {
     pub fn search_offsets(&self, kinds: &[StreamKind], granularity: usize) -> (Vec<usize>, f64) {
         assert!(!kinds.is_empty());
         assert!(granularity > 0);
-        let period = self.policy.geometry().super_line() as usize;
+        let period = self.policy.interleave_period() as usize;
         let choices = period / granularity;
         let n = kinds.len();
         let mut best = (vec![0usize; n], f64::NEG_INFINITY);
@@ -492,6 +500,36 @@ mod tests {
     fn empty_streams_are_trivially_efficient() {
         let adv = LayoutAdvisor::t2();
         assert_eq!(adv.predict(&[]).efficiency, 1.0);
+    }
+
+    #[test]
+    fn page_interleave_suggestions_operate_at_page_granularity() {
+        use crate::mapping::AddressMap;
+        let adv = LayoutAdvisor::new(MapPolicy::PageInterleave {
+            base: AddressMap::ultrasparc_t2(),
+            page: 4096,
+        });
+        // Sub-page offsets cannot change the controller, so the advisor
+        // must step whole pages: [0, 4096, 8192, 12288].
+        let offs = adv.suggest_offsets(4);
+        assert_eq!(offs, vec![0, 4096, 8192, 12288]);
+        assert_eq!(adv.suggest_shift(), 4096);
+        assert_eq!(adv.suggest_seg_align(), 16384);
+        let spec = adv.suggest_layout();
+        assert_eq!(spec.base_align, 16384);
+        assert_eq!(spec.block_offset, 4096);
+        // The page-stepped streams saturate all four controllers, while the
+        // T2's 128 B offsets are near-worthless under page interleave: the
+        // streams share a page (and thus a controller) for all but the few
+        // boundary-straddling phases per page.
+        let streams: Vec<StreamDesc> = offs.iter().map(|&o| StreamDesc::read(o as u64)).collect();
+        assert!((adv.predict(&streams).efficiency - 1.0).abs() < 1e-12);
+        let fine: Vec<StreamDesc> = [0u64, 128, 256, 384]
+            .iter()
+            .map(|&o| StreamDesc::read(o))
+            .collect();
+        let eff = adv.predict(&fine).efficiency;
+        assert!((0.25..0.30).contains(&eff), "got {eff}");
     }
 
     #[test]

@@ -1,0 +1,246 @@
+//! First-class chip topology descriptions and the preset registry.
+//!
+//! The paper's analysis is phrased entirely in terms of one machine — the
+//! UltraSPARC T2's bits 8:7 → controller, bit 6 → bank, 512 B super-line —
+//! but the *method* (analytic layout advice plus measured offset sweeps)
+//! only needs a mapping geometry and a handful of timing figures. A
+//! [`ChipSpec`] bundles exactly that: a name, a [`MapPolicy`], and the
+//! timing knobs the simulator's calibrated T2 template does not share with
+//! other chips. Every layer above core (simulator configuration, autotune
+//! grids, telemetry periods, bench CLIs) derives its constants from the
+//! spec instead of re-hardcoding 512.
+//!
+//! Presets are registered by name (see [`ChipSpec::preset`]); the
+//! `ultrasparc-t2` preset is the [`Default`] and reproduces the existing
+//! behavior bit for bit.
+
+use crate::advisor::LayoutAdvisor;
+use crate::mapping::{AddressMap, MapPolicy};
+use serde::{Deserialize, Serialize};
+
+/// Names of all registered presets, in registry order. The first entry is
+/// the default chip.
+pub const PRESET_NAMES: [&str; 4] = [
+    "ultrasparc-t2",
+    "t2-page-interleave",
+    "wide-8mc",
+    "budget-2mc",
+];
+
+/// A chip topology: mapping geometry plus the timing figures that
+/// distinguish one interleaved-controller machine from another.
+///
+/// The spec deliberately stays small — microarchitectural detail that the
+/// paper calibrates once for the T2 (store buffers, L2 associativity, queue
+/// depths) lives in the simulator's template and is inherited unchanged, so
+/// that `ChipSpec` captures only what *varies* across topologies: the
+/// address → controller map, the thread capacity, and the per-controller
+/// service times.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipSpec {
+    /// Preset name, recorded in result JSON for reproducibility.
+    pub name: String,
+    /// Address → controller/bank mapping policy.
+    pub map: MapPolicy,
+    /// Clock frequency in Hz.
+    pub clock_hz: f64,
+    /// Number of cores.
+    pub n_cores: usize,
+    /// Hardware threads per core.
+    pub threads_per_core: usize,
+    /// Controller occupancy per 64 B read, in cycles.
+    pub read_service: u64,
+    /// Controller occupancy per 64 B write, in cycles.
+    pub write_service: u64,
+}
+
+impl ChipSpec {
+    /// The Sun UltraSPARC T2 of the paper: 8 cores × 8 threads at 1.2 GHz,
+    /// four controllers selected by bits 8:7, 512 B super-line.
+    pub fn ultrasparc_t2() -> Self {
+        ChipSpec {
+            name: "ultrasparc-t2".into(),
+            map: MapPolicy::t2(),
+            clock_hz: 1.2e9,
+            n_cores: 8,
+            threads_per_core: 8,
+            read_service: 12,
+            write_service: 24,
+        }
+    }
+
+    /// The T2 with page-granular controller interleave instead of the
+    /// bit-sliced map: controller = (addr / 4096) mod 4, so the layout
+    /// period grows to `4096 × 4 = 16384` B and fine offsets below one
+    /// page never change controllers.
+    pub fn t2_page_interleave() -> Self {
+        ChipSpec {
+            name: "t2-page-interleave".into(),
+            map: MapPolicy::PageInterleave {
+                base: AddressMap::ultrasparc_t2(),
+                page: 4096,
+            },
+            ..ChipSpec::ultrasparc_t2()
+        }
+    }
+
+    /// A hypothetical wide chip: eight controllers (bits 9:7) with a single
+    /// L2 bank each, giving a 1024 B super-line, and twice the T2's cores.
+    pub fn wide_8mc() -> Self {
+        ChipSpec {
+            name: "wide-8mc".into(),
+            map: MapPolicy::Sliced(AddressMap {
+                line_bits: 6,
+                mc_lo_bit: 7,
+                mc_bits: 3,
+                bank_lo_bit: 6,
+                bank_bits: 0,
+            }),
+            clock_hz: 1.2e9,
+            n_cores: 16,
+            threads_per_core: 8,
+            read_service: 12,
+            write_service: 24,
+        }
+    }
+
+    /// A budget chip: two controllers (bit 7) with two banks each, a 256 B
+    /// super-line, four cores, and slower memory service.
+    pub fn budget_2mc() -> Self {
+        ChipSpec {
+            name: "budget-2mc".into(),
+            map: MapPolicy::Sliced(AddressMap {
+                line_bits: 6,
+                mc_lo_bit: 7,
+                mc_bits: 1,
+                bank_lo_bit: 6,
+                bank_bits: 1,
+            }),
+            clock_hz: 1.2e9,
+            n_cores: 4,
+            threads_per_core: 8,
+            read_service: 16,
+            write_service: 32,
+        }
+    }
+
+    /// Looks up a registered preset by name; `None` for unknown names.
+    /// [`PRESET_NAMES`] lists the valid arguments.
+    pub fn preset(name: &str) -> Option<Self> {
+        match name {
+            "ultrasparc-t2" => Some(ChipSpec::ultrasparc_t2()),
+            "t2-page-interleave" => Some(ChipSpec::t2_page_interleave()),
+            "wide-8mc" => Some(ChipSpec::wide_8mc()),
+            "budget-2mc" => Some(ChipSpec::budget_2mc()),
+            _ => None,
+        }
+    }
+
+    /// Geometry of the underlying mapping.
+    pub fn geometry(&self) -> &AddressMap {
+        self.map.geometry()
+    }
+
+    /// Cache line size in bytes.
+    pub fn line_size(&self) -> usize {
+        self.geometry().line_size() as usize
+    }
+
+    /// Geometric super-line in bytes (the bit-field period of the
+    /// underlying [`AddressMap`]; 512 on the T2).
+    pub fn super_line(&self) -> usize {
+        self.geometry().super_line() as usize
+    }
+
+    /// The layout-relevant interleave period in bytes — the policy-aware
+    /// generalization of the super-line. See
+    /// [`MapPolicy::interleave_period`].
+    pub fn interleave_period(&self) -> usize {
+        self.map.interleave_period() as usize
+    }
+
+    /// Number of memory controllers.
+    pub fn num_controllers(&self) -> usize {
+        self.geometry().num_controllers() as usize
+    }
+
+    /// Total hardware-thread capacity.
+    pub fn max_threads(&self) -> usize {
+        self.n_cores * self.threads_per_core
+    }
+
+    /// An analytic [`LayoutAdvisor`] for this chip's mapping.
+    pub fn advisor(&self) -> LayoutAdvisor {
+        LayoutAdvisor::new(self.map)
+    }
+}
+
+impl Default for ChipSpec {
+    fn default() -> Self {
+        ChipSpec::ultrasparc_t2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_resolves_every_name_and_rejects_unknown() {
+        for name in PRESET_NAMES {
+            let spec = ChipSpec::preset(name).unwrap_or_else(|| panic!("missing preset {name}"));
+            assert_eq!(spec.name, name);
+        }
+        assert!(ChipSpec::preset("pentium-4").is_none());
+    }
+
+    #[test]
+    fn default_is_the_t2() {
+        assert_eq!(ChipSpec::default(), ChipSpec::ultrasparc_t2());
+        assert_eq!(PRESET_NAMES[0], "ultrasparc-t2");
+    }
+
+    #[test]
+    fn t2_derivations_match_paper_constants() {
+        let t2 = ChipSpec::ultrasparc_t2();
+        assert_eq!(t2.line_size(), 64);
+        assert_eq!(t2.super_line(), 512);
+        assert_eq!(t2.interleave_period(), 512);
+        assert_eq!(t2.num_controllers(), 4);
+        assert_eq!(t2.max_threads(), 64);
+        assert_eq!(t2.advisor().suggest_shift(), 128);
+    }
+
+    #[test]
+    fn preset_periods_span_the_design_space() {
+        assert_eq!(ChipSpec::wide_8mc().super_line(), 1024);
+        assert_eq!(ChipSpec::wide_8mc().num_controllers(), 8);
+        assert_eq!(ChipSpec::budget_2mc().super_line(), 256);
+        assert_eq!(ChipSpec::budget_2mc().num_controllers(), 2);
+        // Page interleave keeps the bit-field geometry but stretches the
+        // layout period to page × n_mc.
+        let pi = ChipSpec::t2_page_interleave();
+        assert_eq!(pi.super_line(), 512);
+        assert_eq!(pi.interleave_period(), 4096 * 4);
+    }
+
+    #[test]
+    fn advisor_offsets_cover_all_controllers_for_each_preset() {
+        for name in PRESET_NAMES {
+            let spec = ChipSpec::preset(name).unwrap();
+            let n_mc = spec.num_controllers();
+            let offs = spec.advisor().suggest_offsets(n_mc);
+            let mut mcs: Vec<u32> = offs
+                .iter()
+                .map(|&o| spec.map.controller(o as u64))
+                .collect();
+            mcs.sort_unstable();
+            mcs.dedup();
+            assert_eq!(
+                mcs.len(),
+                n_mc,
+                "offsets must spread over all MCs on {name}"
+            );
+        }
+    }
+}

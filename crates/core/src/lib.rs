@@ -30,6 +30,9 @@
 //! * [`advisor`] — the analytic layout advisor: predicts how a set of
 //!   concurrent streams distributes over the memory controllers and derives
 //!   optimal offsets/shifts *without trial and error* (§2.3 of the paper).
+//! * [`chip`] — named chip topologies ([`chip::ChipSpec`]): the preset
+//!   registry from which every higher layer (simulator, autotuner,
+//!   telemetry, bench CLIs) derives its geometry instead of assuming T2.
 //!
 //! ## Quick example
 //!
@@ -55,6 +58,7 @@
 
 pub mod advisor;
 pub mod alloc;
+pub mod chip;
 pub mod iter;
 pub mod json;
 pub mod layout;
@@ -65,6 +69,7 @@ pub mod seg_array;
 pub mod prelude {
     pub use crate::advisor::{LayoutAdvisor, StreamDesc, StreamKind};
     pub use crate::alloc::AlignedBuf;
+    pub use crate::chip::ChipSpec;
     pub use crate::iter::{HierExt, SegChunks};
     pub use crate::layout::{LayoutSpec, SegmentPlan};
     pub use crate::mapping::{AddressMap, MapPolicy};

@@ -149,6 +149,28 @@ impl MapPolicy {
         MapPolicy::Sliced(AddressMap::ultrasparc_t2())
     }
 
+    /// The period, in bytes, at which controller selection repeats for the
+    /// purposes of data layout — the policy-aware generalization of
+    /// [`AddressMap::super_line`].
+    ///
+    /// * [`MapPolicy::Sliced`]: the geometric super-line (512 B on the T2).
+    /// * [`MapPolicy::XorFold`]: the exact period is `super_line <<
+    ///   (folds · mc_bits)` — astronomically large for realistic folds and
+    ///   useless as a layout granularity. The low `mc`-field residues are
+    ///   still the classes a layout can steer, so the super-line is kept as
+    ///   the practical period.
+    /// * [`MapPolicy::PageInterleave`]: `page × num_controllers` — offsets
+    ///   below one page never change controllers, so layout advice must
+    ///   operate at page granularity.
+    #[inline]
+    pub const fn interleave_period(&self) -> u64 {
+        match self {
+            MapPolicy::Sliced(m) => m.super_line(),
+            MapPolicy::XorFold { base, .. } => base.super_line(),
+            MapPolicy::PageInterleave { base, page } => *page * base.num_controllers() as u64,
+        }
+    }
+
     /// Geometry of the underlying map.
     #[inline]
     pub const fn geometry(&self) -> &AddressMap {
@@ -284,6 +306,28 @@ mod tests {
             assert_eq!(p.controller(base + off), mc);
         }
         assert_ne!(p.controller(base), p.controller(base + 4096));
+    }
+
+    #[test]
+    fn interleave_period_tracks_the_policy() {
+        assert_eq!(MapPolicy::t2().interleave_period(), 512);
+        let folded = MapPolicy::XorFold {
+            base: AddressMap::ultrasparc_t2(),
+            folds: 4,
+        };
+        assert_eq!(folded.interleave_period(), 512);
+        let paged = MapPolicy::PageInterleave {
+            base: AddressMap::ultrasparc_t2(),
+            page: 4096,
+        };
+        assert_eq!(paged.interleave_period(), 4096 * 4);
+        // Controller selection genuinely repeats with that period.
+        for addr in (0..paged.interleave_period()).step_by(64) {
+            assert_eq!(
+                paged.controller(addr),
+                paged.controller(addr + paged.interleave_period())
+            );
+        }
     }
 
     #[test]

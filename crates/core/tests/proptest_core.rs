@@ -161,3 +161,83 @@ proptest! {
         prop_assert!(suggested >= searched - 1e-12);
     }
 }
+
+/// Arbitrary bit-sliced geometries with disjoint fields: the bank field
+/// starts at or above the line bits, the controller field at or above the
+/// bank field (the T2 is the gap-free instance of this family). Covers
+/// 1–8 controllers, 1–4 banks per controller, 16–128 B lines, and
+/// super-lines from 128 B to 64 KiB.
+fn arb_geometry() -> impl Strategy<Value = AddressMap> {
+    (4u32..8, 0u32..3, 0u32..3, 1u32..4, 0u32..3).prop_map(
+        |(line_bits, bank_gap, bank_bits, mc_bits, mc_gap)| {
+            let bank_lo_bit = line_bits + bank_gap;
+            let mc_lo_bit = bank_lo_bit + bank_bits + mc_gap;
+            AddressMap {
+                line_bits,
+                mc_lo_bit,
+                mc_bits,
+                bank_lo_bit,
+                bank_bits,
+            }
+        },
+    )
+}
+
+proptest! {
+    /// Over one super-line, consecutive cache lines visit every
+    /// (controller, bank) combination equally often — the load-balance
+    /// property the whole layout method depends on.
+    #[test]
+    fn geometry_uniform_over_one_super_line(
+        geo in arb_geometry(),
+        window in 0u64..1_000_000,
+    ) {
+        let base = window * geo.super_line();
+        let lines = (geo.super_line() / geo.line_size()) as usize;
+        let mut counts = vec![0u32; geo.num_banks() as usize];
+        for l in 0..lines {
+            counts[geo.bank(base + l as u64 * geo.line_size()) as usize] += 1;
+        }
+        let expected = lines as u32 / geo.num_banks();
+        prop_assert!(
+            counts.iter().all(|&c| c == expected),
+            "non-uniform bank counts {counts:?} for {geo:?}"
+        );
+    }
+
+    /// The mapping is periodic with period `super_line()` at every address
+    /// (not only at line boundaries).
+    #[test]
+    fn geometry_periodic_with_super_line(
+        geo in arb_geometry(),
+        addr in 0u64..(1 << 40),
+        periods in 1u64..8,
+    ) {
+        let shifted = addr + periods * geo.super_line();
+        prop_assert_eq!(geo.controller(addr), geo.controller(shifted));
+        prop_assert_eq!(geo.local_bank(addr), geo.local_bank(shifted));
+        prop_assert_eq!(geo.bank(addr), geo.bank(shifted));
+    }
+
+    /// controller / local_bank / bank stay mutually consistent and within
+    /// range for random geometries and addresses.
+    #[test]
+    fn geometry_fields_mutually_consistent(
+        geo in arb_geometry(),
+        addr in 0u64..(1 << 40),
+    ) {
+        let mc = geo.controller(addr);
+        let local = geo.local_bank(addr);
+        prop_assert!(mc < geo.num_controllers());
+        prop_assert!(local < geo.banks_per_controller());
+        prop_assert_eq!(geo.bank(addr), mc * geo.banks_per_controller() + local);
+        prop_assert_eq!(
+            geo.num_banks(),
+            geo.num_controllers() * geo.banks_per_controller()
+        );
+        // Line arithmetic agrees with the bit fields.
+        prop_assert_eq!(geo.line_base(addr) % geo.line_size(), 0);
+        prop_assert_eq!(geo.line_index(addr), addr / geo.line_size());
+        prop_assert_eq!(geo.bank(geo.line_base(addr)), geo.bank(addr));
+    }
+}

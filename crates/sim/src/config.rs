@@ -12,6 +12,7 @@
 //! number. See DESIGN.md §6 for the calibration reasoning.
 
 use serde::{Deserialize, Serialize};
+use t2opt_core::chip::ChipSpec;
 use t2opt_core::mapping::MapPolicy;
 
 /// L2 cache geometry and timing.
@@ -165,6 +166,37 @@ impl ChipConfig {
         }
     }
 
+    /// Builds a simulator configuration from a chip topology spec.
+    ///
+    /// The calibrated T2 template supplies every microarchitectural knob
+    /// the spec does not carry (store buffers, L2 shape, queue depths,
+    /// jitter); the spec overrides what varies across topologies. For
+    /// `ChipSpec::ultrasparc_t2()` the result is identical to
+    /// [`ChipConfig::ultrasparc_t2`] — the compatibility contract that
+    /// keeps default behavior bitwise unchanged.
+    pub fn from_spec(spec: &ChipSpec) -> Self {
+        let mut c = ChipConfig::ultrasparc_t2();
+        c.clock_hz = spec.clock_hz;
+        c.core.n_cores = spec.n_cores;
+        c.core.threads_per_core = spec.threads_per_core;
+        c.mem.read_service = spec.read_service;
+        c.mem.write_service = spec.write_service;
+        c.map = spec.map;
+        c
+    }
+
+    /// Builds the simulator configuration for a registered chip preset;
+    /// `None` for unknown names (see `t2opt_core::chip::PRESET_NAMES`).
+    pub fn preset(name: &str) -> Option<Self> {
+        ChipSpec::preset(name).map(|s| ChipConfig::from_spec(&s))
+    }
+
+    /// The layout-relevant interleave period of this chip's mapping, in
+    /// bytes (512 on the T2). See `MapPolicy::interleave_period`.
+    pub fn interleave_period(&self) -> usize {
+        self.map.interleave_period() as usize
+    }
+
     /// Number of memory controllers (from the mapping geometry).
     pub fn n_controllers(&self) -> usize {
         self.map.geometry().num_controllers() as usize
@@ -239,6 +271,41 @@ mod tests {
         assert_eq!(c.n_banks(), 8);
         assert_eq!(c.max_threads(), 64);
         assert_eq!(c.l2.sets(), 4096);
+    }
+
+    #[test]
+    fn from_spec_t2_is_bitwise_identical_to_the_template() {
+        assert_eq!(
+            ChipConfig::from_spec(&ChipSpec::ultrasparc_t2()),
+            ChipConfig::ultrasparc_t2()
+        );
+        assert_eq!(
+            ChipConfig::preset("ultrasparc-t2").unwrap(),
+            ChipConfig::ultrasparc_t2()
+        );
+    }
+
+    #[test]
+    fn every_preset_produces_a_valid_config() {
+        for name in t2opt_core::chip::PRESET_NAMES {
+            let c = ChipConfig::preset(name).unwrap_or_else(|| panic!("missing preset {name}"));
+            c.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+        assert!(ChipConfig::preset("nonexistent").is_none());
+    }
+
+    #[test]
+    fn non_t2_presets_change_the_derived_geometry() {
+        let wide = ChipConfig::preset("wide-8mc").unwrap();
+        assert_eq!(wide.n_controllers(), 8);
+        assert_eq!(wide.interleave_period(), 1024);
+        assert_eq!(wide.max_threads(), 128);
+        let budget = ChipConfig::preset("budget-2mc").unwrap();
+        assert_eq!(budget.n_controllers(), 2);
+        assert_eq!(budget.interleave_period(), 256);
+        assert_eq!(budget.max_threads(), 32);
+        let paged = ChipConfig::preset("t2-page-interleave").unwrap();
+        assert_eq!(paged.interleave_period(), 16384);
     }
 
     #[test]

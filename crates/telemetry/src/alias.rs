@@ -13,15 +13,23 @@
 use crate::timeline::Timeline;
 use serde::Serialize;
 use std::collections::BTreeMap;
+use t2opt_core::chip::ChipSpec;
 
 /// The 512 B controller-aliasing period of the T2 mapping (address bits
 /// 8:7 select the controller, so bases equal mod 512 follow the same
 /// controller sequence).
+#[deprecated(
+    note = "T2-specific; use `AliasConfig::for_chip` / `AliasConfig::period` for the chip's actual interleave period"
+)]
 pub const ALIAS_PERIOD: u64 = 512;
 
 /// Thresholds for [`AliasReport::analyze`].
 #[derive(Debug, Clone, Serialize)]
 pub struct AliasConfig {
+    /// The controller-aliasing period in bytes: stream bases equal modulo
+    /// this value follow the same controller sequence. 512 on the T2;
+    /// derive it from the chip with [`AliasConfig::for_chip`].
+    pub period: u64,
     /// A window is flagged when its effective parallelism (Σ busy cycles
     /// over max per-controller busy cycles) falls below this. The default
     /// of 1.8 is calibrated against the T2 simulator at ~4096-cycle
@@ -35,9 +43,21 @@ pub struct AliasConfig {
     pub min_activity: f64,
 }
 
+impl AliasConfig {
+    /// Default thresholds with the aliasing period taken from a chip spec
+    /// instead of the T2 constant.
+    pub fn for_chip(spec: &ChipSpec) -> Self {
+        AliasConfig {
+            period: spec.interleave_period() as u64,
+            ..AliasConfig::default()
+        }
+    }
+}
+
 impl Default for AliasConfig {
     fn default() -> Self {
         AliasConfig {
+            period: 512, // the T2 super-line, for drop-in compatibility
             parallelism_threshold: 1.8,
             min_activity: 0.05,
         }
@@ -62,6 +82,8 @@ pub struct WindowFlag {
 /// The outcome of the aliasing analysis; see the module docs.
 #[derive(Debug, Clone, Serialize)]
 pub struct AliasReport {
+    /// The aliasing period (bytes) the analysis grouped stream bases by.
+    pub period: u64,
     /// Active (non-idle) windows examined.
     pub windows_considered: usize,
     /// Windows whose effective parallelism fell below the threshold.
@@ -73,8 +95,8 @@ pub struct AliasReport {
     /// The flagged windows, in time order.
     pub flags: Vec<WindowFlag>,
     /// Groups of stream names whose bases are congruent mod
-    /// [`ALIAS_PERIOD`] — the named culprits. Only populated when windows
-    /// were flagged; each group lists ≥ 2 streams.
+    /// [`AliasReport::period`] — the named culprits. Only populated when
+    /// windows were flagged; each group lists ≥ 2 streams.
     pub aliased_streams: Vec<Vec<String>>,
 }
 
@@ -113,9 +135,10 @@ impl AliasReport {
         let aliased_streams = if flags.is_empty() {
             Vec::new()
         } else {
-            congruent_groups(timeline)
+            congruent_groups(timeline, cfg.period)
         };
         AliasReport {
+            period: cfg.period,
             windows_considered: considered,
             windows_flagged: flags.len(),
             flagged_fraction: if considered == 0 {
@@ -159,7 +182,7 @@ impl AliasReport {
                 .collect();
             s.push_str(&format!(
                 " — streams congruent mod {} B: {}",
-                ALIAS_PERIOD,
+                self.period,
                 groups.join(" ")
             ));
         }
@@ -167,13 +190,13 @@ impl AliasReport {
     }
 }
 
-/// Groups the timeline's stream labels by base address mod
-/// [`ALIAS_PERIOD`]; groups with ≥ 2 members share a controller sequence.
-fn congruent_groups(timeline: &Timeline) -> Vec<Vec<String>> {
+/// Groups the timeline's stream labels by base address mod `period`;
+/// groups with ≥ 2 members share a controller sequence.
+fn congruent_groups(timeline: &Timeline, period: u64) -> Vec<Vec<String>> {
     let mut classes: BTreeMap<u64, Vec<String>> = BTreeMap::new();
     for s in &timeline.streams {
         classes
-            .entry(s.base % ALIAS_PERIOD)
+            .entry(s.base % period)
             .or_default()
             .push(s.name.clone());
     }
@@ -275,6 +298,26 @@ mod tests {
         // Flagged on activity, but no stream group shares a residue.
         assert!(r.is_aliased());
         assert!(r.aliased_streams.is_empty());
+    }
+
+    #[test]
+    fn chip_period_changes_the_congruence_classes() {
+        // Streams 256 B apart: distinct classes on the T2 (mod 512), but
+        // congruent on the 2-MC budget chip whose period is 256 B.
+        let busy = vec![[900, 0, 0, 0]];
+        let streams = abc([0, 256, 512]);
+        let t2 = AliasReport::analyze(
+            &timeline(busy.clone(), streams.clone()),
+            &AliasConfig::for_chip(&t2opt_core::chip::ChipSpec::ultrasparc_t2()),
+        );
+        assert_eq!(t2.period, 512);
+        assert_eq!(t2.aliased_streams, vec![vec!["A", "C"]]);
+        let budget = AliasReport::analyze(
+            &timeline(busy, streams),
+            &AliasConfig::for_chip(&t2opt_core::chip::ChipSpec::budget_2mc()),
+        );
+        assert_eq!(budget.period, 256);
+        assert_eq!(budget.aliased_streams, vec![vec!["A", "B", "C"]]);
     }
 
     #[test]

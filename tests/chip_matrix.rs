@@ -1,0 +1,115 @@
+//! Cross-topology differential test: every chip preset in the registry
+//! must close the loop between the analytic advisor and the empirical
+//! tuner on its own geometry — the advisor's suggested offset class beats
+//! the naive packed layout in simulation, and the tuner's measured winner
+//! lands in that class mod the chip's interleave period. This is what
+//! "pluggable topologies" means operationally: no layer may quietly
+//! assume the T2's 512 B super-line.
+
+use t2opt::prelude::*;
+use t2opt_core::chip::PRESET_NAMES;
+
+/// A triad workload sized so that the naive packed layout aliases on the
+/// given chip: each thread's segment stride is a multiple of the
+/// interleave period, so all segments of all three arrays start in the
+/// same residue class.
+fn aliasing_workload(spec: &ChipSpec) -> (Workload, usize) {
+    let period = spec.interleave_period();
+    let threads = spec.max_threads().min(16);
+    let seg_elems = (period / 8).max(256); // per-thread bytes ≡ 0 mod period
+    (Workload::triad_smoke(seg_elems * threads, threads), threads)
+}
+
+/// For every registered preset: run the chip's own Fig. 4 offset sweep
+/// exhaustively and check (a) the advisor's suggested per-array offset
+/// strictly beats block offset 0, (b) the empirical winner de-aliases,
+/// i.e. is a non-zero multiple of the controller stride, and (c) the
+/// winner is one of the advisor's suggested offsets for that chip.
+#[test]
+fn every_preset_tuner_and_advisor_agree() {
+    for name in PRESET_NAMES {
+        let spec = ChipSpec::preset(name).expect("registry names resolve");
+        let chip = ChipConfig::from_spec(&spec);
+        let period = spec.interleave_period();
+        let n_mc = spec.num_controllers();
+        let (workload, threads) = aliasing_workload(&spec);
+
+        let space = ParamSpace::offset_sweep_for(&spec);
+        let report = Tuner::new(workload, chip, space)
+            .strategy(SearchStrategy::Exhaustive)
+            .run();
+
+        let gbs_at = |offset: usize| {
+            report
+                .trials
+                .iter()
+                .find(|t| t.spec.block_offset == offset)
+                .unwrap_or_else(|| panic!("{name}: sweep must contain offset {offset}"))
+                .gbs
+        };
+
+        // (a) The advisor's per-array offset (period / n_mc, the first
+        // non-trivial suggestion) beats the naive packed layout.
+        let advisor_offset = spec.advisor().suggest_offsets(n_mc)[1];
+        assert_eq!(advisor_offset, period / n_mc, "{name}: controller stride");
+        let packed = gbs_at(0);
+        let advised = gbs_at(advisor_offset);
+        assert!(
+            advised > packed * 1.10,
+            "{name}: advisor offset {advisor_offset} must beat packed by >10% \
+             ({advised:.2} vs {packed:.2} GB/s, {threads} threads)"
+        );
+
+        // (b) The empirical winner leaves the aliased residue class...
+        let best = report.best.spec.block_offset;
+        assert_ne!(
+            best % period,
+            0,
+            "{name}: best offset {best} must de-alias (period {period})"
+        );
+        assert_eq!(
+            best % (period / n_mc),
+            0,
+            "{name}: best offset {best} must sit on the controller stride"
+        );
+        // ... and (c) is one of the advisor's suggested offsets.
+        let suggested = spec.advisor().suggest_offsets(n_mc);
+        assert!(
+            suggested.contains(&best),
+            "{name}: best offset {best} not in advisor suggestions {suggested:?}"
+        );
+
+        // The sweep's aliased baseline is the packed period-aligned layout;
+        // the winner must beat it by a solid margin on every topology.
+        let aliased = LayoutSpec::new().base_align(8192usize.max(period));
+        let speedup = report
+            .speedup_over(&aliased)
+            .expect("sweep contains the aliased baseline");
+        assert!(
+            speedup > 1.10,
+            "{name}: best layout only {speedup:.2}x over the aliased baseline"
+        );
+    }
+}
+
+/// The presets really are different machines: the same aliased workload
+/// yields different interleave periods, and the advisor's offset answer
+/// differs across chips — guarding against a refactor that collapses all
+/// presets back onto the T2 constants.
+#[test]
+fn presets_are_genuinely_distinct_topologies() {
+    let periods: Vec<usize> = PRESET_NAMES
+        .iter()
+        .map(|n| ChipSpec::preset(n).unwrap().interleave_period())
+        .collect();
+    assert_eq!(periods, vec![512, 16384, 1024, 256]);
+
+    let strides: Vec<usize> = PRESET_NAMES
+        .iter()
+        .map(|n| {
+            let s = ChipSpec::preset(n).unwrap();
+            s.advisor().suggest_offsets(s.num_controllers())[1]
+        })
+        .collect();
+    assert_eq!(strides, vec![128, 4096, 128, 128]);
+}
