@@ -21,8 +21,11 @@
 //!   [`SearchStrategy::AdvisorSeeded`] (start from the paper's closed form,
 //!   refine locally), [`SearchStrategy::SimulatedAnnealing`] (seeded,
 //!   deterministic; escapes the local optima of the non-separable space),
-//!   or [`SearchStrategy::TransferSeeded`] (start from the best layout a
-//!   *different* kernel's sweep cached on the same chip).
+//!   [`SearchStrategy::TransferSeeded`] (start from the best layout a
+//!   *different* kernel's sweep cached on the same chip), or
+//!   [`SearchStrategy::ModelPruned`] (rank the whole grid with the
+//!   closed-form [`t2opt_model`] surrogate first — zero simulations — then
+//!   simulate only the model's top fraction; see [`surrogate`]).
 //! - [`ResultCache`] — persistent, content-addressed memoization of trials,
 //!   so repeated sweeps and CI runs are incremental; a warm cache re-runs a
 //!   sweep with **zero** new simulations. Since format v2 each entry also
@@ -54,6 +57,7 @@
 
 pub mod cache;
 pub mod space;
+pub mod surrogate;
 pub mod tuner;
 pub mod workload;
 

@@ -14,6 +14,7 @@ use t2opt_core::advisor::{LayoutAdvisor, StreamDesc, StreamKind};
 use t2opt_core::layout::{LayoutSpec, SegLayout, SegmentPlan};
 use t2opt_kernels::common::VirtualAlloc;
 use t2opt_kernels::lbm::{LbmLayout, C, FLOPS_PER_SITE, Q};
+use t2opt_model::{KernelShape, StreamUnit};
 use t2opt_parallel::{chunk_assignment, Schedule};
 use t2opt_sim::trace::{chain_with_barriers, Program, StreamLoop, StreamSpec};
 use t2opt_sim::ChipConfig;
@@ -510,40 +511,34 @@ impl Workload {
             .collect()
     }
 
-    /// The advisor's predicted controller-utilization efficiency for this
-    /// workload under `spec`: the mean of [`LayoutAdvisor::predict`] over
-    /// each thread's stream set (threads differ when the layout shifts
-    /// segments against each other). For [`Workload::Jacobi`] the unit is
-    /// the interior row's stream set instead.
-    pub fn predicted_efficiency(&self, advisor: &LayoutAdvisor, spec: &LayoutSpec) -> f64 {
+    /// The workload's lockstep units under `spec`: for each analysis unit
+    /// (a thread's segment sweep; an interior Jacobi row; a sampled LBM
+    /// row) the concurrent stream set at its absolute layout addresses,
+    /// plus the cache lines each stream advances over the measured sweeps.
+    /// This is the single source both predictors consume — the advisor's
+    /// relative [`Workload::predicted_efficiency`] and the closed-form
+    /// [`t2opt_model::PerfModel`] via [`Workload::model_shape`] — so the
+    /// two can never drift apart on what the kernel accesses.
+    pub fn stream_units(&self, spec: &LayoutSpec) -> Vec<StreamUnit> {
+        let ntimes = self.ntimes() as u64;
+        let lines_of = |elems: usize| ((elems * 8) as u64).div_ceil(64) * ntimes;
         if let Workload::Jacobi { dim, .. } = self {
             let dim = *dim;
             let arrays = self.layout_arrays(spec);
             let row_base = |g: usize, i: usize| arrays[g].0 + arrays[g].1.seg_byte_starts[i] as u64;
-            let total: f64 = (1..dim - 1)
+            return (1..dim - 1)
                 .map(|i| {
-                    let streams = vec![
-                        StreamDesc {
-                            base: row_base(0, i - 1),
-                            kind: StreamKind::Read,
-                        },
-                        StreamDesc {
-                            base: row_base(0, i),
-                            kind: StreamKind::Read,
-                        },
-                        StreamDesc {
-                            base: row_base(0, i + 1),
-                            kind: StreamKind::Read,
-                        },
-                        StreamDesc {
-                            base: row_base(1, i),
-                            kind: StreamKind::Write,
-                        },
-                    ];
-                    advisor.predict(&streams).efficiency
+                    StreamUnit::new(
+                        vec![
+                            StreamDesc::read(row_base(0, i - 1)),
+                            StreamDesc::read(row_base(0, i)),
+                            StreamDesc::read(row_base(0, i + 1)),
+                            StreamDesc::write(row_base(1, i)),
+                        ],
+                        lines_of(dim),
+                    )
                 })
-                .sum();
-            return total / (dim - 2) as f64;
+                .collect();
         }
         if let Workload::Lbm {
             n,
@@ -560,41 +555,30 @@ impl Workload {
                 let (seg, local) = layout.seg_coords(d, x, y, z, v);
                 arrays[g].0 + arrays[g].1.elem_byte_offset(seg, local) as u64
             };
-            let rows: Vec<(usize, usize)> = Self::lbm_rows(n, *threads, *y_rows)
+            return Self::lbm_rows(n, *threads, *y_rows)
                 .into_iter()
                 .flatten()
-                .collect();
-            let total: f64 = rows
-                .iter()
-                .map(|&(z, y)| {
+                .map(|(z, y)| {
                     let mut streams = Vec::with_capacity(2 * Q);
                     for v in 0..Q {
-                        streams.push(StreamDesc {
-                            base: addr(0, 1, y, z, v),
-                            kind: StreamKind::Read,
-                        });
+                        streams.push(StreamDesc::read(addr(0, 1, y, z, v)));
                     }
                     for (v, &(cx, cy, cz)) in C.iter().enumerate() {
-                        streams.push(StreamDesc {
-                            base: addr(
-                                1,
-                                (1 + cx) as usize,
-                                (y as i32 + cy) as usize,
-                                (z as i32 + cz) as usize,
-                                v,
-                            ),
-                            kind: StreamKind::Write,
-                        });
+                        streams.push(StreamDesc::write(addr(
+                            1,
+                            (1 + cx) as usize,
+                            (y as i32 + cy) as usize,
+                            (z as i32 + cz) as usize,
+                            v,
+                        )));
                     }
-                    advisor.predict(&streams).efficiency
+                    StreamUnit::new(streams, lines_of(n))
                 })
-                .sum();
-            return total / rows.len().max(1) as f64;
+                .collect();
         }
         let kinds = self.kinds();
         let arrays = self.layout_arrays(spec);
-        let threads = self.threads();
-        let total: f64 = (0..threads)
+        (0..self.threads())
             .map(|t| {
                 let streams: Vec<StreamDesc> = arrays
                     .iter()
@@ -604,10 +588,34 @@ impl Workload {
                         kind,
                     })
                     .collect();
-                advisor.predict(&streams).efficiency
+                StreamUnit::new(streams, lines_of(arrays[0].1.seg_sizes[t]))
             })
+            .collect()
+    }
+
+    /// The workload description the closed-form [`t2opt_model::PerfModel`]
+    /// consumes: the [`Workload::stream_units`] plus the concurrency and
+    /// byte-credit needed to turn predicted cycles into reported GB/s.
+    pub fn model_shape(&self, spec: &LayoutSpec) -> KernelShape {
+        KernelShape {
+            units: self.stream_units(spec),
+            threads: self.threads(),
+            reported_bytes: self.reported_bytes(),
+        }
+    }
+
+    /// The advisor's predicted controller-utilization efficiency for this
+    /// workload under `spec`: the mean of [`LayoutAdvisor::predict`] over
+    /// each [`Workload::stream_units`] stream set (threads differ when the
+    /// layout shifts segments against each other; for [`Workload::Jacobi`]
+    /// the unit is the interior row's stream set instead).
+    pub fn predicted_efficiency(&self, advisor: &LayoutAdvisor, spec: &LayoutSpec) -> f64 {
+        let units = self.stream_units(spec);
+        let total: f64 = units
+            .iter()
+            .map(|u| advisor.predict(&u.streams).efficiency)
             .sum();
-        total / threads as f64
+        total / units.len().max(1) as f64
     }
 }
 

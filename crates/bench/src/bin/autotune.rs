@@ -9,6 +9,7 @@
 //! cargo run --release -p t2opt-bench --bin autotune -- --strategy seeded
 //! cargo run --release -p t2opt-bench --bin autotune -- --strategy anneal --seed 42
 //! cargo run --release -p t2opt-bench --bin autotune -- --strategy transfer --cache tune.json
+//! cargo run --release -p t2opt-bench --bin autotune -- --strategy model   # surrogate pre-filter
 //! cargo run --release -p t2opt-bench --bin autotune -- --workload lbm-ijkv   # Fig. 7 sweep
 //! cargo run --release -p t2opt-bench --bin autotune -- --workload jacobi
 //! cargo run --release -p t2opt-bench --bin autotune -- --smoke        # CI-sized problem
@@ -116,8 +117,12 @@ fn main() {
         "seeded" => SearchStrategy::advisor_seeded(),
         "anneal" => SearchStrategy::simulated_annealing(args.get("seed", 42)),
         "transfer" => SearchStrategy::transfer_seeded(),
+        "model" => SearchStrategy::model_pruned(),
         other => {
-            panic!("unknown strategy {other:?} (exhaustive | descent | seeded | anneal | transfer)")
+            panic!(
+                "unknown strategy {other:?} \
+                 (exhaustive | descent | seeded | anneal | transfer | model)"
+            )
         }
     };
 

@@ -1,0 +1,90 @@
+//! Rank-correlation statistics shared by every layer that cross-validates
+//! one predictor against another.
+//!
+//! The autotuner compares the analytic advisor's ranking against simulated
+//! measurements, and the `t2opt-model` validation harness compares the
+//! closed-form performance model against the simulator. Both use the same
+//! statistic — Spearman rank correlation with fractional (tie-averaged)
+//! ranks — so it lives here, in the one crate everything depends on.
+
+/// Spearman rank correlation between two equally long samples; `None` when
+/// undefined (fewer than two points, or a constant side).
+pub fn spearman(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() < 2 || a.len() != b.len() {
+        return None;
+    }
+    pearson(&ranks(a), &ranks(b))
+}
+
+/// Fractional ranks (ties share their average rank), 1-based.
+pub fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    order.sort_by(|&i, &j| {
+        xs[i]
+            .partial_cmp(&xs[j])
+            .expect("rank input is finite")
+            .then(i.cmp(&j))
+    });
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && xs[order[j + 1]] == xs[order[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Pearson correlation coefficient; `None` when either side is constant.
+pub fn pearson(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.is_empty() || a.len() != b.len() {
+        return None;
+    }
+    let n = a.len() as f64;
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / n;
+    let (ma, mb) = (mean(a), mean(b));
+    let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum();
+    let va: f64 = a.iter().map(|x| (x - ma).powi(2)).sum();
+    let vb: f64 = b.iter().map(|y| (y - mb).powi(2)).sum();
+    if va <= 0.0 || vb <= 0.0 {
+        return None;
+    }
+    Some(cov / (va * vb).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spearman_handles_ties_and_degenerate_inputs() {
+        assert_eq!(spearman(&[1.0], &[2.0]), None);
+        assert_eq!(spearman(&[1.0, 1.0], &[1.0, 2.0]), None);
+        assert_eq!(spearman(&[1.0, 2.0], &[1.0]), None);
+        let s = spearman(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]).unwrap();
+        assert!((s - 1.0).abs() < 1e-12);
+        let s = spearman(&[1.0, 2.0, 3.0], &[30.0, 20.0, 10.0]).unwrap();
+        assert!((s + 1.0).abs() < 1e-12);
+        // Ties get averaged ranks, keeping the coefficient in [-1, 1].
+        let s = spearman(&[1.0, 1.0, 2.0, 3.0], &[5.0, 6.0, 7.0, 8.0]).unwrap();
+        assert!(s > 0.9 && s <= 1.0);
+    }
+
+    #[test]
+    fn ranks_average_ties() {
+        assert_eq!(ranks(&[3.0, 1.0, 2.0]), vec![3.0, 1.0, 2.0]);
+        assert_eq!(ranks(&[1.0, 1.0, 2.0]), vec![1.5, 1.5, 3.0]);
+    }
+
+    #[test]
+    fn pearson_of_constant_is_undefined() {
+        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), None);
+        assert_eq!(pearson(&[], &[]), None);
+    }
+}

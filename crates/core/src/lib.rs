@@ -33,6 +33,8 @@
 //! * [`chip`] — named chip topologies ([`chip::ChipSpec`]): the preset
 //!   registry from which every higher layer (simulator, autotuner,
 //!   telemetry, bench CLIs) derives its geometry instead of assuming T2.
+//! * [`corr`] — rank-correlation statistics ([`corr::spearman`]) shared by
+//!   every layer that cross-validates one predictor against another.
 //!
 //! ## Quick example
 //!
@@ -59,6 +61,7 @@
 pub mod advisor;
 pub mod alloc;
 pub mod chip;
+pub mod corr;
 pub mod iter;
 pub mod json;
 pub mod layout;

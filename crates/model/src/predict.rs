@@ -1,0 +1,440 @@
+//! The closed-form predictor: capacity and latency terms, and their max.
+
+use crate::shape::KernelShape;
+use crate::timing::ModelTiming;
+use serde::{Deserialize, Serialize};
+use t2opt_core::advisor::StreamDesc;
+use t2opt_core::chip::ChipSpec;
+use t2opt_core::mapping::MapPolicy;
+
+/// Which of the two model terms set the predicted runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelBound {
+    /// Controller occupancy (bandwidth), scaled by the layout's
+    /// controller-utilization efficiency.
+    Capacity,
+    /// Miss latency over the available memory-level parallelism, including
+    /// the queue wait behind co-resident in-flight misses.
+    Latency,
+}
+
+/// The model's answer for one (chip, workload, layout) triple.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelPrediction {
+    /// Predicted bandwidth in GB/s of the shape's reported bytes (0 for a
+    /// degenerate shape that moves no data).
+    pub gbs: f64,
+    /// Predicted runtime in cycles.
+    pub cycles: f64,
+    /// Predicted runtime in seconds.
+    pub time_secs: f64,
+    /// Cycle-weighted controller-utilization efficiency in `(0, 1]` — the
+    /// advisor's statistic, reweighted by service times so the FB-DIMM
+    /// read/write asymmetry is priced in.
+    pub efficiency: f64,
+    /// Which term set the runtime.
+    pub bound: ModelBound,
+    /// Mean distinct controllers hit by blocking units per phase,
+    /// averaged over units with any blocking traffic (0 for pure
+    /// write-back shapes).
+    pub concurrent_controllers: f64,
+}
+
+impl ModelPrediction {
+    /// Lattice-site update rate in MLUP/s for a kernel of `sites` site
+    /// updates per run (the paper's Fig. 7 unit); 0 for a degenerate
+    /// zero-time prediction.
+    pub fn mlups(&self, sites: u64) -> f64 {
+        if self.time_secs > 0.0 {
+            sites as f64 / self.time_secs / 1e6
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Per-unit phase analysis, cycle-weighted (see [`PerfModel::predict`]).
+struct UnitAnalysis {
+    /// Controller-utilization efficiency of this unit's streams, `(0, 1]`.
+    efficiency: f64,
+    /// Controller occupancy cycles per advanced line (all streams).
+    occ_per_line: f64,
+    /// Mean distinct controllers hit by blocking units per phase.
+    concurrent_controllers: f64,
+    /// Blocking misses per advanced line.
+    blocking_per_line: u64,
+}
+
+/// The closed-form performance model for one chip. See the crate docs for
+/// the equations and DESIGN.md §10 for calibration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfModel {
+    policy: MapPolicy,
+    timing: ModelTiming,
+}
+
+impl PerfModel {
+    /// A model of the given mapping policy and timing.
+    pub fn new(policy: MapPolicy, timing: ModelTiming) -> Self {
+        PerfModel { policy, timing }
+    }
+
+    /// A model for a chip topology spec, on the calibrated T2 latency
+    /// template (see [`ModelTiming::from_spec`]).
+    pub fn for_spec(spec: &ChipSpec) -> Self {
+        PerfModel::new(spec.map, ModelTiming::from_spec(spec))
+    }
+
+    /// The mapping policy in use.
+    pub fn policy(&self) -> &MapPolicy {
+        &self.policy
+    }
+
+    /// The timing in use.
+    pub fn timing(&self) -> &ModelTiming {
+        &self.timing
+    }
+
+    /// Predicts runtime and bandwidth for a workload shape.
+    pub fn predict(&self, shape: &KernelShape) -> ModelPrediction {
+        let n_mc = self.policy.geometry().num_controllers() as f64;
+        let mut total_occ = 0.0;
+        let mut weighted_eff = 0.0;
+        let mut blocking_misses = 0.0;
+        let mut spread_sum = 0.0;
+        let mut spread_units = 0.0;
+        for unit in &shape.units {
+            let a = self.unit_analysis(&unit.streams);
+            let occ = unit.lines as f64 * a.occ_per_line;
+            total_occ += occ;
+            weighted_eff += occ * a.efficiency;
+            blocking_misses += (unit.lines * a.blocking_per_line) as f64;
+            if a.blocking_per_line > 0 && unit.lines > 0 {
+                spread_sum += a.concurrent_controllers;
+                spread_units += 1.0;
+            }
+        }
+
+        let efficiency = if total_occ > 0.0 {
+            weighted_eff / total_occ
+        } else {
+            1.0
+        };
+        let t_cap = total_occ / (n_mc * efficiency);
+
+        // Memory-level parallelism the cores can sustain; the queue wait a
+        // miss sees is set by how those in-flight misses spread over the
+        // controllers: `spread = 1` (full convoy) piles them all on one.
+        let concurrency = (shape.threads.max(1) * self.timing.outstanding_misses.max(1)) as f64;
+        let spread = if spread_units > 0.0 {
+            (spread_sum / spread_units).max(1.0)
+        } else {
+            0.0
+        };
+        let t_lat = if blocking_misses > 0.0 {
+            let in_flight = (concurrency / spread)
+                .min(self.timing.queue_depth as f64)
+                .max(1.0);
+            let queue_wait = (in_flight - 1.0) * self.timing.read_service as f64;
+            let lambda = self.timing.base_latency() as f64 + queue_wait;
+            blocking_misses * lambda / concurrency
+        } else {
+            0.0
+        };
+
+        let cycles = t_cap.max(t_lat);
+        let bound = if t_lat > t_cap {
+            ModelBound::Latency
+        } else {
+            ModelBound::Capacity
+        };
+        let time_secs = cycles / self.timing.clock_hz;
+        let gbs = if time_secs > 0.0 {
+            shape.reported_bytes as f64 / time_secs / 1e9
+        } else {
+            0.0
+        };
+        ModelPrediction {
+            gbs,
+            cycles,
+            time_secs,
+            efficiency,
+            bound,
+            concurrent_controllers: spread,
+        }
+    }
+
+    /// The advisor's phase analysis over one interleave period, reweighted
+    /// in cycles: a blocking unit (load / read-for-ownership) costs
+    /// `read_service`, a write-back costs `write_service`. With equal
+    /// weights this reduces exactly to `LayoutAdvisor::predict`; the cycle
+    /// weights make write-heavy phases proportionally heavier, which is
+    /// what the FB-DIMM 2:1 asymmetry does to the real controllers.
+    fn unit_analysis(&self, streams: &[StreamDesc]) -> UnitAnalysis {
+        let geo = self.policy.geometry();
+        let n_mc = geo.num_controllers() as usize;
+        let line = geo.line_size();
+        // Exact period for bit-sliced and page-granular maps; a longer
+        // averaging window for hashed policies (same choice the advisor
+        // makes).
+        let phases = match self.policy {
+            MapPolicy::Sliced(_) | MapPolicy::PageInterleave { .. } => {
+                (self.policy.interleave_period() / line) as usize
+            }
+            MapPolicy::XorFold { .. } => 4 * (geo.super_line() / line) as usize * n_mc,
+        };
+        let read = self.timing.read_service;
+        let write = self.timing.write_service;
+        let mut load = vec![0u64; n_mc];
+        let mut convoy_time = 0u64;
+        let mut distinct_sum = 0usize;
+        let mut blocking_per_line = 0u64;
+        for p in 0..phases {
+            let mut blocking = vec![0u64; n_mc];
+            for s in streams {
+                let addr = s.base + p as u64 * line;
+                let mc = self.policy.controller(addr) as usize;
+                let b = u64::from(s.kind.blocking());
+                blocking[mc] += b * read;
+                // Occupancy: the blocking read plus the buffered write-back
+                // (StreamKind::buffered is in half-rate read equivalents;
+                // one written line = one write_service).
+                load[mc] += b * read + u64::from(s.kind.buffered() / 2) * write;
+            }
+            convoy_time += *blocking.iter().max().unwrap();
+            distinct_sum += blocking.iter().filter(|&&b| b > 0).count();
+        }
+        blocking_per_line += streams
+            .iter()
+            .map(|s| u64::from(s.kind.blocking()))
+            .sum::<u64>();
+
+        let total: u64 = load.iter().sum();
+        let ideal = total as f64 / n_mc as f64;
+        let hotspot = *load.iter().max().unwrap() as f64;
+        let actual = (convoy_time as f64).max(ideal).max(hotspot);
+        UnitAnalysis {
+            efficiency: if total == 0 { 1.0 } else { ideal / actual },
+            occ_per_line: total as f64 / phases as f64,
+            concurrent_controllers: distinct_sum as f64 / phases as f64,
+            blocking_per_line,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::StreamUnit;
+
+    /// The Fig. 4 setup: 64 threads, each streaming a triad over its own
+    /// 512-aligned segment, arrays placed at the given offsets.
+    fn triad_shape(offsets: [u64; 3], threads: u64) -> KernelShape {
+        KernelShape {
+            units: (0..threads)
+                .map(|t| {
+                    let seg = t * 4096;
+                    StreamUnit::new(
+                        vec![
+                            StreamDesc::read(seg + offsets[0]),
+                            StreamDesc::read(seg + offsets[1]),
+                            StreamDesc::write(seg + offsets[2]),
+                        ],
+                        32,
+                    )
+                })
+                .collect(),
+            threads: threads as usize,
+            reported_bytes: 3 * 8 * threads * 32 * 8,
+        }
+    }
+
+    fn t2_model() -> PerfModel {
+        PerfModel::for_spec(&ChipSpec::ultrasparc_t2())
+    }
+
+    #[test]
+    fn aliased_triad_collapses_and_spread_triad_saturates() {
+        let model = t2_model();
+        let aliased = model.predict(&triad_shape([0, 0, 0], 64));
+        let spread = model.predict(&triad_shape([0, 128, 256], 64));
+        // Cycle-weighted efficiency: aliased convoy = 3 blocking × 12 = 36
+        // vs ideal (2·12 + 36)/4 = 15 per phase.
+        assert!((aliased.efficiency - 15.0 / 36.0).abs() < 1e-12);
+        assert!((spread.efficiency - 1.0).abs() < 1e-12);
+        assert!(
+            spread.gbs > 2.0 * aliased.gbs,
+            "spread {} vs aliased {} GB/s",
+            spread.gbs,
+            aliased.gbs
+        );
+        // Absolute scale: the calibrated T2 saturates near the paper's
+        // measured ~13 GB/s triad, and the aliased floor sits near the
+        // Fig. 4 ~4-7 GB/s dip.
+        assert!(
+            (10.0..18.0).contains(&spread.gbs),
+            "spread {} GB/s",
+            spread.gbs
+        );
+        assert!(
+            (3.0..9.0).contains(&aliased.gbs),
+            "aliased {} GB/s",
+            aliased.gbs
+        );
+    }
+
+    #[test]
+    fn few_threads_are_latency_bound_many_are_capacity_bound() {
+        let model = t2_model();
+        let few = model.predict(&triad_shape([0, 128, 256], 4));
+        let many = model.predict(&triad_shape([0, 128, 256], 64));
+        assert_eq!(few.bound, ModelBound::Latency);
+        assert!(
+            many.gbs > 3.0 * few.gbs,
+            "bandwidth must scale with threads"
+        );
+    }
+
+    #[test]
+    fn write_heavy_shapes_pay_the_fbdimm_asymmetry() {
+        // Isolate the capacity term (zero the latency constants so T_lat
+        // cannot mask it): four perfectly spread streams, read-only vs
+        // write-back-only. The FB-DIMM southbound channel runs at half the
+        // read rate, so the write shape must cost exactly
+        // `write_service / read_service = 2×` the capacity cycles.
+        let spec = ChipSpec::ultrasparc_t2();
+        let mut timing = ModelTiming::from_spec(&spec);
+        timing.extra_latency = 0;
+        timing.hit_latency = 0;
+        timing.command_cycles = 0;
+        let model = PerfModel::new(spec.map, timing);
+        let mk = |kind: fn(u64) -> StreamDesc| KernelShape {
+            units: (0..64u64)
+                .map(|t| StreamUnit::new((0..4).map(|j| kind(t * 4096 + j * 128)).collect(), 32))
+                .collect(),
+            threads: 64,
+            reported_bytes: 4 * 8 * 64 * 32 * 8,
+        };
+        let reads = model.predict(&mk(StreamDesc::read));
+        let writes = model.predict(&mk(StreamDesc::writeback));
+        assert!((reads.efficiency - 1.0).abs() < 1e-12);
+        assert!((writes.efficiency - 1.0).abs() < 1e-12);
+        assert!(
+            (writes.cycles / reads.cycles - 2.0).abs() < 1e-9,
+            "write-backs must cost 2x: {} vs {} cycles",
+            writes.cycles,
+            reads.cycles
+        );
+        // On the full calibrated timing the asymmetry still shows through
+        // as strictly lower copy bandwidth at equal reported bytes.
+        let full = t2_model();
+        let copy_shape = KernelShape {
+            units: (0..64u64)
+                .map(|t| {
+                    StreamUnit::new(
+                        vec![
+                            StreamDesc::read(t * 4096),
+                            StreamDesc::read(t * 4096 + 128),
+                            StreamDesc::write(t * 4096 + 256),
+                            StreamDesc::write(t * 4096 + 384),
+                        ],
+                        32,
+                    )
+                })
+                .collect(),
+            threads: 64,
+            reported_bytes: 4 * 8 * 64 * 32 * 8,
+        };
+        let copy = full.predict(&copy_shape);
+        let reads_full = full.predict(&mk(StreamDesc::read));
+        assert!(
+            copy.gbs < reads_full.gbs,
+            "copy {} must trail read-only {} GB/s",
+            copy.gbs,
+            reads_full.gbs
+        );
+    }
+
+    #[test]
+    fn single_controller_chip_has_unit_efficiency_and_no_layout_sensitivity() {
+        use t2opt_core::mapping::AddressMap;
+        // A 1-MC machine: mc_bits 0 — aliasing cannot exist.
+        let policy = MapPolicy::Sliced(AddressMap {
+            line_bits: 6,
+            mc_lo_bit: 7,
+            mc_bits: 0,
+            bank_lo_bit: 6,
+            bank_bits: 1,
+        });
+        let spec = ChipSpec::ultrasparc_t2();
+        let model = PerfModel::new(policy, ModelTiming::from_spec(&spec));
+        let a = model.predict(&triad_shape([0, 0, 0], 16));
+        let b = model.predict(&triad_shape([0, 128, 256], 16));
+        assert!((a.efficiency - 1.0).abs() < 1e-12);
+        assert_eq!(a, b, "offsets cannot matter with one controller");
+    }
+
+    #[test]
+    fn zero_length_streams_predict_zero_time_and_bandwidth() {
+        let model = t2_model();
+        let empty = KernelShape {
+            units: vec![StreamUnit::new(vec![StreamDesc::read(0)], 0)],
+            threads: 8,
+            reported_bytes: 0,
+        };
+        let p = model.predict(&empty);
+        assert_eq!(p.cycles, 0.0);
+        assert_eq!(p.gbs, 0.0);
+        assert_eq!(p.mlups(0), 0.0);
+        assert!((p.efficiency - 1.0).abs() < 1e-12);
+        // No units at all behaves the same.
+        let none = KernelShape {
+            units: vec![],
+            threads: 8,
+            reported_bytes: 0,
+        };
+        assert_eq!(model.predict(&none).cycles, 0.0);
+    }
+
+    #[test]
+    fn writeback_only_shapes_are_capacity_bound_with_no_blocking() {
+        let model = t2_model();
+        let shape = KernelShape {
+            units: (0..8u64)
+                .map(|t| StreamUnit::new(vec![StreamDesc::writeback(t * 4096)], 64))
+                .collect(),
+            threads: 8,
+            reported_bytes: 8 * 64 * 64,
+        };
+        let p = model.predict(&shape);
+        assert_eq!(p.bound, ModelBound::Capacity);
+        assert_eq!(p.concurrent_controllers, 0.0);
+        assert!(p.cycles > 0.0);
+        assert!((p.efficiency - 1.0).abs() < 1e-12);
+        assert_eq!(shape.blocking_misses(), 0);
+    }
+
+    #[test]
+    fn prediction_is_invariant_under_period_translation() {
+        let model = t2_model();
+        let shape = triad_shape([0, 64, 384], 16);
+        let period = model.policy().interleave_period();
+        assert_eq!(
+            model.predict(&shape),
+            model.predict(&shape.translated(period))
+        );
+        assert_eq!(
+            model.predict(&shape),
+            model.predict(&shape.translated(7 * period))
+        );
+    }
+
+    #[test]
+    fn mlups_converts_time_to_site_updates() {
+        let model = t2_model();
+        let p = model.predict(&triad_shape([0, 128, 256], 64));
+        let sites = 64 * 32 * 8; // one site per element
+        let expect = sites as f64 / p.time_secs / 1e6;
+        assert!((p.mlups(sites) - expect).abs() < 1e-9);
+    }
+}

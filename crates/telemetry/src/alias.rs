@@ -15,14 +15,6 @@ use serde::Serialize;
 use std::collections::BTreeMap;
 use t2opt_core::chip::ChipSpec;
 
-/// The 512 B controller-aliasing period of the T2 mapping (address bits
-/// 8:7 select the controller, so bases equal mod 512 follow the same
-/// controller sequence).
-#[deprecated(
-    note = "T2-specific; use `AliasConfig::for_chip` / `AliasConfig::period` for the chip's actual interleave period"
-)]
-pub const ALIAS_PERIOD: u64 = 512;
-
 /// Thresholds for [`AliasReport::analyze`].
 #[derive(Debug, Clone, Serialize)]
 pub struct AliasConfig {

@@ -9,9 +9,10 @@ use t2opt_kernels::stream::{self, StreamConfig, StreamKernel};
 use t2opt_kernels::triad::{self, TriadConfig, TriadLayout};
 
 /// The headline claim end to end: the advisor's suggested offsets recover
-/// the bandwidth that page alignment destroys, on the simulated T2.
-#[test]
-fn advisor_offsets_fix_the_aliasing() {
+/// the bandwidth that page alignment destroys, on the simulated T2. The
+/// aliasing is periodic in addresses mod 512 B, so a small N with
+/// per-thread segments ≡ 0 mod 512 reproduces the Fig. 4 gap exactly.
+fn advisor_offsets_check(n: usize) {
     let advisor = LayoutAdvisor::t2();
     let offsets = advisor.suggest_offsets(4);
     assert_eq!(offsets, vec![0, 128, 256, 384]);
@@ -19,7 +20,7 @@ fn advisor_offsets_fix_the_aliasing() {
     let chip = ChipConfig::ultrasparc_t2();
     let run = |layout| {
         let cfg = TriadConfig {
-            n: 1 << 19,
+            n,
             layout,
             threads: 64,
             ntimes: 1,
@@ -34,10 +35,21 @@ fn advisor_offsets_fix_the_aliasing() {
     );
 }
 
+#[test]
+fn advisor_offsets_fix_the_aliasing() {
+    advisor_offsets_check(1 << 14);
+}
+
+/// Paper-scale variant (arrays ≫ L2); tier-2, run in CI via `-- --ignored`.
+#[test]
+#[ignore = "paper-scale problem size; run with -- --ignored"]
+fn advisor_offsets_fix_the_aliasing_full() {
+    advisor_offsets_check(1 << 19);
+}
+
 /// The advisor's prediction must rank layouts the same way the simulator
 /// does (analysis agrees with "measurement").
-#[test]
-fn prediction_ranks_like_simulation() {
+fn prediction_ranking_check(n: usize) {
     let advisor = LayoutAdvisor::t2();
     let chip = ChipConfig::ultrasparc_t2();
     let mut predicted = Vec::new();
@@ -57,7 +69,7 @@ fn prediction_ranks_like_simulation() {
         ];
         predicted.push(advisor.predict(&streams).efficiency);
         let cfg = TriadConfig {
-            n: 1 << 19,
+            n,
             layout,
             threads: 64,
             ntimes: 1,
@@ -68,6 +80,18 @@ fn prediction_ranks_like_simulation() {
         predicted[0] < predicted[1] && simulated[0] < simulated[1],
         "advisor ranking must match simulation: predicted {predicted:?}, simulated {simulated:?}"
     );
+}
+
+#[test]
+fn prediction_ranks_like_simulation() {
+    prediction_ranking_check(1 << 14);
+}
+
+/// Paper-scale variant; tier-2, run in CI via `-- --ignored`.
+#[test]
+#[ignore = "paper-scale problem size; run with -- --ignored"]
+fn prediction_ranks_like_simulation_full() {
+    prediction_ranking_check(1 << 19);
 }
 
 /// Host STREAM values must be numerically correct regardless of threads.
@@ -130,9 +154,9 @@ fn segmented_numerics_are_bit_identical() {
 }
 
 /// Jacobi: the simulator's optimized-vs-plain ordering must match the
-/// paper at an aliased problem size, and the host solver must converge.
-#[test]
-fn jacobi_end_to_end() {
+/// paper at an aliased problem size (rows ≡ 0 mod 512 B), and the host
+/// solver must converge.
+fn jacobi_check(sim_n: usize) {
     // Host convergence to the linear solution.
     let pool = ThreadPool::new(8);
     let n = 33;
@@ -149,36 +173,48 @@ fn jacobi_end_to_end() {
     // Simulator ordering.
     let chip = ChipConfig::ultrasparc_t2();
     let opt = jacobi::run_sim(
-        &JacobiConfig::optimized(1024, 64),
+        &JacobiConfig::optimized(sim_n, 64),
         &chip,
         &Placement::t2_scatter(),
     );
     let plain = jacobi::run_sim(
-        &JacobiConfig::plain(1024, 64),
+        &JacobiConfig::plain(sim_n, 64),
         &chip,
         &Placement::t2_scatter(),
     );
     assert!(
         opt.mlups > plain.mlups,
-        "optimized ({:.0}) must beat plain ({:.0}) at N = 1024",
+        "optimized ({:.0}) must beat plain ({:.0}) at N = {sim_n}",
         opt.mlups,
         plain.mlups
     );
 }
 
+#[test]
+fn jacobi_end_to_end() {
+    // N = 128: rows are 1 KB ≡ 0 mod 512 B, so the plain layout aliases
+    // just as it does at the paper's N = 1024.
+    jacobi_check(128);
+}
+
+/// Paper-scale variant; tier-2, run in CI via `-- --ignored`.
+#[test]
+#[ignore = "paper-scale problem size; run with -- --ignored"]
+fn jacobi_end_to_end_full() {
+    jacobi_check(1024);
+}
+
 /// LBM: IvJK must beat IJKv at the thrashing size, and physics must be
 /// layout-independent on the host.
-#[test]
-fn lbm_end_to_end() {
+fn lbm_check(n: usize, threads: usize) {
     let chip = ChipConfig::ultrasparc_t2();
-    // N = 62 → N+2 = 64: the "ruinous" IJKv cache-thrashing size.
     let ijkv = lbm::run_sim(
-        &LbmConfig::new(62, LbmLayout::IJKv, 64, false),
+        &LbmConfig::new(n, LbmLayout::IJKv, threads, false),
         &chip,
         &Placement::t2_scatter(),
     );
     let ivjk = lbm::run_sim(
-        &LbmConfig::new(62, LbmLayout::IvJK, 64, false),
+        &LbmConfig::new(n, LbmLayout::IvJK, threads, false),
         &chip,
         &Placement::t2_scatter(),
     );
@@ -194,6 +230,21 @@ fn lbm_end_to_end() {
         ijkv.l2_hit_rate,
         ivjk.l2_hit_rate
     );
+}
+
+#[test]
+fn lbm_end_to_end() {
+    // N = 30 → N+2 = 32: a power-of-two domain thrashes IJKv the same
+    // way the paper's N+2 = 64 does, at an eighth of the sites.
+    lbm_check(30, 32);
+}
+
+/// The paper's N = 62 (→ N+2 = 64) "ruinous" size at full thread count;
+/// tier-2, run in CI via `-- --ignored`.
+#[test]
+#[ignore = "paper-scale problem size; run with -- --ignored"]
+fn lbm_end_to_end_full() {
+    lbm_check(62, 64);
 }
 
 /// The empirical autotuner must rediscover the advisor's analysis (§2.3)
@@ -264,12 +315,15 @@ fn autotuner_matches_advisor_and_reuses_cache() {
 /// The time-resolved telemetry must detect mod-512 aliasing at runtime:
 /// on the fully aliased layout the report flags (nearly) every active
 /// window and names the congruent streams; on the advisor's 128 B spread
-/// it flags nothing.
+/// it names no culprits. The tier-1 variant shrinks the simulated L2 to
+/// 512 KB so 1<<16-element arrays still miss on every sweep (the aliasing
+/// lives in the MC mapping, which the cache size does not touch).
 #[test]
 fn telemetry_flags_aliasing_and_clears_advisor_layout() {
-    let chip = ChipConfig::ultrasparc_t2();
+    let mut chip = ChipConfig::ultrasparc_t2();
+    chip.l2.bytes = 1 << 19;
     let trace = |offset: usize| {
-        let cfg = StreamConfig::fig2(1 << 18, offset, 64);
+        let cfg = StreamConfig::fig2(1 << 16, offset, 64);
         let (_, timeline) = stream::run_sim_traced(
             &cfg,
             StreamKernel::Triad,
@@ -307,7 +361,44 @@ fn telemetry_flags_aliasing_and_clears_advisor_layout() {
     }
 
     // Offset 16 DP words = 128 B: consecutive arrays on consecutive
-    // controllers (the advisor's suggestion) — nothing to flag.
+    // controllers (the advisor's suggestion). At this run length a couple
+    // of barrier-transition windows may dip below the parallelism
+    // threshold, but no stream group shares a residue class and flags
+    // stay in the noise floor.
+    let spread = trace(16);
+    assert!(
+        spread.flagged_fraction <= 0.05,
+        "advisor-spread layout must stay at the flag noise floor: {}",
+        spread.summary()
+    );
+    assert!(spread.aliased_streams.is_empty());
+}
+
+/// Paper-scale variant on the stock 4 MB L2 with the strict zero-flag
+/// assertion; tier-2, run in CI via `-- --ignored`.
+#[test]
+#[ignore = "paper-scale problem size; run with -- --ignored"]
+fn telemetry_flags_aliasing_and_clears_advisor_layout_full() {
+    let chip = ChipConfig::ultrasparc_t2();
+    let trace = |offset: usize| {
+        let cfg = StreamConfig::fig2(1 << 18, offset, 64);
+        let (_, timeline) = stream::run_sim_traced(
+            &cfg,
+            StreamKernel::Triad,
+            &chip,
+            &Placement::t2_scatter(),
+            4096,
+        );
+        AliasReport::analyze(&timeline, &AliasConfig::default())
+    };
+
+    let aliased = trace(0);
+    assert!(aliased.windows_considered > 0);
+    assert!(
+        aliased.flagged_fraction >= 0.8,
+        "aliased layout must flag >= 80% of active windows: {}",
+        aliased.summary()
+    );
     let spread = trace(16);
     assert_eq!(
         spread.windows_flagged,
