@@ -8,9 +8,11 @@
 //! same sweep (or extending it) reuses every previous trial — repeated
 //! sweeps and CI runs are incremental.
 //!
-//! The on-disk format is a single JSON object (written with
-//! [`t2opt_core::json`], read back with its parser), human-inspectable and
-//! diff-friendly:
+//! Since the `t2opt-store` crate landed, [`ResultCache`] is a thin
+//! compatibility facade over a 1-shard [`t2opt_store::Store`] in
+//! single-file mode: the on-disk format is the same single JSON object
+//! (human-inspectable and diff-friendly), saves are crash-safe (temp file +
+//! atomic rename), and the hit/miss counters ride on the store's metrics:
 //!
 //! ```json
 //! {"version":2,"entries":{"89ab…":12.5},"meta":{"89ab…":{"tag":"triad",…}}}
@@ -27,45 +29,19 @@
 //! they simply cannot seed transfers.
 
 use crate::workload::Workload;
-use serde::Serialize;
-use std::collections::BTreeMap;
-use std::path::{Path, PathBuf};
-use t2opt_core::json::{parse_json, to_json_string, JsonValue};
+use std::path::Path;
+use t2opt_core::json::to_json_string;
 use t2opt_core::layout::LayoutSpec;
 use t2opt_sim::ChipConfig;
+use t2opt_store::{fnv1a64_hex, Store};
 
-/// On-disk format version; bump when the trial semantics change in a way
-/// that invalidates old measurements.
-const FORMAT_VERSION: f64 = 2.0;
-
-/// Side-table record describing what a cache entry measured, keyed next to
-/// its bandwidth. This is the lookup structure for cross-kernel transfer:
-/// `tag` groups entries into workload families (rankings only transfer
-/// *between* families, values don't transfer at all), `chip` fences off
-/// measurements from different memory systems, and `spec` is the layout the
-/// bandwidth was measured under.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
-pub struct TrialMeta {
-    /// Workload-family tag ([`Workload::tag`]).
-    pub tag: String,
-    /// Chip fingerprint ([`ResultCache::chip_fingerprint`]), stored as a
-    /// hex string: the minimal JSON parser reads numbers as `f64`, which
-    /// cannot round-trip a full 64-bit hash.
-    pub chip: String,
-    /// The candidate layout the entry measured.
-    pub spec: LayoutSpec,
-}
+pub use t2opt_store::TrialMeta;
 
 /// A content-addressed map from trial key to measured bandwidth (GB/s),
 /// optionally backed by a JSON file. See the module docs.
 #[derive(Debug)]
 pub struct ResultCache {
-    path: Option<PathBuf>,
-    entries: BTreeMap<String, f64>,
-    meta: BTreeMap<String, TrialMeta>,
-    hits: u64,
-    misses: u64,
-    dirty: bool,
+    store: Store,
 }
 
 impl ResultCache {
@@ -73,12 +49,7 @@ impl ResultCache {
     /// [`ResultCache::save`] is a no-op).
     pub fn in_memory() -> Self {
         ResultCache {
-            path: None,
-            entries: BTreeMap::new(),
-            meta: BTreeMap::new(),
-            hits: 0,
-            misses: 0,
-            dirty: false,
+            store: Store::in_memory(1),
         }
     }
 
@@ -87,69 +58,45 @@ impl ResultCache {
     /// if not, the cache starts empty and the file is created on
     /// [`ResultCache::save`].
     pub fn at_path(path: impl AsRef<Path>) -> std::io::Result<Self> {
-        let path = path.as_ref().to_path_buf();
-        let mut cache = ResultCache::in_memory();
-        if path.exists() {
-            let text = std::fs::read_to_string(&path)?;
-            let (entries, meta) = parse_file(&text).map_err(|e| {
-                std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!("corrupt result cache {}: {e}", path.display()),
-                )
-            })?;
-            cache.entries = entries;
-            cache.meta = meta;
-        }
-        cache.path = Some(path);
-        Ok(cache)
+        Ok(ResultCache {
+            store: Store::single_file(path)?,
+        })
     }
 
     /// The content address of one trial: FNV-1a 64 (hex) over the canonical
     /// JSON of `(workload, chip, candidate)`.
     pub fn key(workload: &Workload, chip: &ChipConfig, spec: &LayoutSpec) -> String {
-        let canonical = to_json_string(&(workload, chip, spec));
-        format!("{:016x}", fnv1a64(canonical.as_bytes()))
+        fnv1a64_hex(to_json_string(&(workload, chip, spec)).as_bytes())
     }
 
     /// Looks `key` up, counting the outcome as a hit or a miss.
     pub fn get(&mut self, key: &str) -> Option<f64> {
-        match self.entries.get(key) {
-            Some(&gbs) => {
-                self.hits += 1;
-                Some(gbs)
-            }
-            None => {
-                self.misses += 1;
-                None
-            }
-        }
+        self.store.get(key)
     }
 
     /// Looks `key` up without touching the hit/miss counters.
     pub fn peek(&self, key: &str) -> Option<f64> {
-        self.entries.get(key).copied()
+        self.store.peek(key)
     }
 
-    /// Records a measured bandwidth under `key`.
+    /// Records a measured bandwidth under `key`, preserving any transfer
+    /// metadata already stored there.
     pub fn insert(&mut self, key: String, gbs: f64) {
-        let prev = self.entries.insert(key, gbs);
-        self.dirty = self.dirty || prev != Some(gbs);
+        self.store.insert(&key, gbs);
     }
 
     /// Records a measured bandwidth plus the transfer side-table record
     /// describing it (see [`TrialMeta`]); entries inserted this way become
     /// visible to [`ResultCache::transfer_seed`].
     pub fn insert_with_meta(&mut self, key: String, gbs: f64, meta: TrialMeta) {
-        let prev = self.meta.insert(key.clone(), meta.clone());
-        self.dirty = self.dirty || prev.as_ref() != Some(&meta);
-        self.insert(key, gbs);
+        self.store.insert_with_meta(&key, gbs, meta);
     }
 
     /// FNV-1a 64 fingerprint (hex) of a chip's canonical JSON — the fence
     /// [`ResultCache::transfer_seed`] uses to keep layouts measured on one
     /// memory system from seeding searches on another.
     pub fn chip_fingerprint(chip: &ChipConfig) -> String {
-        format!("{:016x}", fnv1a64(to_json_string(chip).as_bytes()))
+        fnv1a64_hex(to_json_string(chip).as_bytes())
     }
 
     /// Cross-kernel seeding: the best layout any *foreign* workload family
@@ -165,178 +112,55 @@ impl ResultCache {
     /// Ties break to the lexicographically smallest key, keeping the seed
     /// deterministic for a given cache state.
     pub fn transfer_seed(&self, target_tag: &str, chip: &str, period: usize) -> Option<LayoutSpec> {
-        assert!(period > 0, "interleave period must be positive");
-        let mut family_max: BTreeMap<&str, f64> = BTreeMap::new();
-        for (key, m) in &self.meta {
-            if m.tag == target_tag || m.chip != chip {
-                continue;
-            }
-            let Some(&gbs) = self.entries.get(key) else {
-                continue;
-            };
-            let best = family_max.entry(m.tag.as_str()).or_insert(f64::MIN);
-            *best = best.max(gbs);
-        }
-        let mut winner: Option<(f64, &String, &TrialMeta)> = None;
-        for (key, m) in &self.meta {
-            if m.tag == target_tag || m.chip != chip {
-                continue;
-            }
-            let Some(&gbs) = self.entries.get(key) else {
-                continue;
-            };
-            let fam = family_max[m.tag.as_str()];
-            let score = if fam > 0.0 { gbs / fam } else { 0.0 };
-            let better = match winner {
-                None => true,
-                // BTreeMap iterates keys ascending, so on a tie the
-                // earlier (smaller) key wins by keeping `>` strict.
-                Some((best, _, _)) => score > best,
-            };
-            if better {
-                winner = Some((score, key, m));
-            }
-        }
-        winner.map(|(_, _, m)| {
-            m.spec
-                .clone()
-                .shift(m.spec.shift % period)
-                .block_offset(m.spec.block_offset % period)
-        })
+        self.store.transfer_seed(target_tag, chip, period)
     }
 
-    /// Writes the cache back to its backing file. A no-op for in-memory
-    /// caches and when nothing changed since the last load/save.
+    /// Writes the cache back to its backing file — atomically, via a
+    /// sibling temp file and `rename`, so a concurrent reader (or a crash
+    /// mid-save) never observes a partially-written document. A no-op for
+    /// in-memory caches and when nothing changed since the last load/save.
     pub fn save(&mut self) -> std::io::Result<()> {
-        let Some(path) = &self.path else {
-            return Ok(());
-        };
-        if !self.dirty {
-            return Ok(());
-        }
-        std::fs::write(
-            path,
-            format!(
-                r#"{{"version":{FORMAT_VERSION},"entries":{},"meta":{}}}"#,
-                to_json_string(&self.entries),
-                to_json_string(&self.meta)
-            ),
-        )?;
-        self.dirty = false;
-        Ok(())
+        self.store.save()
     }
 
     /// Number of cached trials.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.store.len()
     }
 
     /// Whether the cache holds no trials.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.store.is_empty()
     }
 
     /// Lookups served from the cache since the last counter reset.
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.store.metrics().hits()
     }
 
     /// Lookups that required a fresh simulation since the last counter
     /// reset.
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.store.metrics().misses()
     }
 
     /// Zeroes the hit/miss counters (e.g. between tuner invocations that
     /// share one cache).
     pub fn reset_counters(&mut self) {
-        self.hits = 0;
-        self.misses = 0;
+        self.store.metrics().reset_hit_miss();
     }
-}
 
-type CacheTables = (BTreeMap<String, f64>, BTreeMap<String, TrialMeta>);
-
-fn parse_file(text: &str) -> Result<CacheTables, String> {
-    let doc = parse_json(text).map_err(|e| e.to_string())?;
-    let obj = doc.as_object().ok_or("top level must be an object")?;
-    match obj.get("version").and_then(JsonValue::as_f64) {
-        // Version 1 lacks the meta side-table but its entries are still
-        // valid measurements; load them (they just cannot seed transfers).
-        Some(v) if v == 1.0 || v == FORMAT_VERSION => {}
-        other => return Err(format!("unsupported cache version {other:?}")),
+    /// The underlying 1-shard store (read-only), for callers that want its
+    /// metrics snapshot or occupancy.
+    pub fn store(&self) -> &Store {
+        &self.store
     }
-    let entries: BTreeMap<String, f64> = obj
-        .get("entries")
-        .and_then(JsonValue::as_object)
-        .ok_or("missing \"entries\" object")?
-        .iter()
-        .map(|(k, v)| {
-            v.as_f64()
-                .map(|gbs| (k.clone(), gbs))
-                .ok_or_else(|| format!("entry {k:?} is not a number"))
-        })
-        .collect::<Result<_, _>>()?;
-    let mut meta = BTreeMap::new();
-    if let Some(table) = obj.get("meta").and_then(JsonValue::as_object) {
-        for (k, v) in table {
-            meta.insert(
-                k.clone(),
-                parse_meta(v).map_err(|e| format!("meta {k:?}: {e}"))?,
-            );
-        }
-    }
-    Ok((entries, meta))
-}
-
-fn parse_meta(v: &JsonValue) -> Result<TrialMeta, String> {
-    let obj = v.as_object().ok_or("must be an object")?;
-    let field_str = |name: &str| -> Result<String, String> {
-        obj.get(name)
-            .and_then(JsonValue::as_str)
-            .map(str::to_owned)
-            .ok_or_else(|| format!("missing string field {name:?}"))
-    };
-    let spec = obj
-        .get("spec")
-        .and_then(JsonValue::as_object)
-        .ok_or("missing \"spec\" object")?;
-    let field_usize = |name: &str| -> Result<usize, String> {
-        spec.get(name)
-            .and_then(JsonValue::as_f64)
-            .map(|f| f as usize)
-            .ok_or_else(|| format!("missing numeric spec field {name:?}"))
-    };
-    let (ba, sa) = (field_usize("base_align")?, field_usize("seg_align")?);
-    for (name, v) in [("base_align", ba), ("seg_align", sa)] {
-        if !v.max(1).is_power_of_two() {
-            return Err(format!("spec field {name:?} = {v} is not a power of two"));
-        }
-    }
-    Ok(TrialMeta {
-        tag: field_str("tag")?,
-        chip: field_str("chip")?,
-        // Rebuild through the setters so loaded specs are canonical.
-        spec: LayoutSpec::new()
-            .base_align(ba)
-            .seg_align(sa)
-            .shift(field_usize("shift")?)
-            .block_offset(field_usize("block_offset")?),
-    })
-}
-
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::PathBuf;
 
     fn tmp_path(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join("t2opt-autotune-tests");
@@ -520,5 +344,39 @@ mod tests {
         let seed = c.transfer_seed("jacobi", "cafe", 512).unwrap();
         assert_eq!(seed.shift, 128);
         assert_eq!(seed.block_offset, 64);
+    }
+
+    #[test]
+    fn concurrent_reader_never_observes_a_partial_save() {
+        // Crash-safety pin for the temp-file + rename save path: a reader
+        // re-opening the file while a writer saves repeatedly must always
+        // see a complete, parseable document — never a prefix.
+        let path = tmp_path("atomic_save.json");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut c = ResultCache::at_path(&path).unwrap();
+            c.insert("seed".into(), 1.0);
+            c.save().unwrap();
+        }
+        let writer_path = path.clone();
+        let writer = std::thread::spawn(move || {
+            let mut c = ResultCache::at_path(&writer_path).unwrap();
+            for i in 0..200u32 {
+                // Grow the document each round so a torn write would show
+                // up as a truncated (unparseable) JSON object.
+                c.insert(format!("{i:08x}{i:08x}"), f64::from(i));
+                c.save().unwrap();
+            }
+        });
+        let mut observed = 0usize;
+        while !writer.is_finished() {
+            let reloaded = ResultCache::at_path(&path)
+                .expect("reader observed a partially-written cache file");
+            assert!(!reloaded.is_empty());
+            observed += 1;
+        }
+        writer.join().unwrap();
+        assert!(observed > 0, "reader must have raced at least one save");
+        let _ = std::fs::remove_file(&path);
     }
 }

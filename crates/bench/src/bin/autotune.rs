@@ -44,10 +44,21 @@ use t2opt_kernels::lbm::LbmLayout;
 use t2opt_telemetry::metrics::Sink;
 use t2opt_telemetry::prelude::spans_chrome_trace;
 
+/// Result-cache effectiveness for this run: how many trials were served
+/// from the store vs freshly simulated, and how many entries the cache
+/// holds afterwards (what a `--cache` file would persist).
+#[derive(Serialize)]
+struct CacheStats {
+    hits: u64,
+    misses: u64,
+    entries: usize,
+}
+
 /// JSON envelope recording which chip preset the tuning ran on.
 #[derive(Serialize)]
 struct AutotuneOutput {
     chip: String,
+    cache: CacheStats,
     report: TuneReport,
 }
 
@@ -206,6 +217,11 @@ fn main() {
     if let Some(path) = args.get_str("json") {
         let out = AutotuneOutput {
             chip: spec.name.clone(),
+            cache: CacheStats {
+                hits: report.cache_hits,
+                misses: report.cache_misses,
+                entries: tuner.cache_ref().len(),
+            },
             report: report.clone(),
         };
         write_json(path, &out).expect("failed to write JSON");

@@ -1,0 +1,91 @@
+//! Minimal HTTP/1.1 client over a persistent `TcpStream` — the other half
+//! of the wire protocol in [`crate::http`], shared by the load generator,
+//! the end-to-end tests, and CI smoke checks.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A keep-alive HTTP client bound to one server connection.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` with a generous read timeout.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(Client { stream })
+    }
+
+    /// Issues `GET path`, returning `(status, body)`.
+    pub fn get(&mut self, path: &str) -> io::Result<(u16, String)> {
+        self.request("GET", path, None)
+    }
+
+    /// Issues `POST path` with a JSON body, returning `(status, body)`.
+    pub fn post(&mut self, path: &str, body: &str) -> io::Result<(u16, String)> {
+        self.request("POST", path, Some(body))
+    }
+
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<(u16, String)> {
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: t2opt\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body.as_bytes())?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> io::Result<(u16, String)> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        let mut bytes = Vec::new();
+        let mut buf = [0u8; 4096];
+        let head_end = loop {
+            if let Some(p) = bytes.windows(4).position(|w| w == b"\r\n\r\n") {
+                break p + 4;
+            }
+            match self.stream.read(&mut buf)? {
+                0 => return Err(bad("connection closed before response head")),
+                n => bytes.extend_from_slice(&buf[..n]),
+            }
+        };
+        let head = String::from_utf8(bytes[..head_end].to_vec())
+            .map_err(|_| bad("response head is not UTF-8"))?;
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("missing status code"))?;
+        let content_length: usize = head
+            .lines()
+            .find_map(|l| {
+                let (name, value) = l.split_once(':')?;
+                name.eq_ignore_ascii_case("content-length")
+                    .then(|| value.trim().parse().ok())?
+            })
+            .ok_or_else(|| bad("missing Content-Length"))?;
+        let mut body = bytes.split_off(head_end);
+        while body.len() < content_length {
+            match self.stream.read(&mut buf)? {
+                0 => return Err(bad("connection closed mid-body")),
+                n => body.extend_from_slice(&buf[..n]),
+            }
+        }
+        body.truncate(content_length);
+        String::from_utf8(body)
+            .map(|b| (status, b))
+            .map_err(|_| bad("response body is not UTF-8"))
+    }
+}

@@ -1,0 +1,288 @@
+//! Minimal HTTP/1.1 over `std::net`: just enough of the wire protocol for
+//! a JSON service — request line, headers, `Content-Length` bodies,
+//! keep-alive — with hard caps so a misbehaving client cannot balloon a
+//! worker's memory.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted head (request line + headers) in bytes.
+const MAX_HEAD: usize = 16 * 1024;
+/// Largest accepted request body in bytes.
+const MAX_BODY: usize = 64 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method, uppercased by the client (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target path, e.g. `/advise`.
+    pub path: String,
+    /// Request body (empty when no `Content-Length` was sent).
+    pub body: String,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+/// Outcome of one read attempt on a connection.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request arrived.
+    Request(Request),
+    /// The peer closed the connection cleanly (EOF before any bytes).
+    Closed,
+    /// The read timed out before a full request arrived; the bytes read so
+    /// far are handed back so the caller can resume.
+    TimedOut(Vec<u8>),
+}
+
+/// Reads one request from `stream`, resuming from `pending` bytes carried
+/// over from a previous timed-out attempt. Honors the stream's configured
+/// read timeout: a timeout surfaces as [`ReadOutcome::TimedOut`] so the
+/// caller can check its shutdown flag and resume.
+pub fn read_request(stream: &mut TcpStream, mut pending: Vec<u8>) -> io::Result<ReadOutcome> {
+    let mut buf = [0u8; 4096];
+    loop {
+        if let Some(head_end) = find_head_end(&pending) {
+            return finish_request(stream, pending, head_end);
+        }
+        if pending.len() > MAX_HEAD {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "request head exceeds 16 KiB",
+            ));
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                return if pending.is_empty() {
+                    Ok(ReadOutcome::Closed)
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-request",
+                    ))
+                };
+            }
+            Ok(n) => pending.extend_from_slice(&buf[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Ok(ReadOutcome::TimedOut(pending));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn find_head_end(bytes: &[u8]) -> Option<usize> {
+    bytes
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| p + 4)
+}
+
+fn finish_request(
+    stream: &mut TcpStream,
+    mut bytes: Vec<u8>,
+    head_end: usize,
+) -> io::Result<ReadOutcome> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let head = String::from_utf8(bytes[..head_end].to_vec())
+        .map_err(|_| bad("request head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let mut request_line = lines.next().unwrap_or("").split_whitespace();
+    let method = request_line.next().ok_or_else(|| bad("missing method"))?;
+    let path = request_line.next().ok_or_else(|| bad("missing path"))?;
+
+    let mut content_length = 0usize;
+    let mut keep_alive = true; // HTTP/1.1 default
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        match name.to_ascii_lowercase().as_str() {
+            "content-length" => {
+                content_length = value.parse().map_err(|_| bad("bad Content-Length"))?;
+            }
+            "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
+            _ => {}
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(bad("request body exceeds 64 KiB"));
+    }
+
+    // Read whatever part of the body did not arrive with the head. A
+    // timeout here keeps blocking until the body lands or the stream
+    // errors: the client already committed to sending it.
+    let mut body = bytes.split_off(head_end);
+    while body.len() < content_length {
+        let mut buf = [0u8; 4096];
+        match stream.read(&mut buf) {
+            Ok(0) => return Err(bad("connection closed mid-body")),
+            Ok(n) => body.extend_from_slice(&buf[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    body.truncate(content_length);
+    let body = String::from_utf8(body).map_err(|_| bad("request body is not UTF-8"))?;
+    Ok(ReadOutcome::Request(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body,
+        keep_alive,
+    }))
+}
+
+/// One HTTP response ready to serialize.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code (200, 400, 404, …).
+    pub status: u16,
+    /// Response body.
+    pub body: String,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+}
+
+impl Response {
+    /// A `200 OK` JSON response.
+    pub fn json(body: String) -> Self {
+        Response {
+            status: 200,
+            body,
+            content_type: "application/json",
+        }
+    }
+
+    /// An error response with a JSON `{"error": …}` body.
+    pub fn error(status: u16, message: &str) -> Self {
+        Response {
+            status,
+            body: format!(
+                r#"{{"error":{}}}"#,
+                t2opt_core::json::to_json_string(&message)
+            ),
+            content_type: "application/json",
+        }
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Serializes and writes `response`, flagging whether the connection will
+/// stay open afterwards.
+pub fn write_response(
+    stream: &mut TcpStream,
+    response: &Response,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn pipe() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn parses_request_with_body_and_keep_alive() {
+        let (mut client, mut server) = pipe();
+        client
+            .write_all(b"POST /advise HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"a\":1}")
+            .unwrap();
+        let out = read_request(&mut server, Vec::new()).unwrap();
+        let ReadOutcome::Request(req) = out else {
+            panic!("expected a request, got {out:?}");
+        };
+        assert_eq!(
+            (req.method.as_str(), req.path.as_str()),
+            ("POST", "/advise")
+        );
+        assert_eq!(req.body, r#"{"a":1}"#);
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn connection_close_clears_keep_alive_and_eof_is_clean() {
+        let (mut client, mut server) = pipe();
+        client
+            .write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let ReadOutcome::Request(req) = read_request(&mut server, Vec::new()).unwrap() else {
+            panic!("expected a request");
+        };
+        assert!(!req.keep_alive);
+        drop(client);
+        assert!(matches!(
+            read_request(&mut server, Vec::new()).unwrap(),
+            ReadOutcome::Closed
+        ));
+    }
+
+    #[test]
+    fn timeout_hands_back_partial_bytes_for_resume() {
+        let (mut client, mut server) = pipe();
+        server
+            .set_read_timeout(Some(std::time::Duration::from_millis(30)))
+            .unwrap();
+        client.write_all(b"GET /hea").unwrap();
+        let ReadOutcome::TimedOut(partial) = read_request(&mut server, Vec::new()).unwrap() else {
+            panic!("expected a timeout with partial bytes");
+        };
+        assert_eq!(partial, b"GET /hea");
+        client.write_all(b"lthz HTTP/1.1\r\n\r\n").unwrap();
+        let ReadOutcome::Request(req) = read_request(&mut server, partial).unwrap() else {
+            panic!("expected the resumed request");
+        };
+        assert_eq!(req.path, "/healthz");
+    }
+
+    #[test]
+    fn responses_carry_length_and_connection_headers() {
+        let (mut client, mut server) = pipe();
+        write_response(&mut server, &Response::json("{}".into()), false).unwrap();
+        drop(server);
+        let mut text = String::new();
+        client.read_to_string(&mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

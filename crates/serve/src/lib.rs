@@ -1,0 +1,29 @@
+//! Layout-advice-as-a-service: a daemon answering "what layout for kernel
+//! K on chip C with T threads?" over minimal HTTP/1.1 + JSON, composed
+//! from every existing subsystem:
+//!
+//! - the closed-form **advisor** and analytic **model** answer cold
+//!   queries immediately (microseconds — no query ever blocks on a
+//!   simulation),
+//! - the **autotuner** refines each query in the background with
+//!   model-pruned / transfer-seeded search,
+//! - the sharded **store** keeps the best known answer per query durable
+//!   across restarts,
+//! - the **thread pool** from `t2opt-parallel` drives the request
+//!   workers, and `t2opt-telemetry` carries the counters.
+//!
+//! Endpoints: `POST /advise`, `GET /metrics`, `GET /healthz`, plus
+//! `POST /shutdown` for portable clean shutdown in CI.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod refine;
+pub mod server;
+pub mod service;
+
+pub use client::Client;
+pub use refine::{RefineJob, RefineQueue};
+pub use server::{Server, ServerConfig};
+pub use service::{AdviceService, AdviseAnswer, AdviseQuery, WORKLOAD_NAMES};

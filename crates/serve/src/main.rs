@@ -1,0 +1,88 @@
+//! `t2opt-serve` daemon entry point.
+//!
+//! ```text
+//! cargo run --release -p t2opt-serve -- --port 8080 --store-dir results/store
+//! cargo run --release -p t2opt-serve -- --port 0 --port-file /tmp/serve.port
+//! ```
+//!
+//! Flags (all optional):
+//! - `--host H` bind host (default `127.0.0.1`)
+//! - `--port P` bind port (default `0` = ephemeral; the chosen port is
+//!   printed and, with `--port-file`, written to a file for scripts)
+//! - `--store-dir DIR` durable sharded store (default: in-memory)
+//! - `--shards N` shard count for a fresh store dir (default 8)
+//! - `--workers N` request worker threads (default 8)
+//! - `--refiners N` background refiner threads (default 1)
+//! - `--queue-cap N` refinement queue capacity (default 64)
+//!
+//! SIGINT/SIGTERM (or `POST /shutdown`) trigger graceful shutdown:
+//! in-flight requests drain, refiners stop after their current job, and
+//! dirty store shards are compacted to disk.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use t2opt_serve::{AdviceService, Server, ServerConfig};
+use t2opt_store::Store;
+
+/// Set by the signal handler; observed by the server's accept loop.
+static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    SIGNALED.store(true, Ordering::Relaxed);
+}
+
+type SigHandler = extern "C" fn(i32);
+extern "C" {
+    fn signal(signum: i32, handler: SigHandler) -> isize;
+}
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+fn flag_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn flag_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
+    flag_value(name).map_or(default, |v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("{name} expects a number, got {v:?}"))
+    })
+}
+
+fn main() {
+    let host = flag_value("--host").unwrap_or_else(|| "127.0.0.1".to_string());
+    let port: u16 = flag_parse("--port", 0);
+    let shards: usize = flag_parse("--shards", 8);
+    let config = ServerConfig {
+        workers: flag_parse("--workers", 8),
+        refiners: flag_parse("--refiners", 1),
+    };
+    let queue_cap: usize = flag_parse("--queue-cap", 64);
+
+    let store = match flag_value("--store-dir") {
+        Some(dir) => Store::open_dir(&dir, shards).expect("failed to open store dir"),
+        None => Store::in_memory(shards),
+    };
+    let service = AdviceService::new(store, queue_cap);
+
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+
+    let server = Server::bind(format!("{host}:{port}"), service, config)
+        .expect("failed to bind")
+        .observe_signal(&SIGNALED);
+    let addr = server.local_addr().expect("bound socket has an address");
+    eprintln!("t2opt-serve listening on {addr}");
+    if let Some(path) = flag_value("--port-file") {
+        let mut f = std::fs::File::create(&path).expect("failed to create port file");
+        writeln!(f, "{}", addr.port()).expect("failed to write port file");
+    }
+    server.serve().expect("server error");
+    eprintln!("t2opt-serve: store flushed, bye");
+}

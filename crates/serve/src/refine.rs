@@ -1,0 +1,208 @@
+//! Bounded background-refinement queue with oldest-dropped semantics.
+//!
+//! `/advise` misses enqueue a [`RefineJob`]; refiner threads pop jobs and
+//! run `AdviceService::run_refinement`. The queue is bounded: when a new
+//! job would exceed capacity, the *oldest* pending job is dropped (it has
+//! waited longest, so its requester has most likely moved on) and the
+//! dropped-jobs counter ticks — surfaced in `/metrics` so load tests can
+//! see refinement pressure.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Duration;
+use t2opt_autotune::Workload;
+
+/// One pending refinement: the store key to upgrade plus the query that
+/// produced it.
+#[derive(Debug, Clone)]
+pub struct RefineJob {
+    /// Store key of the entry to upgrade.
+    pub key: String,
+    /// Chip preset name.
+    pub chip: String,
+    /// The (smoke-sized) workload to autotune.
+    pub workload: Workload,
+}
+
+/// The bounded job queue shared by request workers (producers) and
+/// refiner threads (consumers).
+#[derive(Debug)]
+pub struct RefineQueue {
+    jobs: Mutex<VecDeque<RefineJob>>,
+    signal: Condvar,
+    capacity: usize,
+    enqueued: AtomicU64,
+    dropped: AtomicU64,
+    completed: AtomicU64,
+}
+
+impl RefineQueue {
+    /// A queue holding at most `capacity` pending jobs.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "refinement queue needs room for one job");
+        RefineQueue {
+            jobs: Mutex::new(VecDeque::new()),
+            signal: Condvar::new(),
+            capacity,
+            enqueued: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+        }
+    }
+
+    /// Enqueues `job` unless one with the same key is already pending
+    /// (dedup keeps a hot missed query from flooding the queue). If the
+    /// queue is full the oldest pending job is dropped to make room.
+    /// Returns whether the job was actually added.
+    pub fn enqueue(&self, job: RefineJob) -> bool {
+        let mut jobs = self.jobs.lock().unwrap_or_else(PoisonError::into_inner);
+        if jobs.iter().any(|j| j.key == job.key) {
+            return false;
+        }
+        if jobs.len() == self.capacity {
+            jobs.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        jobs.push_back(job);
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+        drop(jobs);
+        self.signal.notify_one();
+        true
+    }
+
+    /// Pops the oldest pending job, blocking until one arrives or
+    /// `shutdown` flips. Returns `None` only on shutdown.
+    pub fn pop(&self, shutdown: &AtomicBool) -> Option<RefineJob> {
+        let mut jobs = self.jobs.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if shutdown.load(Ordering::Relaxed) {
+                return None;
+            }
+            if let Some(job) = jobs.pop_front() {
+                return Some(job);
+            }
+            let (guard, _) = self
+                .signal
+                .wait_timeout(jobs, Duration::from_millis(100))
+                .unwrap_or_else(PoisonError::into_inner);
+            jobs = guard;
+        }
+    }
+
+    /// Non-blocking pop, for tests and drain loops.
+    pub fn try_pop(&self) -> Option<RefineJob> {
+        self.jobs
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_front()
+    }
+
+    /// Pending jobs right now.
+    pub fn depth(&self) -> usize {
+        self.jobs
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Maximum pending jobs.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs accepted since startup.
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued.load(Ordering::Relaxed)
+    }
+
+    /// Jobs evicted unrun because the queue was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Jobs whose refinement finished and upgraded (or confirmed) the
+    /// store entry.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Records one finished refinement (called by the service).
+    pub fn mark_completed(&self) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Whether every accepted job has either completed or been dropped —
+    /// the "refinement settled" condition load generators poll for.
+    pub fn settled(&self) -> bool {
+        self.depth() == 0 && self.completed() + self.dropped() >= self.enqueued()
+    }
+
+    /// The `/metrics` fragment describing the queue.
+    pub fn snapshot_json(&self) -> String {
+        format!(
+            r#"{{"depth":{},"capacity":{},"enqueued":{},"completed":{},"dropped":{},"settled":{}}}"#,
+            self.depth(),
+            self.capacity,
+            self.enqueued(),
+            self.completed(),
+            self.dropped(),
+            self.settled(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2opt_autotune::Workload;
+
+    fn job(key: &str) -> RefineJob {
+        RefineJob {
+            key: key.into(),
+            chip: "ultrasparc-t2".into(),
+            workload: Workload::triad_smoke(1 << 10, 8),
+        }
+    }
+
+    #[test]
+    fn overflow_drops_the_oldest_job_and_counts_it() {
+        let q = RefineQueue::new(2);
+        assert!(q.enqueue(job("a")));
+        assert!(q.enqueue(job("b")));
+        assert!(q.enqueue(job("c")), "overflow still accepts the new job");
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.dropped(), 1);
+        // "a" was oldest and must be gone; "b" then "c" remain in order.
+        assert_eq!(q.try_pop().unwrap().key, "b");
+        assert_eq!(q.try_pop().unwrap().key, "c");
+    }
+
+    #[test]
+    fn duplicate_keys_are_not_enqueued_twice() {
+        let q = RefineQueue::new(4);
+        assert!(q.enqueue(job("a")));
+        assert!(!q.enqueue(job("a")));
+        assert_eq!((q.depth(), q.enqueued()), (1, 1));
+    }
+
+    #[test]
+    fn pop_returns_none_on_shutdown() {
+        let q = RefineQueue::new(4);
+        let shutdown = AtomicBool::new(true);
+        assert!(q.pop(&shutdown).is_none());
+    }
+
+    #[test]
+    fn settled_tracks_the_full_lifecycle() {
+        let q = RefineQueue::new(1);
+        assert!(q.settled(), "an idle queue is settled");
+        q.enqueue(job("a"));
+        assert!(!q.settled());
+        q.enqueue(job("b")); // drops "a"
+        q.try_pop().unwrap();
+        assert!(!q.settled(), "popped but not completed is in flight");
+        q.mark_completed();
+        assert!(q.settled());
+    }
+}

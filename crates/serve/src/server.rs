@@ -1,0 +1,251 @@
+//! The daemon: a nonblocking acceptor feeding a connection queue drained
+//! by a `t2opt_parallel::ThreadPool` of request workers, plus dedicated
+//! refiner threads draining the refinement queue.
+//!
+//! Shutdown contract: flipping the shutdown flag (via `POST /shutdown`, a
+//! signal observed through [`Server::observe_signal`], or the handle from
+//! [`Server::shutdown_handle`]) stops the acceptor, lets every worker
+//! finish its in-flight request (with a short drain deadline for stalled
+//! clients), stops the refiners after their current job, and finally
+//! flushes dirty store shards to disk via compaction.
+
+use crate::http::{read_request, write_response, ReadOutcome, Response};
+use crate::refine::RefineQueue;
+use crate::service::AdviceService;
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+use t2opt_autotune::ResultCache;
+use t2opt_parallel::ThreadPool;
+
+/// Pool sizes for one [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Request worker threads (the `ThreadPool` size).
+    pub workers: usize,
+    /// Background refiner threads.
+    pub refiners: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 8,
+            refiners: 1,
+        }
+    }
+}
+
+/// A bound-but-not-yet-serving daemon. [`Server::serve`] blocks until
+/// shutdown.
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<AdviceService>,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+    signal: Option<&'static AtomicBool>,
+}
+
+/// How long a worker keeps waiting for the rest of a half-received
+/// request once shutdown has been requested.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(2);
+/// Read timeout on request sockets — the cadence at which an idle worker
+/// rechecks the shutdown flag.
+const READ_TICK: Duration = Duration::from_millis(250);
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) over `service`.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: AdviceService,
+        config: ServerConfig,
+    ) -> io::Result<Self> {
+        assert!(config.workers > 0, "server needs at least one worker");
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            service: Arc::new(service),
+            config,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            signal: None,
+        })
+    }
+
+    /// The address actually bound (resolves ephemeral ports).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A flag that triggers graceful shutdown when set to `true`.
+    pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// The service behind this server (for metrics inspection in tests).
+    pub fn service(&self) -> Arc<AdviceService> {
+        Arc::clone(&self.service)
+    }
+
+    /// Additionally watch a process-global flag (a signal handler's
+    /// `AtomicBool`) for shutdown — SIGTERM/ctrl-c support for `main`.
+    pub fn observe_signal(mut self, flag: &'static AtomicBool) -> Self {
+        self.signal = Some(flag);
+        self
+    }
+
+    /// Runs the accept → worker-pool → respond loop until shutdown, then
+    /// drains in-flight requests, stops refiners, and flushes the store.
+    pub fn serve(self) -> io::Result<()> {
+        let Server {
+            listener,
+            service,
+            config,
+            shutdown,
+            signal,
+        } = self;
+        listener.set_nonblocking(true)?;
+        let conns: ConnQueue = ConnQueue::default();
+        let pool = ThreadPool::new(config.workers);
+        let queue = service.refine_queue();
+
+        std::thread::scope(|scope| {
+            scope.spawn(|| accept_loop(&listener, &conns, &shutdown, signal));
+            for _ in 0..config.refiners {
+                let service = Arc::clone(&service);
+                let queue = Arc::clone(&queue);
+                let shutdown = Arc::clone(&shutdown);
+                scope.spawn(move || refiner_loop(&service, &queue, &shutdown));
+            }
+            pool.run(|_tid| worker_loop(&conns, &service, &shutdown));
+            // Workers are done; wake anyone still parked on the queue.
+            conns.signal.notify_all();
+        });
+        service.store().metrics().publish(&service.sink());
+        service.store().compact()
+    }
+}
+
+/// The pending-connection queue between the acceptor and the workers.
+#[derive(Default)]
+struct ConnQueue {
+    streams: Mutex<VecDeque<TcpStream>>,
+    signal: Condvar,
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    conns: &ConnQueue,
+    shutdown: &AtomicBool,
+    signal: Option<&'static AtomicBool>,
+) {
+    loop {
+        if signal.is_some_and(|f| f.load(Ordering::Relaxed)) {
+            shutdown.store(true, Ordering::Relaxed);
+        }
+        if shutdown.load(Ordering::Relaxed) {
+            conns.signal.notify_all();
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nodelay(true);
+                conns
+                    .streams
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push_back(stream);
+                conns.signal.notify_one();
+            }
+            // Nonblocking listener: idle or transient error — nap and
+            // recheck the shutdown flag.
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn worker_loop(conns: &ConnQueue, service: &AdviceService, shutdown: &AtomicBool) {
+    loop {
+        let stream = {
+            let mut streams = conns.streams.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(s) = streams.pop_front() {
+                    break Some(s);
+                }
+                if shutdown.load(Ordering::Relaxed) {
+                    break None;
+                }
+                let (guard, _) = conns
+                    .signal
+                    .wait_timeout(streams, Duration::from_millis(100))
+                    .unwrap_or_else(PoisonError::into_inner);
+                streams = guard;
+            }
+        };
+        match stream {
+            Some(s) => handle_connection(s, service, shutdown),
+            None => return,
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, service: &AdviceService, shutdown: &AtomicBool) {
+    let _ = stream.set_read_timeout(Some(READ_TICK));
+    let mut pending = Vec::new();
+    let mut drain_deadline: Option<Instant> = None;
+    loop {
+        match read_request(&mut stream, std::mem::take(&mut pending)) {
+            Ok(ReadOutcome::Request(req)) => {
+                let stop_requested = req.method == "POST" && req.path == "/shutdown";
+                let response = if stop_requested {
+                    Response::json(r#"{"status":"shutting down"}"#.to_string())
+                } else {
+                    service.handle(&req.method, &req.path, &req.body)
+                };
+                let keep_alive =
+                    req.keep_alive && !stop_requested && !shutdown.load(Ordering::Relaxed);
+                let write = write_response(&mut stream, &response, keep_alive);
+                if stop_requested {
+                    shutdown.store(true, Ordering::Relaxed);
+                }
+                if write.is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Ok(ReadOutcome::Closed) => return,
+            Ok(ReadOutcome::TimedOut(partial)) => {
+                if shutdown.load(Ordering::Relaxed) {
+                    if partial.is_empty() {
+                        // Idle keep-alive connection: nothing to drain.
+                        return;
+                    }
+                    // Half-received request: drain it, but not forever.
+                    let deadline =
+                        *drain_deadline.get_or_insert_with(|| Instant::now() + DRAIN_DEADLINE);
+                    if Instant::now() > deadline {
+                        return;
+                    }
+                }
+                pending = partial;
+            }
+            Err(e) => {
+                if e.kind() == io::ErrorKind::InvalidData {
+                    let _ =
+                        write_response(&mut stream, &Response::error(400, &e.to_string()), false);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// A refiner thread: pops jobs until shutdown, threading one trial-level
+/// [`ResultCache`] across jobs so later refinements reuse simulations and
+/// transfer-seed from earlier kernels' winners.
+fn refiner_loop(service: &AdviceService, queue: &RefineQueue, shutdown: &AtomicBool) {
+    let mut trials = ResultCache::in_memory();
+    while let Some(job) = queue.pop(shutdown) {
+        trials = service.run_refinement(&job, trials);
+    }
+}

@@ -1,0 +1,456 @@
+//! The advice service: tiered answers to "what layout for workload W on
+//! chip C with T threads?".
+//!
+//! Tier contract (the escalation path DESIGN §11 documents):
+//!
+//! 1. **Store hit, refined** — a background autotune already ran for this
+//!    query; answer from the store (`tier: "cache"`, measured GB/s).
+//! 2. **Store hit, advisor placeholder** — refinement is still pending;
+//!    answer the closed-form advisor layout with the analytic model's
+//!    predicted bandwidth (`tier: "advisor"`) and make sure a refinement
+//!    job is queued.
+//! 3. **Miss** — compute the advisor layout + model prediction
+//!    immediately (microseconds, never a simulation), store it as a
+//!    placeholder, and enqueue a background refinement that upgrades the
+//!    entry when it lands.
+//!
+//! Every query is answered synchronously from closed-form math or the
+//! store; simulations only ever run on refiner threads.
+
+use crate::http::Response;
+use crate::refine::{RefineJob, RefineQueue};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use t2opt_autotune::surrogate::{model_for_chip, surrogate_score};
+use t2opt_autotune::{ParamSpace, ResultCache, SearchStrategy, Tuner, Workload};
+use t2opt_core::chip::{ChipSpec, PRESET_NAMES};
+use t2opt_core::json::{parse_json, to_json_string};
+use t2opt_core::layout::LayoutSpec;
+use t2opt_kernels::lbm::LbmLayout;
+use t2opt_model::PerfModel;
+use t2opt_sim::ChipConfig;
+use t2opt_store::{Entry, Store, TrialMeta};
+use t2opt_telemetry::metrics::Sink;
+
+/// Workload labels the service accepts.
+pub const WORKLOAD_NAMES: [&str; 5] = ["triad", "jacobi", "lbm-ijkv", "lbm-ivjk", "mix"];
+
+/// Tag suffix marking a store entry as an unrefined advisor placeholder.
+const ADVISOR_SUFFIX: &str = "#advisor";
+/// Tag suffix marking a store entry as an autotuned (refined) result.
+const REFINED_SUFFIX: &str = "#refined";
+
+/// Everything precomputed per chip preset at service construction, so the
+/// hot path never rebuilds models or advisors.
+struct ChipEntry {
+    spec: ChipSpec,
+    config: ChipConfig,
+    fingerprint: String,
+    model: PerfModel,
+    advisor_spec: LayoutSpec,
+}
+
+/// One parsed `/advise` query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdviseQuery {
+    /// Chip preset name (see [`PRESET_NAMES`]).
+    pub chip: String,
+    /// Workload label (see [`WORKLOAD_NAMES`]).
+    pub workload: String,
+    /// Requested thread count, clamped to the chip's hardware threads.
+    pub threads: usize,
+}
+
+/// The JSON body answered to `/advise`.
+#[derive(Debug, Clone, Serialize)]
+pub struct AdviseAnswer {
+    /// Chip preset the advice is for.
+    pub chip: String,
+    /// Workload label the advice is for.
+    pub workload: String,
+    /// Thread count actually used (after clamping).
+    pub threads: usize,
+    /// `"cache"` (refined, measured) or `"advisor"` (closed-form + model).
+    pub tier: String,
+    /// Whether a background autotune has upgraded this entry.
+    pub refined: bool,
+    /// The advised layout.
+    pub layout: LayoutSpec,
+    /// Bandwidth in GB/s: measured for `"cache"`, model-predicted for
+    /// `"advisor"`.
+    pub gbs: f64,
+    /// `"measured"` or `"model-predicted"`.
+    pub source: String,
+    /// The store key for this query (stable across requests).
+    pub key: String,
+}
+
+/// Shared, thread-safe service state behind every endpoint.
+pub struct AdviceService {
+    store: Store,
+    chips: BTreeMap<String, ChipEntry>,
+    refine: Arc<RefineQueue>,
+    sink: Arc<Sink>,
+}
+
+impl AdviceService {
+    /// Builds a service over `store` with a refinement queue of the given
+    /// capacity, precomputing per-preset advisors and models.
+    pub fn new(store: Store, queue_capacity: usize) -> Self {
+        let chips = PRESET_NAMES
+            .iter()
+            .map(|&name| {
+                let spec = ChipSpec::preset(name).expect("preset names are exhaustive");
+                let config = ChipConfig::from_spec(&spec);
+                ChipEntry {
+                    fingerprint: ResultCache::chip_fingerprint(&config),
+                    model: model_for_chip(&config),
+                    advisor_spec: spec.advisor().suggest_layout(),
+                    spec,
+                    config,
+                }
+            })
+            .map(|e| (e.spec.name.clone(), e))
+            .collect();
+        AdviceService {
+            store,
+            chips,
+            refine: Arc::new(RefineQueue::new(queue_capacity)),
+            sink: Sink::enabled(),
+        }
+    }
+
+    /// The backing store.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// The background refinement queue.
+    pub fn refine_queue(&self) -> Arc<RefineQueue> {
+        Arc::clone(&self.refine)
+    }
+
+    /// The telemetry sink the service publishes its counters through.
+    pub fn sink(&self) -> Arc<Sink> {
+        Arc::clone(&self.sink)
+    }
+
+    /// Routes one HTTP request to its endpoint.
+    pub fn handle(&self, method: &str, path: &str, body: &str) -> Response {
+        self.sink.counter("serve.requests").inc();
+        match (method, path) {
+            ("POST", "/advise") => self.advise(body),
+            ("GET", "/metrics") => Response::json(self.metrics_json()),
+            ("GET", "/healthz") => Response::json(format!(
+                r#"{{"status":"ok","entries":{},"shards":{}}}"#,
+                self.store.len(),
+                self.store.shard_count()
+            )),
+            ("GET" | "POST", _) => Response::error(404, &format!("no such endpoint {path}")),
+            _ => Response::error(405, "use POST /advise, GET /metrics, GET /healthz"),
+        }
+    }
+
+    /// The `/advise` endpoint: parse, resolve the tier, answer.
+    pub fn advise(&self, body: &str) -> Response {
+        self.sink.counter("serve.advise").inc();
+        let query = match parse_query(body) {
+            Ok(q) => q,
+            Err(msg) => {
+                self.sink.counter("serve.bad_requests").inc();
+                return Response::error(400, &msg);
+            }
+        };
+        let Some(chip) = self.chips.get(&query.chip) else {
+            self.sink.counter("serve.bad_requests").inc();
+            return Response::error(
+                400,
+                &format!("unknown chip {:?}; presets: {PRESET_NAMES:?}", query.chip),
+            );
+        };
+        let threads = query.threads.clamp(1, chip.spec.max_threads());
+        let Some(workload) = resolve_workload(&query.workload, threads) else {
+            self.sink.counter("serve.bad_requests").inc();
+            return Response::error(
+                400,
+                &format!(
+                    "unknown workload {:?}; labels: {WORKLOAD_NAMES:?}",
+                    query.workload
+                ),
+            );
+        };
+        let key = query_key(&query.chip, &workload);
+
+        let stored = self.store.get_entry(&key);
+        let refined = stored.as_ref().is_some_and(|e| {
+            e.meta
+                .as_ref()
+                .is_some_and(|m| m.tag.ends_with(REFINED_SUFFIX))
+        });
+        let answer = if refined {
+            self.sink.counter("serve.cache_tier").inc();
+            let e = stored.expect("refined implies an entry");
+            AdviseAnswer {
+                chip: query.chip.clone(),
+                workload: query.workload.clone(),
+                threads,
+                tier: "cache".into(),
+                refined: true,
+                layout: e.meta.expect("refined implies meta").spec,
+                gbs: e.gbs,
+                source: "measured".into(),
+                key,
+            }
+        } else {
+            self.sink.counter("serve.advisor_tier").inc();
+            let predicted = surrogate_score(&chip.model, &workload, &chip.advisor_spec);
+            if stored.is_none() {
+                // First sight of this query: store the placeholder unless a
+                // racing refinement landed in the meantime.
+                let placeholder = Entry {
+                    gbs: predicted,
+                    meta: Some(TrialMeta {
+                        tag: format!("{}{ADVISOR_SUFFIX}", workload.tag()),
+                        chip: chip.fingerprint.clone(),
+                        spec: chip.advisor_spec.clone(),
+                    }),
+                };
+                self.store
+                    .update(&key, |cur| cur.is_none().then_some(placeholder));
+            }
+            // Pending placeholder either way: make sure refinement is
+            // queued (the queue dedupes by key).
+            self.refine.enqueue(RefineJob {
+                key: key.clone(),
+                chip: query.chip.clone(),
+                workload: workload.clone(),
+            });
+            AdviseAnswer {
+                chip: query.chip.clone(),
+                workload: query.workload.clone(),
+                threads,
+                tier: "advisor".into(),
+                refined: false,
+                layout: chip.advisor_spec.clone(),
+                gbs: predicted,
+                source: "model-predicted".into(),
+                key,
+            }
+        };
+        Response::json(to_json_string(&answer))
+    }
+
+    /// Runs one queued refinement job to completion: a `ModelPruned` (or,
+    /// when the shared trial cache can seed it, `TransferSeeded`) autotune
+    /// over the chip's offset sweep, then a monotone store upgrade. The
+    /// trial cache is threaded through so later jobs reuse simulations and
+    /// transfer seeds from earlier ones. Only refiner threads call this —
+    /// never the request path.
+    pub fn run_refinement(&self, job: &RefineJob, trials: ResultCache) -> ResultCache {
+        let Some(chip) = self.chips.get(&job.chip) else {
+            return trials; // chip disappeared — impossible for presets
+        };
+        let tag = job.workload.tag();
+        let strategy = if trials
+            .transfer_seed(&tag, &chip.fingerprint, chip.spec.interleave_period())
+            .is_some()
+        {
+            SearchStrategy::transfer_seeded()
+        } else {
+            SearchStrategy::model_pruned()
+        };
+        let space = if tag.starts_with("lbm") {
+            ParamSpace::lbm_padding_sweep()
+        } else {
+            ParamSpace::offset_sweep_for(&chip.spec)
+        };
+        let mut tuner = Tuner::new(job.workload.clone(), chip.config.clone(), space)
+            .strategy(strategy)
+            .cache(trials)
+            .pool_threads(2);
+        let report = tuner.run();
+        let upgraded = Entry {
+            gbs: report.best.gbs,
+            meta: Some(TrialMeta {
+                tag: format!("{tag}{REFINED_SUFFIX}"),
+                chip: chip.fingerprint.clone(),
+                spec: report.best.spec.clone(),
+            }),
+        };
+        // Monotone upgrade: never replace a refined entry with a worse
+        // one; always replace an advisor placeholder.
+        self.store.update(&job.key, |cur| match cur {
+            Some(e)
+                if e.gbs >= upgraded.gbs
+                    && e.meta
+                        .as_ref()
+                        .is_some_and(|m| m.tag.ends_with(REFINED_SUFFIX)) =>
+            {
+                None
+            }
+            _ => Some(upgraded),
+        });
+        self.refine.mark_completed();
+        tuner.into_cache()
+    }
+
+    /// The `/metrics` document: serve counters, refinement queue state,
+    /// and the store snapshot. Also publishes store counters into the
+    /// telemetry sink.
+    pub fn metrics_json(&self) -> String {
+        self.store.metrics().publish(&self.sink);
+        let counter = |name: &str| self.sink.counter(name).get();
+        format!(
+            r#"{{"serve":{{"requests":{},"advise":{},"cache_tier":{},"advisor_tier":{},"bad_requests":{}}},"refine":{},"store":{}}}"#,
+            counter("serve.requests"),
+            counter("serve.advise"),
+            counter("serve.cache_tier"),
+            counter("serve.advisor_tier"),
+            counter("serve.bad_requests"),
+            self.refine.snapshot_json(),
+            to_json_string(&self.store.snapshot()),
+        )
+    }
+}
+
+/// The store key for one `(chip preset, workload)` query. The workload
+/// already encodes its thread count and problem size, so distinct thread
+/// counts get distinct keys.
+pub fn query_key(chip_name: &str, workload: &Workload) -> String {
+    t2opt_store::fnv1a64_hex(to_json_string(&(chip_name, workload)).as_bytes())
+}
+
+/// Maps a workload label to its CI-sized (smoke) workload: serve answers
+/// must stay interactive, so refinement simulates the small variants.
+pub fn resolve_workload(label: &str, threads: usize) -> Option<Workload> {
+    Some(match label {
+        "triad" => Workload::triad_smoke(1 << 12, threads),
+        "jacobi" => Workload::jacobi_smoke(64, threads),
+        "lbm-ijkv" => Workload::lbm_smoke(16, LbmLayout::IJKv, threads),
+        "lbm-ivjk" => Workload::lbm_smoke(16, LbmLayout::IvJK, threads),
+        "mix" => Workload::StreamMix {
+            reads: 2,
+            writes: 1,
+            n: 1 << 12,
+            threads,
+            ntimes: 1,
+            warmup: false,
+        },
+        _ => return None,
+    })
+}
+
+fn parse_query(body: &str) -> Result<AdviseQuery, String> {
+    let doc = parse_json(body).map_err(|e| format!("bad JSON body: {e}"))?;
+    let obj = doc
+        .as_object()
+        .ok_or("body must be a JSON object like {\"chip\":…,\"workload\":…,\"threads\":…}")?;
+    let field_str = |name: &str, default: &str| -> Result<String, String> {
+        match obj.get(name) {
+            None => Ok(default.to_string()),
+            Some(v) => v
+                .as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| format!("field {name:?} must be a string")),
+        }
+    };
+    let threads = match obj.get("threads") {
+        None => 16,
+        Some(v) => {
+            let t = v.as_f64().ok_or("field \"threads\" must be a number")?;
+            if !(1.0..=4096.0).contains(&t) || t.fract() != 0.0 {
+                return Err(format!(
+                    "field \"threads\" must be an integer in [1, 4096], got {t}"
+                ));
+            }
+            t as usize
+        }
+    };
+    Ok(AdviseQuery {
+        chip: field_str("chip", PRESET_NAMES[0])?,
+        workload: field_str("workload", "triad")?,
+        threads,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2opt_core::json::JsonValue;
+
+    fn service() -> AdviceService {
+        AdviceService::new(Store::in_memory(2), 8)
+    }
+
+    fn parse_answer(resp: &Response) -> BTreeMap<String, JsonValue> {
+        assert_eq!(resp.status, 200, "body: {}", resp.body);
+        parse_json(&resp.body).unwrap().as_object().unwrap().clone()
+    }
+
+    #[test]
+    fn cold_advise_answers_from_advisor_tier_and_queues_refinement() {
+        let svc = service();
+        let resp = svc.advise(r#"{"chip":"ultrasparc-t2","workload":"triad","threads":32}"#);
+        let obj = parse_answer(&resp);
+        assert_eq!(obj["tier"].as_str(), Some("advisor"));
+        assert_eq!(obj["source"].as_str(), Some("model-predicted"));
+        assert!(obj["gbs"].as_f64().unwrap() > 0.0);
+        assert_eq!(svc.refine_queue().depth(), 1);
+        // Re-asking does not duplicate the pending job, and stays advisor
+        // tier until a refiner upgrades the entry.
+        let again = svc.advise(r#"{"chip":"ultrasparc-t2","workload":"triad","threads":32}"#);
+        assert_eq!(parse_answer(&again)["tier"].as_str(), Some("advisor"));
+        assert_eq!(svc.refine_queue().depth(), 1);
+    }
+
+    #[test]
+    fn refinement_upgrades_the_entry_to_cache_tier() {
+        let svc = service();
+        let body = r#"{"chip":"budget-2mc","workload":"triad","threads":8}"#;
+        svc.advise(body);
+        let job = svc
+            .refine_queue()
+            .try_pop()
+            .expect("advise must have queued a refinement");
+        svc.run_refinement(&job, ResultCache::in_memory());
+        let obj = parse_answer(&svc.advise(body));
+        assert_eq!(obj["tier"].as_str(), Some("cache"));
+        assert_eq!(obj["source"].as_str(), Some("measured"));
+        assert!(matches!(obj["refined"], JsonValue::Bool(true)));
+        assert_eq!(obj["key"].as_str().unwrap().len(), 16);
+    }
+
+    #[test]
+    fn bad_requests_are_400_with_the_valid_vocabulary() {
+        let svc = service();
+        assert_eq!(svc.advise("{not json").status, 400);
+        assert_eq!(svc.advise(r#"{"chip":"z80"}"#).status, 400);
+        assert_eq!(svc.advise(r#"{"workload":"sort"}"#).status, 400);
+        assert_eq!(svc.advise(r#"{"threads":0}"#).status, 400);
+        assert_eq!(svc.sink().counter("serve.bad_requests").get(), 4);
+    }
+
+    #[test]
+    fn threads_clamp_to_the_chip_capacity() {
+        let svc = service();
+        let resp = svc.advise(r#"{"chip":"budget-2mc","workload":"triad","threads":4096}"#);
+        let obj = parse_answer(&resp);
+        let max = ChipSpec::preset("budget-2mc").unwrap().max_threads();
+        assert_eq!(obj["threads"].as_f64(), Some(max as f64));
+    }
+
+    #[test]
+    fn metrics_json_is_parseable_and_counts_tiers() {
+        let svc = service();
+        svc.advise(r#"{"workload":"triad"}"#);
+        let doc = parse_json(&svc.metrics_json()).unwrap();
+        let obj = doc.as_object().unwrap();
+        let serve = obj["serve"].as_object().unwrap();
+        assert_eq!(serve["advisor_tier"].as_f64(), Some(1.0));
+        assert!(obj["refine"].as_object().is_some());
+        assert!(obj["store"].as_object().unwrap()["shard_occupancy"]
+            .as_array()
+            .is_some());
+    }
+}

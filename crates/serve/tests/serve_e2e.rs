@@ -1,0 +1,199 @@
+//! End-to-end tests over real TCP: the full cold → refine → warm serve
+//! path, metrics consistency, graceful shutdown with store flush, and
+//! bounded-queue drop accounting.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+use t2opt_core::json::{parse_json, JsonValue};
+use t2opt_serve::{AdviceService, Client, Server, ServerConfig};
+use t2opt_store::Store;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("t2opt-serve-e2e")
+        .join(format!("{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn obj(body: &str) -> std::collections::BTreeMap<String, JsonValue> {
+    parse_json(body)
+        .unwrap_or_else(|e| panic!("bad JSON {body:?}: {e}"))
+        .as_object()
+        .expect("top-level object")
+        .clone()
+}
+
+/// Polls `/metrics` until the refinement queue settles (all accepted jobs
+/// completed or dropped) or the deadline passes.
+fn await_settled(client: &mut Client, deadline: Duration) {
+    let start = Instant::now();
+    loop {
+        let (status, body) = client.get("/metrics").unwrap();
+        assert_eq!(status, 200);
+        let refine = obj(&body)["refine"].as_object().unwrap().clone();
+        if matches!(refine["settled"], JsonValue::Bool(true)) {
+            return;
+        }
+        assert!(
+            start.elapsed() < deadline,
+            "refinement did not settle within {deadline:?}: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(200));
+    }
+}
+
+#[test]
+fn cold_advise_refines_to_cache_tier_and_survives_restart() {
+    let dir = tmp_dir("lifecycle");
+    let query = r#"{"chip":"budget-2mc","workload":"triad","threads":8}"#;
+
+    // --- first server lifetime: cold query, refinement, clean shutdown
+    let store = Store::open_dir(&dir, 4).unwrap();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        AdviceService::new(store, 16),
+        ServerConfig {
+            workers: 2,
+            refiners: 1,
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let serving = std::thread::spawn(move || server.serve().unwrap());
+
+    let mut client = Client::connect(addr).unwrap();
+    let (status, body) = client.get("/healthz").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(obj(&body)["status"].as_str(), Some("ok"));
+
+    let (status, body) = client.post("/advise", query).unwrap();
+    assert_eq!(status, 200, "cold advise failed: {body}");
+    let cold = obj(&body);
+    assert_eq!(
+        cold["tier"].as_str(),
+        Some("advisor"),
+        "cold query must be advisor tier"
+    );
+    assert_eq!(cold["source"].as_str(), Some("model-predicted"));
+
+    await_settled(&mut client, Duration::from_secs(120));
+
+    let (_, body) = client.post("/advise", query).unwrap();
+    let warm = obj(&body);
+    assert_eq!(
+        warm["tier"].as_str(),
+        Some("cache"),
+        "settled query must be cache tier"
+    );
+    assert!(matches!(warm["refined"], JsonValue::Bool(true)));
+    assert_eq!(
+        warm["key"].as_str(),
+        cold["key"].as_str(),
+        "same query, same key"
+    );
+
+    // Metrics consistency: one advisor-tier answer, one cache-tier answer.
+    let (_, body) = client.get("/metrics").unwrap();
+    let metrics = obj(&body);
+    let serve = metrics["serve"].as_object().unwrap();
+    assert_eq!(serve["advisor_tier"].as_f64(), Some(1.0));
+    assert_eq!(serve["cache_tier"].as_f64(), Some(1.0));
+    let refine = metrics["refine"].as_object().unwrap();
+    assert_eq!(refine["completed"].as_f64(), Some(1.0));
+    assert_eq!(refine["dropped"].as_f64(), Some(0.0));
+
+    let (status, _) = client.post("/shutdown", "").unwrap();
+    assert_eq!(status, 200);
+    serving.join().expect("server thread panicked");
+
+    // --- second lifetime: the refined entry was flushed and reloads
+    let store = Store::open_dir(&dir, 4).unwrap();
+    assert!(!store.is_empty(), "shutdown must flush the refined entry");
+    let server = Server::bind(
+        "127.0.0.1:0",
+        AdviceService::new(store, 16),
+        ServerConfig {
+            workers: 2,
+            refiners: 0,
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let shutdown = server.shutdown_handle();
+    let serving = std::thread::spawn(move || server.serve().unwrap());
+    let mut client = Client::connect(addr).unwrap();
+    let (_, body) = client.post("/advise", query).unwrap();
+    assert_eq!(
+        obj(&body)["tier"].as_str(),
+        Some("cache"),
+        "a restarted server must answer from the durable store"
+    );
+    shutdown.store(true, std::sync::atomic::Ordering::Relaxed);
+    serving.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bounded_queue_drops_oldest_and_reports_it() {
+    // No refiners: jobs pile up in a 2-slot queue, so the third distinct
+    // query must evict the oldest pending job.
+    let server = Server::bind(
+        "127.0.0.1:0",
+        AdviceService::new(Store::in_memory(2), 2),
+        ServerConfig {
+            workers: 2,
+            refiners: 0,
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let shutdown = server.shutdown_handle();
+    let serving = std::thread::spawn(move || server.serve().unwrap());
+
+    let mut client = Client::connect(addr).unwrap();
+    for workload in ["triad", "jacobi", "mix"] {
+        let (status, _) = client
+            .post("/advise", &format!(r#"{{"workload":"{workload}"}}"#))
+            .unwrap();
+        assert_eq!(status, 200);
+    }
+    let (_, body) = client.get("/metrics").unwrap();
+    let refine = obj(&body)["refine"].as_object().unwrap().clone();
+    assert_eq!(refine["enqueued"].as_f64(), Some(3.0));
+    assert_eq!(refine["dropped"].as_f64(), Some(1.0));
+    assert_eq!(refine["depth"].as_f64(), Some(2.0));
+
+    shutdown.store(true, std::sync::atomic::Ordering::Relaxed);
+    serving.join().unwrap();
+}
+
+#[test]
+fn unknown_paths_and_bad_bodies_get_http_errors() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        AdviceService::new(Store::in_memory(1), 2),
+        ServerConfig {
+            workers: 1,
+            refiners: 0,
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let shutdown = server.shutdown_handle();
+    let serving = std::thread::spawn(move || server.serve().unwrap());
+
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(client.get("/nope").unwrap().0, 404);
+    assert_eq!(client.post("/advise", "{broken").unwrap().0, 400);
+    assert_eq!(
+        client.post("/advise", r#"{"chip":"z80"}"#).unwrap().0,
+        400,
+        "unknown chip preset must be a client error"
+    );
+    // The connection survives error responses (keep-alive).
+    assert_eq!(client.get("/healthz").unwrap().0, 200);
+
+    shutdown.store(true, std::sync::atomic::Ordering::Relaxed);
+    serving.join().unwrap();
+}

@@ -1,0 +1,164 @@
+//! Store-level counters: hits, misses, log appends, compactions.
+//!
+//! The counters are plain relaxed atomics owned by the store (the
+//! telemetry [`Sink`]'s counters are add-only and shared, so they cannot
+//! back a resettable hit/miss pair). [`StoreMetrics::publish`] pushes the
+//! totals into a `Sink` as deltas, so repeated publishes never double
+//! count and external telemetry consumers see the same monotone counters
+//! they get from every other subsystem.
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use t2opt_telemetry::metrics::Sink;
+
+/// Monotone counters for one [`crate::Store`].
+#[derive(Debug, Default)]
+pub struct StoreMetrics {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    appends: AtomicU64,
+    compactions: AtomicU64,
+    // Totals already pushed to a Sink, so publish() adds only the delta.
+    published: [AtomicU64; 4],
+}
+
+/// Point-in-time copy of the counters plus occupancy, serializable into
+/// `/metrics` responses and bench envelopes.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StoreSnapshot {
+    /// Lookups answered from the store.
+    pub hits: u64,
+    /// Lookups that found no entry.
+    pub misses: u64,
+    /// Records appended to shard logs (or dirtied in snapshot-only modes).
+    pub appends: u64,
+    /// Shard compactions performed.
+    pub compactions: u64,
+    /// Total entries across all shards.
+    pub entries: usize,
+    /// Entries per shard, indexed by shard number.
+    pub shard_occupancy: Vec<usize>,
+}
+
+impl StoreMetrics {
+    /// Records a lookup that found its key.
+    pub fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a lookup that missed.
+    pub fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one appended (or dirtied) entry write.
+    pub fn append(&self) {
+        self.appends.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one shard compaction.
+    pub fn compaction(&self) {
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lookups answered from the store since the last reset.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that missed since the last reset.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Records appended since the store was opened.
+    pub fn appends(&self) -> u64 {
+        self.appends.load(Ordering::Relaxed)
+    }
+
+    /// Compactions performed since the store was opened.
+    pub fn compactions(&self) -> u64 {
+        self.compactions.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the hit/miss counters (append/compaction totals describe the
+    /// store's whole life and are left alone).
+    pub fn reset_hit_miss(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Pushes the counters into a telemetry [`Sink`] under the `store.*`
+    /// namespace. Only the delta since the previous publish is added, so
+    /// calling this periodically (or once at shutdown) yields correct
+    /// monotone sink counters either way.
+    pub fn publish(&self, sink: &Sink) {
+        let pairs = [
+            ("store.hits", &self.hits),
+            ("store.misses", &self.misses),
+            ("store.appends", &self.appends),
+            ("store.compactions", &self.compactions),
+        ];
+        for (i, (name, total)) in pairs.iter().enumerate() {
+            let current = total.load(Ordering::Relaxed);
+            let previous = self.published[i].swap(current, Ordering::Relaxed);
+            sink.counter(name).add(current.saturating_sub(previous));
+        }
+    }
+
+    /// Snapshot with the given occupancy vector (the store supplies it —
+    /// the counters alone do not know the shard layout).
+    pub fn snapshot(&self, shard_occupancy: Vec<usize>) -> StoreSnapshot {
+        StoreSnapshot {
+            hits: self.hits(),
+            misses: self.misses(),
+            appends: self.appends(),
+            compactions: self.compactions(),
+            entries: shard_occupancy.iter().sum(),
+            shard_occupancy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let m = StoreMetrics::default();
+        m.hit();
+        m.hit();
+        m.miss();
+        m.append();
+        m.compaction();
+        assert_eq!((m.hits(), m.misses()), (2, 1));
+        assert_eq!((m.appends(), m.compactions()), (1, 1));
+        m.reset_hit_miss();
+        assert_eq!((m.hits(), m.misses()), (0, 0));
+        assert_eq!(m.appends(), 1, "append total survives a counter reset");
+    }
+
+    #[test]
+    fn publish_pushes_deltas_not_totals() {
+        let m = StoreMetrics::default();
+        let sink = Sink::enabled();
+        m.hit();
+        m.publish(&sink);
+        m.hit();
+        m.hit();
+        m.publish(&sink);
+        m.publish(&sink);
+        assert_eq!(sink.counter("store.hits").get(), 3);
+    }
+
+    #[test]
+    fn snapshot_sums_occupancy() {
+        let m = StoreMetrics::default();
+        m.miss();
+        let snap = m.snapshot(vec![2, 0, 3]);
+        assert_eq!(snap.entries, 5);
+        assert_eq!(snap.misses, 1);
+        assert_eq!(snap.shard_occupancy, vec![2, 0, 3]);
+    }
+}

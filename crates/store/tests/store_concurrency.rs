@@ -1,0 +1,182 @@
+//! Concurrency pins for the sharded store: many readers against racing
+//! writers must never observe a torn entry, [`Store::upgrade_max`] must be
+//! monotone under contention, compaction must be safe to run while writes
+//! land, and key→shard routing must be stable across save/load.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use t2opt_core::layout::LayoutSpec;
+use t2opt_store::{Store, TrialMeta};
+
+/// An entry whose bandwidth and layout encode the same round number, so a
+/// torn read (gbs from one write, meta from another) is detectable.
+fn stamped(round: usize) -> (f64, TrialMeta) {
+    (
+        round as f64,
+        TrialMeta {
+            tag: "stress".into(),
+            chip: "cafe".into(),
+            spec: LayoutSpec::new().shift(round),
+        },
+    )
+}
+
+fn unique_dir(prefix: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir()
+        .join("t2opt-store-concurrency")
+        .join(format!(
+            "{prefix}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Many readers + racing writers on one in-memory store: every observed
+/// entry must be internally consistent (gbs and spec stamped by the same
+/// write) and per-key bandwidths must only ever go up (`upgrade_max`).
+#[test]
+fn readers_never_observe_torn_or_regressing_entries() {
+    const KEYS: usize = 32;
+    const ROUNDS: usize = 200;
+    const READERS: usize = 4;
+    const WRITERS: usize = 2;
+
+    let store = Arc::new(Store::in_memory(4));
+    let stop = Arc::new(AtomicBool::new(false));
+    let keys: Vec<String> = (0..KEYS).map(|i| format!("{i:016x}")).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..READERS {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            let keys = keys.clone();
+            scope.spawn(move || {
+                let mut last_seen: HashMap<String, f64> = HashMap::new();
+                while !stop.load(Ordering::Relaxed) {
+                    for key in &keys {
+                        let Some(e) = store.peek_entry(key) else {
+                            continue;
+                        };
+                        let meta = e.meta.expect("stress entries always carry meta");
+                        assert_eq!(
+                            meta.spec.shift, e.gbs as usize,
+                            "torn read: bandwidth and layout from different writes"
+                        );
+                        let prev = last_seen.insert(key.clone(), e.gbs);
+                        assert!(
+                            prev.is_none_or(|p| e.gbs >= p),
+                            "refined entry regressed from {prev:?} to {}",
+                            e.gbs
+                        );
+                    }
+                }
+            });
+        }
+        // Writers race over the same keys with interleaved rounds; the
+        // monotone upgrade rule must make the final state the max round
+        // regardless of interleaving.
+        let mut writers = Vec::new();
+        for w in 0..WRITERS {
+            let store = Arc::clone(&store);
+            let keys = keys.clone();
+            writers.push(scope.spawn(move || {
+                for round in (1..=ROUNDS).skip(w % 2) {
+                    for key in &keys {
+                        let (gbs, meta) = stamped(round);
+                        store.upgrade_max(key, gbs, meta);
+                    }
+                }
+            }));
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    for key in &keys {
+        assert_eq!(store.peek(key), Some(ROUNDS as f64));
+    }
+    assert_eq!(store.len(), KEYS);
+}
+
+/// Compacting a directory store while writers are still appending must
+/// lose nothing: after the dust settles, a fresh open sees every key at
+/// its final (maximal) round.
+#[test]
+fn compaction_races_with_writers_without_losing_entries() {
+    const KEYS: usize = 16;
+    const ROUNDS: usize = 60;
+
+    let dir = unique_dir("compact-race");
+    let store = Arc::new(Store::open_dir(&dir, 4).unwrap());
+    let stop = Arc::new(AtomicBool::new(false));
+    let keys: Vec<String> = (0..KEYS).map(|i| format!("{i:016x}")).collect();
+
+    std::thread::scope(|scope| {
+        let compactor = {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    store.compact().unwrap();
+                }
+            })
+        };
+        for round in 1..=ROUNDS {
+            for key in &keys {
+                let (gbs, meta) = stamped(round);
+                store.upgrade_max(key, gbs, meta);
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        compactor.join().unwrap();
+    });
+    store.compact().unwrap();
+
+    let reopened = Store::open_dir(&dir, 4).unwrap();
+    assert_eq!(reopened.len(), KEYS);
+    for key in &keys {
+        assert_eq!(reopened.peek(key), Some(ROUNDS as f64));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    /// Key→shard routing is pinned by the manifest: for arbitrary key sets
+    /// and shard counts, reopening the store (even requesting a different
+    /// shard count) preserves both the routing and every stored value.
+    #[test]
+    fn shard_routing_is_stable_across_save_load(
+        raw_keys in proptest::collection::vec(0u64..1_000_000_000, 1..24),
+        n_shards in 1usize..6,
+        reopen_request in 1usize..9,
+    ) {
+        let dir = unique_dir("routing");
+        let mut keys: Vec<String> = raw_keys.iter().map(|k| format!("{k:016x}")).collect();
+        keys.sort();
+        keys.dedup();
+        let mut routed: HashMap<String, usize> = HashMap::new();
+        {
+            let store = Store::open_dir(&dir, n_shards).unwrap();
+            for (i, key) in keys.iter().enumerate() {
+                store.insert(key, i as f64);
+                routed.insert(key.clone(), store.shard_for(key));
+            }
+            store.compact().unwrap();
+        }
+        let reopened = Store::open_dir(&dir, reopen_request).unwrap();
+        prop_assert_eq!(reopened.shard_count(), n_shards, "manifest must pin the count");
+        for (i, key) in keys.iter().enumerate() {
+            prop_assert_eq!(reopened.shard_for(key), routed[key]);
+            prop_assert_eq!(reopened.peek(key), Some(i as f64));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
