@@ -311,7 +311,12 @@ impl Tuner {
         self.workload.validate(&self.chip);
         self.cache.reset_counters();
 
-        let _run_span = self.sink.as_ref().map(|s| s.span("tune.run", 0));
+        // The run span roots a fresh trace; trial spans parent to it so
+        // exporters can reassemble the tuning run as one tree.
+        let run_span = self.sink.as_ref().map(|s| s.span_root("tune.run", 0));
+        let run_ids = run_span
+            .as_ref()
+            .map_or((0, 0), |g| (g.trace_id(), g.span_id()));
         let pool = if self.sink.is_some() {
             ThreadPool::instrumented(self.pool_threads)
         } else {
@@ -351,7 +356,14 @@ impl Tuner {
 
         {
             let mut eval = |batch: &[[usize; N_DIMS]]| {
-                self.measure(batch, &pool, &mut trials, &mut seen, &mut simulations_run)
+                self.measure(
+                    batch,
+                    &pool,
+                    &mut trials,
+                    &mut seen,
+                    &mut simulations_run,
+                    run_ids,
+                )
             };
             match strategy {
                 SearchStrategy::Exhaustive => {
@@ -494,6 +506,7 @@ impl Tuner {
         trials: &mut Vec<Trial>,
         seen: &mut BTreeMap<String, usize>,
         simulations_run: &mut u64,
+        run_ids: (u64, u64),
     ) -> Vec<f64> {
         let advisor = self.advisor();
         let specs: Vec<LayoutSpec> = idxs.iter().map(|&i| self.space.spec_at(i)).collect();
@@ -546,9 +559,11 @@ impl Tuner {
                 for j in chunk {
                     let spec = run_specs[j];
                     let _span = sink.as_ref().map(|s| {
-                        s.span(
+                        s.span_child(
                             format!("trial bo{} sh{}", spec.block_offset, spec.shift),
                             tid as u32,
+                            run_ids.0,
+                            run_ids.1,
                         )
                     });
                     let mut sim = Simulation::new(chip.clone());
@@ -901,15 +916,21 @@ mod tests {
             smoke_tuner(ParamSpace::offset_sweep(128, 512)).telemetry(Arc::clone(&sink));
         let cold = tuner.run();
         let spans = sink.spans();
-        assert!(
-            spans.iter().any(|s| s.name == "tune.run"),
-            "run span missing: {spans:?}"
-        );
-        let trial_spans = spans
+        let run_span = spans
+            .iter()
+            .find(|s| s.name == "tune.run")
+            .unwrap_or_else(|| panic!("run span missing: {spans:?}"));
+        assert_ne!(run_span.trace_id, 0, "run span roots a trace");
+        assert_eq!(run_span.parent_id, 0, "run span is the trace root");
+        let trial_spans: Vec<_> = spans
             .iter()
             .filter(|s| s.name.starts_with("trial "))
-            .count();
-        assert_eq!(trial_spans as u64, cold.simulations_run);
+            .collect();
+        assert_eq!(trial_spans.len() as u64, cold.simulations_run);
+        // Every trial span parents to the run span within its trace.
+        assert!(trial_spans
+            .iter()
+            .all(|s| s.trace_id == run_span.trace_id && s.parent_id == run_span.span_id));
         let counters: BTreeMap<String, u64> = sink.counter_values().into_iter().collect();
         assert_eq!(counters["autotune.cache_misses"], cold.simulations_run);
         assert_eq!(counters["autotune.cache_hits"], 0);

@@ -11,7 +11,7 @@
 //!
 //! Without `--addr` the daemon is started in-process on an ephemeral port
 //! with an in-memory store, so the benchmark is self-contained. The run
-//! has three phases:
+//! has four phases:
 //!
 //! 1. **cold pass** — every distinct query once; answers must come from
 //!    the advisor/model tier (no query ever blocks on a simulation),
@@ -19,19 +19,31 @@
 //!    drains (every cold query upgraded to a measured store entry),
 //! 3. **warm pass** — `--clients` threads (persistent connections) hammer
 //!    the same matrix round-robin for `--requests` total queries; answers
-//!    must now come from the cache tier.
+//!    must now come from the cache tier,
+//! 4. **p99 cross-check** (in-process runs only) — a dedicated
+//!    single-worker server with refinement disabled answers
+//!    `--xcheck-requests` sequential advisor-tier queries; the client p99
+//!    must land within one log2 bucket of the p99 recovered from the
+//!    server's latency histogram over the Prometheus exposition.
 //!
 //! The JSON envelope cross-checks the client-side tier counts against the
-//! server's own `/metrics` counters (`consistent: true`).
+//! server's own `/metrics` counters (`consistent: true`) and carries the
+//! phase-4 verdict (`p99_bucket_consistent: true`).
+//!
+//! `--no-trace` disables request tracing and lock-wait timing on an
+//! in-process server (the always-on counters and latency histograms keep
+//! working), for measuring the tracing-off overhead contract.
 
 use serde::Serialize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
+use t2opt_bench::expfmt::{check_prometheus, prom_quantile_bucket};
 use t2opt_bench::{write_json, Args};
 use t2opt_core::chip::PRESET_NAMES;
 use t2opt_core::json::{parse_json, JsonValue};
 use t2opt_serve::{AdviceService, Client, Server, ServerConfig, WORKLOAD_NAMES};
 use t2opt_store::Store;
+use t2opt_telemetry::metrics::Histogram;
 
 /// Latency distribution for one response tier, in milliseconds.
 #[derive(Serialize)]
@@ -85,6 +97,14 @@ struct ServeBenchOutput {
     server_cache_tier: f64,
     server_advisor_tier: f64,
     consistent: bool,
+    /// Log2 bucket of the phase-4 client-side p99 latency (µs).
+    client_p99_bucket: Option<usize>,
+    /// Log2 bucket of the phase-4 server's advisor-tier latency-histogram
+    /// p99, recovered from the Prometheus scrape.
+    server_p99_bucket: Option<usize>,
+    /// Whether the two phase-4 p99 buckets agree within one log2 bucket
+    /// (`false` when the phase was skipped against an external `--addr`).
+    p99_bucket_consistent: bool,
 }
 
 fn metrics_field(body: &str, section: &str, field: &str) -> f64 {
@@ -124,9 +144,13 @@ fn main() {
     let (addr, server_thread) = match args.get_str("addr") {
         Some(addr) => (addr.parse().expect("--addr must be host:port"), None),
         None => {
+            let service = AdviceService::new(Store::in_memory(8), args.get("queue-cap", 64));
+            if args.has_flag("no-trace") {
+                service.set_tracing(false);
+            }
             let server = Server::bind(
                 "127.0.0.1:0",
-                AdviceService::new(Store::in_memory(8), args.get("queue-cap", 64)),
+                service,
                 ServerConfig {
                     workers: clients + 1,
                     refiners: args.get("refiners", 2),
@@ -245,6 +269,101 @@ fn main() {
         || (server_cache_tier == client_cache_tier as f64
             && server_advisor_tier == client_advisor_tier as f64);
 
+    // The main server's Prometheus exposition must validate regardless of
+    // which phases ran.
+    let (status, prom) = control
+        .get_with_accept("/metrics?format=prometheus", "text/plain")
+        .expect("prometheus scrape failed");
+    assert_eq!(status, 200, "prometheus scrape rejected");
+    check_prometheus(&prom).expect("prometheus exposition must validate");
+    let warm_stats = LatencyStats::from_samples(warm_samples.clone());
+
+    // Phase 4: p99 histogram cross-check. A dedicated single-worker server
+    // with refinement disabled (no refiner threads; queued jobs just sit)
+    // answers every query from the advisor tier, so its latency histogram
+    // holds exactly this pass's samples and no background simulation
+    // competes for CPU. The client stopwatch and the server's first-byte →
+    // response-ready histogram then differ only by per-request syscall and
+    // context-switch time, which the advisor tier's model evaluation
+    // dominates — the two p99s must land within one log2 bucket.
+    let in_process = server_thread.is_some();
+    let xcheck_requests: usize = args.get("xcheck-requests", 256);
+    let (client_p99_bucket, server_p99_bucket) = if in_process {
+        let service = AdviceService::new(Store::in_memory(8), 1);
+        if args.has_flag("no-trace") {
+            service.set_tracing(false);
+        }
+        let server = Server::bind(
+            "127.0.0.1:0",
+            service,
+            ServerConfig {
+                workers: 1,
+                refiners: 0,
+            },
+        )
+        .expect("failed to start cross-check server");
+        let xaddr = server.local_addr().expect("bound socket has an address");
+        let handle = std::thread::spawn(move || server.serve());
+        let mut client = Client::connect(xaddr).expect("cross-check client failed to connect");
+        // Full-width queries (threads = 64, clamped per chip) maximize the
+        // advisor tier's per-request model work, so shared in-server time
+        // dominates the client's extra syscall/context-switch overhead.
+        let xmatrix: Vec<String> = PRESET_NAMES
+            .iter()
+            .flat_map(|chip| {
+                workloads
+                    .iter()
+                    .map(move |w| format!(r#"{{"chip":"{chip}","workload":"{w}","threads":64}}"#))
+            })
+            .collect();
+        let mut samples_us = Vec::with_capacity(xcheck_requests);
+        for i in 0..xcheck_requests {
+            let query = &xmatrix[i % xmatrix.len()];
+            let start = Instant::now();
+            let (status, body) = client
+                .post("/advise", query)
+                .expect("cross-check advise failed");
+            samples_us.push(start.elapsed().as_secs_f64() * 1e6);
+            assert_eq!(status, 200, "cross-check advise rejected: {body}");
+            assert!(
+                body.contains(r#""tier":"advisor""#),
+                "with refinement disabled every answer must stay advisor tier: {body}"
+            );
+        }
+        let (status, xprom) = client
+            .get_with_accept("/metrics?format=prometheus", "text/plain")
+            .expect("cross-check scrape failed");
+        assert_eq!(status, 200, "cross-check scrape rejected");
+        check_prometheus(&xprom).expect("cross-check exposition must validate");
+        let server_bucket = prom_quantile_bucket(&xprom, "serve_latency_advisor_tier_us", 0.99);
+        samples_us.sort_by(f64::total_cmp);
+        let p99_us =
+            samples_us[((samples_us.len() as f64 * 0.99) as usize).min(samples_us.len() - 1)];
+        let client_bucket = Some(Histogram::bucket_of(p99_us as u64));
+        let (status, _) = client
+            .post("/shutdown", "")
+            .expect("cross-check shutdown failed");
+        assert_eq!(status, 200);
+        handle
+            .join()
+            .expect("cross-check server panicked")
+            .expect("cross-check server error");
+        (client_bucket, server_bucket)
+    } else {
+        (None, None)
+    };
+    let p99_bucket_consistent = matches!(
+        (client_p99_bucket, server_p99_bucket),
+        (Some(c), Some(s)) if c.abs_diff(s) <= 1
+    );
+    if in_process {
+        eprintln!(
+            "p99 cross-check: {xcheck_requests} advisor-tier requests, client bucket \
+             {client_p99_bucket:?}, server histogram bucket {server_p99_bucket:?}, \
+             consistent={p99_bucket_consistent}"
+        );
+    }
+
     if let Some(handle) = server_thread {
         let (status, _) = control.post("/shutdown", "").expect("shutdown failed");
         assert_eq!(status, 200);
@@ -261,7 +380,7 @@ fn main() {
         clients,
         total_requests: matrix.len() + warm_samples.len(),
         cold: LatencyStats::from_samples(cold_samples),
-        warm: LatencyStats::from_samples(warm_samples),
+        warm: warm_stats,
         warm_throughput_rps,
         refine_settled,
         settle_seconds,
@@ -270,6 +389,9 @@ fn main() {
         server_cache_tier,
         server_advisor_tier,
         consistent,
+        client_p99_bucket,
+        server_p99_bucket,
+        p99_bucket_consistent,
     };
 
     println!(
@@ -285,6 +407,14 @@ fn main() {
          server cache={server_cache_tier} advisor={server_advisor_tier}, consistent={consistent}"
     );
     assert!(consistent, "client tier counts disagree with /metrics");
+    // Phase 4 only runs against a server we started ourselves.
+    if in_process {
+        assert!(
+            p99_bucket_consistent,
+            "cross-check client p99 (bucket {client_p99_bucket:?}) disagrees with the server's \
+             advisor-tier histogram p99 (bucket {server_p99_bucket:?}) by more than one log2 bucket"
+        );
+    }
 
     let path = args.get_str("json").unwrap_or("BENCH_serve.json");
     write_json(path, &out).expect("failed to write JSON");

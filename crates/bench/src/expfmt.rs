@@ -1,0 +1,404 @@
+//! Validators for the serving stack's exposition formats: the Prometheus
+//! text format (0.0.4) emitted by `GET /metrics?format=prometheus` and
+//! the Chrome-trace JSON emitted by `GET /trace`. CI pipes live scrapes
+//! through these (via the `expfmt_check` binary) so a malformed rename or
+//! a broken label escape fails the build instead of the dashboard.
+
+use std::collections::BTreeMap;
+use t2opt_core::json::{parse_json, JsonValue};
+
+/// What a successful Prometheus check saw — useful for asserting that
+/// expected families are present.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct PromSummary {
+    /// `# TYPE` declarations by family name.
+    pub types: BTreeMap<String, String>,
+    /// Total sample lines.
+    pub samples: usize,
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let first_ok = chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':');
+    first_ok && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let first_ok = chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_');
+    first_ok && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Splits `name{labels} value` into its parts; labels may be absent.
+/// Returns `(name, labels, value)` where labels maps name → unescaped
+/// value. Errs on malformed label syntax or bad escapes.
+fn parse_sample(line: &str) -> Result<(String, BTreeMap<String, String>, f64), String> {
+    let err = |msg: &str| format!("{msg}: {line:?}");
+    let (head, value) = line
+        .rsplit_once(' ')
+        .ok_or_else(|| err("sample line has no value"))?;
+    let value: f64 = value
+        .parse()
+        .map_err(|_| err("sample value is not a number"))?;
+    let (name, labels) = match head.split_once('{') {
+        None => (head.to_string(), BTreeMap::new()),
+        Some((name, rest)) => {
+            let body = rest
+                .strip_suffix('}')
+                .ok_or_else(|| err("unterminated label set"))?;
+            (name.to_string(), parse_labels(body).map_err(|e| err(&e))?)
+        }
+    };
+    if !valid_metric_name(&name) {
+        return Err(err("invalid metric name"));
+    }
+    Ok((name, labels, value))
+}
+
+/// Parses `k="v",k="v"` with the 0.0.4 escapes (`\\`, `\"`, `\n`) in
+/// values. Returns the unescaped map.
+fn parse_labels(body: &str) -> Result<BTreeMap<String, String>, String> {
+    let mut labels = BTreeMap::new();
+    let mut chars = body.chars().peekable();
+    loop {
+        let mut name = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            name.push(c);
+        }
+        if !valid_label_name(&name) {
+            return Err(format!("invalid label name {name:?}"));
+        }
+        if chars.next() != Some('"') {
+            return Err("label value must be quoted".into());
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                None => return Err("unterminated label value".into()),
+                Some('"') => break,
+                Some('\\') => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    other => return Err(format!("bad escape \\{other:?} in label value")),
+                },
+                Some(c) => value.push(c),
+            }
+        }
+        labels.insert(name, value);
+        match chars.next() {
+            None => return Ok(labels),
+            Some(',') => continue,
+            Some(c) => return Err(format!("expected ',' between labels, got {c:?}")),
+        }
+    }
+}
+
+/// The family a sample belongs to: its name minus the histogram/summary
+/// suffixes (`_bucket`, `_sum`, `_count`).
+fn family_of(name: &str) -> &str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            return base;
+        }
+    }
+    name
+}
+
+/// Validates a Prometheus text-exposition (0.0.4) document:
+///
+/// - metric and label names use the legal charset, label values use only
+///   the legal escapes,
+/// - every sample's family has a `# TYPE` declaration before it,
+/// - histogram families have monotone non-decreasing cumulative `le`
+///   buckets ending in `+Inf`, with `_count` equal to the `+Inf` bucket
+///   and a `_sum` sample present.
+pub fn check_prometheus(text: &str) -> Result<PromSummary, String> {
+    /// Per-family histogram check state: le bounds seen in order, the
+    /// `+Inf` cumulative value, the `_count` value, and whether a `_sum`
+    /// sample appeared.
+    type HistState = (Vec<f64>, Option<f64>, Option<f64>, bool);
+    let mut summary = PromSummary::default();
+    let mut hist: BTreeMap<String, HistState> = BTreeMap::new();
+    let mut hist_cumulative: BTreeMap<String, f64> = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let at = |msg: String| format!("line {}: {msg}", lineno + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or_else(|| at("malformed # TYPE".into()))?;
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(at(format!("unknown metric type {kind:?}")));
+            }
+            if summary
+                .types
+                .insert(name.to_string(), kind.to_string())
+                .is_some()
+            {
+                return Err(at(format!("duplicate # TYPE for {name}")));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // # HELP or comment
+        }
+        let (name, labels, value) = parse_sample(line).map_err(at)?;
+        summary.samples += 1;
+        let family = family_of(&name).to_string();
+        let kind = summary
+            .types
+            .get(&family)
+            .ok_or_else(|| at(format!("sample {name} precedes its # TYPE")))?
+            .clone();
+        if kind == "histogram" {
+            let entry = hist.entry(family.clone()).or_default();
+            if name.ends_with("_bucket") {
+                let le = labels
+                    .get("le")
+                    .ok_or_else(|| at("histogram bucket without le label".into()))?;
+                let bound = if le == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le.parse()
+                        .map_err(|_| at(format!("unparseable le bound {le:?}")))?
+                };
+                if entry.0.last().is_some_and(|&prev| bound <= prev) {
+                    return Err(at(format!("le bounds not increasing at {le:?}")));
+                }
+                let prev_cum = hist_cumulative.get(&family).copied().unwrap_or(0.0);
+                if value < prev_cum {
+                    return Err(at(format!("cumulative bucket count decreased at le={le}")));
+                }
+                hist_cumulative.insert(family.clone(), value);
+                entry.0.push(bound);
+                if bound.is_infinite() {
+                    entry.1 = Some(value);
+                }
+            } else if name.ends_with("_count") {
+                entry.2 = Some(value);
+            } else if name.ends_with("_sum") {
+                entry.3 = true;
+            }
+        }
+    }
+    for (family, (bounds, inf, count, has_sum)) in &hist {
+        if bounds.last().copied() != Some(f64::INFINITY) {
+            return Err(format!("histogram {family} does not end in a +Inf bucket"));
+        }
+        if !has_sum {
+            return Err(format!("histogram {family} has no _sum sample"));
+        }
+        match (inf, count) {
+            (Some(i), Some(c)) if i == c => {}
+            _ => {
+                return Err(format!(
+                    "histogram {family}: _count {count:?} must equal the +Inf bucket {inf:?}"
+                ))
+            }
+        }
+    }
+    Ok(summary)
+}
+
+/// Extracts a histogram's quantile-`q` log2 bucket index from a
+/// Prometheus document: the first cumulative bucket reaching
+/// `ceil(q · count)`, mapped back to the in-process bucket index (le 0 →
+/// bucket 0, le `2^i − 1` → bucket i, `+Inf` → 63 — the exact bounds
+/// `t2opt-telemetry` exposes). `None` if the family is missing or empty.
+pub fn prom_quantile_bucket(text: &str, family: &str, q: f64) -> Option<usize> {
+    let bucket_prefix = format!("{family}_bucket{{");
+    let mut buckets: Vec<(f64, f64)> = Vec::new(); // (le, cumulative)
+    let mut count = 0.0f64;
+    for line in text.lines() {
+        if line.starts_with(&bucket_prefix) {
+            let (_, labels, value) = parse_sample(line).ok()?;
+            let le = labels.get("le")?;
+            let bound = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse().ok()?
+            };
+            buckets.push((bound, value));
+        } else if let Some(v) = line.strip_prefix(&format!("{family}_count ")) {
+            count = v.parse().ok()?;
+        }
+    }
+    if count == 0.0 || buckets.is_empty() {
+        return None;
+    }
+    let target = (q.clamp(0.0, 1.0) * count).ceil().max(1.0);
+    let (le, _) = buckets
+        .iter()
+        .copied()
+        .find(|&(_, cum)| cum >= target)
+        .unwrap_or(*buckets.last().expect("nonempty"));
+    Some(le_to_bucket(le))
+}
+
+/// Maps an exact exposition bound back to its log2 bucket index.
+fn le_to_bucket(le: f64) -> usize {
+    if le <= 0.0 {
+        return 0;
+    }
+    if le.is_infinite() {
+        return 63;
+    }
+    // le = 2^i − 1 for bucket i.
+    ((le + 1.0).log2().round() as usize).min(63)
+}
+
+/// Validates a Chrome-trace JSON document (the `GET /trace` body): a
+/// `traceEvents` array whose events each carry `name`/`ph`/`pid`/`tid`,
+/// with `ph` one of `M` (metadata), `X` (complete span, with numeric
+/// `ts` and `dur`), or `C` (counter). Returns the event count.
+pub fn check_chrome_trace(json: &str) -> Result<usize, String> {
+    let doc = parse_json(json).map_err(|e| format!("not JSON: {e}"))?;
+    let obj = doc.as_object().ok_or("top level is not an object")?;
+    let events = obj
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing traceEvents array")?;
+    for (i, event) in events.iter().enumerate() {
+        let at = |msg: &str| format!("traceEvents[{i}]: {msg}");
+        let e = event.as_object().ok_or_else(|| at("not an object"))?;
+        for field in ["name", "ph", "pid", "tid"] {
+            if !e.contains_key(field) {
+                return Err(at(&format!("missing {field:?}")));
+            }
+        }
+        let ph = e["ph"].as_str().ok_or_else(|| at("ph is not a string"))?;
+        match ph {
+            "M" | "C" => {}
+            "X" => {
+                if e.get("ts").and_then(JsonValue::as_f64).is_none()
+                    || e.get("dur").and_then(JsonValue::as_f64).is_none()
+                {
+                    return Err(at("X event needs numeric ts and dur"));
+                }
+            }
+            other => return Err(at(&format!("unknown phase {other:?}"))),
+        }
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2opt_telemetry::export::{prometheus_text, traces_chrome_trace};
+    use t2opt_telemetry::metrics::Histogram;
+    use t2opt_telemetry::trace::TraceBuffer;
+
+    #[test]
+    fn real_prometheus_output_round_trips() {
+        let h = Histogram::new();
+        for v in [3, 70, 70, 200] {
+            h.record(v);
+        }
+        let text = prometheus_text(
+            &[
+                ("serve.requests".into(), 7),
+                ("serve.bad_requests.parse".into(), 2),
+                ("serve.bad_requests.chip".into(), 1),
+            ],
+            &[("serve.latency.cache_tier_us".into(), h.snapshot())],
+            &[("serve.bad_requests.", "class")],
+        );
+        let summary = check_prometheus(&text).expect("renderer output must validate");
+        assert_eq!(
+            summary
+                .types
+                .get("serve_latency_cache_tier_us")
+                .map(String::as_str),
+            Some("histogram")
+        );
+        assert_eq!(
+            summary
+                .types
+                .get("serve_bad_requests_total")
+                .map(String::as_str),
+            Some("counter")
+        );
+        assert!(summary.samples > 5);
+    }
+
+    #[test]
+    fn escaped_label_values_parse_back_to_the_original() {
+        let text = prometheus_text(&[("lbl.a\\b\"c\nd".into(), 1)], &[], &[("lbl.", "v")]);
+        check_prometheus(&text).expect("escaped output must validate");
+        let sample = text
+            .lines()
+            .find(|l| l.starts_with("lbl_total{"))
+            .expect("labeled sample present");
+        let (_, labels, _) = parse_sample(sample).unwrap();
+        assert_eq!(labels["v"], "a\\b\"c\nd", "escapes must round-trip");
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        assert!(
+            check_prometheus("x_total 1\n").is_err(),
+            "sample without # TYPE"
+        );
+        assert!(
+            check_prometheus("# TYPE 9bad counter\n9bad 1\n").is_err(),
+            "invalid metric name"
+        );
+        let unfinished = "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n";
+        assert!(
+            check_prometheus(unfinished).is_err(),
+            "histogram without +Inf"
+        );
+        let decreasing = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"3\"} 2\n\
+                          h_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 5\n";
+        assert!(
+            check_prometheus(decreasing).is_err(),
+            "non-cumulative buckets"
+        );
+        let bad_count = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 4\n";
+        assert!(check_prometheus(bad_count).is_err(), "count != +Inf bucket");
+    }
+
+    #[test]
+    fn quantile_bucket_recovers_the_histogram_bucket() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(10); // bucket 4: [8, 15]
+        }
+        h.record(1000); // bucket 10: [512, 1023]
+        let text = prometheus_text(&[], &[("lat.us".into(), h.snapshot())], &[]);
+        assert_eq!(prom_quantile_bucket(&text, "lat_us", 0.50), Some(4));
+        assert_eq!(prom_quantile_bucket(&text, "lat_us", 1.0), Some(10));
+        assert_eq!(prom_quantile_bucket(&text, "absent", 0.5), None);
+    }
+
+    #[test]
+    fn real_chrome_trace_output_validates() {
+        let buf = TraceBuffer::new(4, 8);
+        let ctx = buf.start("POST /advise");
+        ctx.record("parse", 1, 0.0, 5.0);
+        ctx.finish_root("request", 1);
+        let json = traces_chrome_trace(&buf.recent(4));
+        let n = check_chrome_trace(&json).expect("exporter output must validate");
+        assert!(n >= 3, "meta + 2 spans, got {n}");
+        assert!(check_chrome_trace("{}").is_err(), "missing traceEvents");
+        assert!(
+            check_chrome_trace(r#"{"traceEvents":[{"name":"x","ph":"X","pid":1,"tid":1}]}"#)
+                .is_err(),
+            "X without ts/dur"
+        );
+    }
+}

@@ -17,6 +17,7 @@
 
 pub mod cli;
 pub mod experiments;
+pub mod expfmt;
 pub mod output;
 
 pub use cli::Args;

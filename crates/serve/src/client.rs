@@ -23,12 +23,18 @@ impl Client {
 
     /// Issues `GET path`, returning `(status, body)`.
     pub fn get(&mut self, path: &str) -> io::Result<(u16, String)> {
-        self.request("GET", path, None)
+        self.request("GET", path, None, None)
+    }
+
+    /// Issues `GET path` with an `Accept` header (drives `/metrics`
+    /// content negotiation), returning `(status, body)`.
+    pub fn get_with_accept(&mut self, path: &str, accept: &str) -> io::Result<(u16, String)> {
+        self.request("GET", path, None, Some(accept))
     }
 
     /// Issues `POST path` with a JSON body, returning `(status, body)`.
     pub fn post(&mut self, path: &str, body: &str) -> io::Result<(u16, String)> {
-        self.request("POST", path, Some(body))
+        self.request("POST", path, Some(body), None)
     }
 
     fn request(
@@ -36,10 +42,12 @@ impl Client {
         method: &str,
         path: &str,
         body: Option<&str>,
+        accept: Option<&str>,
     ) -> io::Result<(u16, String)> {
         let body = body.unwrap_or("");
+        let accept_line = accept.map_or(String::new(), |a| format!("Accept: {a}\r\n"));
         let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: t2opt\r\nContent-Length: {}\r\n\r\n",
+            "{method} {path} HTTP/1.1\r\nHost: t2opt\r\n{accept_line}Content-Length: {}\r\n\r\n",
             body.len()
         );
         self.stream.write_all(head.as_bytes())?;

@@ -5,6 +5,7 @@
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
+use std::time::Instant;
 
 /// Largest accepted head (request line + headers) in bytes.
 const MAX_HEAD: usize = 16 * 1024;
@@ -16,12 +17,28 @@ const MAX_BODY: usize = 64 * 1024;
 pub struct Request {
     /// Request method, uppercased by the client (`GET`, `POST`, …).
     pub method: String,
-    /// Request target path, e.g. `/advise`.
+    /// Request target path, e.g. `/advise` (query string included).
     pub path: String,
     /// Request body (empty when no `Content-Length` was sent).
     pub body: String,
     /// Whether the client asked to keep the connection open.
     pub keep_alive: bool,
+    /// The `Accept` header value (empty when absent) — `/metrics` content
+    /// negotiation.
+    pub accept: String,
+    /// When the request's first byte arrived, for the trace's backdated
+    /// `parse` span. `None` only if construction bypassed `read_request`.
+    pub first_byte: Option<Instant>,
+}
+
+/// Bytes of a not-yet-complete request carried between read attempts,
+/// plus when its first byte arrived (the start of the `parse` span).
+#[derive(Debug, Default)]
+pub struct Partial {
+    /// Raw bytes read so far.
+    pub bytes: Vec<u8>,
+    /// Arrival time of the first byte (`None` while no byte has arrived).
+    pub first_byte: Option<Instant>,
 }
 
 /// Outcome of one read attempt on a connection.
@@ -33,20 +50,20 @@ pub enum ReadOutcome {
     Closed,
     /// The read timed out before a full request arrived; the bytes read so
     /// far are handed back so the caller can resume.
-    TimedOut(Vec<u8>),
+    TimedOut(Partial),
 }
 
-/// Reads one request from `stream`, resuming from `pending` bytes carried
+/// Reads one request from `stream`, resuming from a [`Partial`] carried
 /// over from a previous timed-out attempt. Honors the stream's configured
 /// read timeout: a timeout surfaces as [`ReadOutcome::TimedOut`] so the
 /// caller can check its shutdown flag and resume.
-pub fn read_request(stream: &mut TcpStream, mut pending: Vec<u8>) -> io::Result<ReadOutcome> {
+pub fn read_request(stream: &mut TcpStream, mut pending: Partial) -> io::Result<ReadOutcome> {
     let mut buf = [0u8; 4096];
     loop {
-        if let Some(head_end) = find_head_end(&pending) {
+        if let Some(head_end) = find_head_end(&pending.bytes) {
             return finish_request(stream, pending, head_end);
         }
-        if pending.len() > MAX_HEAD {
+        if pending.bytes.len() > MAX_HEAD {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 "request head exceeds 16 KiB",
@@ -54,7 +71,7 @@ pub fn read_request(stream: &mut TcpStream, mut pending: Vec<u8>) -> io::Result<
         }
         match stream.read(&mut buf) {
             Ok(0) => {
-                return if pending.is_empty() {
+                return if pending.bytes.is_empty() {
                     Ok(ReadOutcome::Closed)
                 } else {
                     Err(io::Error::new(
@@ -63,7 +80,12 @@ pub fn read_request(stream: &mut TcpStream, mut pending: Vec<u8>) -> io::Result<
                     ))
                 };
             }
-            Ok(n) => pending.extend_from_slice(&buf[..n]),
+            Ok(n) => {
+                if pending.first_byte.is_none() {
+                    pending.first_byte = Some(Instant::now());
+                }
+                pending.bytes.extend_from_slice(&buf[..n]);
+            }
             Err(e)
                 if matches!(
                     e.kind(),
@@ -86,9 +108,13 @@ fn find_head_end(bytes: &[u8]) -> Option<usize> {
 
 fn finish_request(
     stream: &mut TcpStream,
-    mut bytes: Vec<u8>,
+    pending: Partial,
     head_end: usize,
 ) -> io::Result<ReadOutcome> {
+    let Partial {
+        mut bytes,
+        first_byte,
+    } = pending;
     let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
     let head = String::from_utf8(bytes[..head_end].to_vec())
         .map_err(|_| bad("request head is not UTF-8"))?;
@@ -99,6 +125,7 @@ fn finish_request(
 
     let mut content_length = 0usize;
     let mut keep_alive = true; // HTTP/1.1 default
+    let mut accept = String::new();
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
@@ -109,6 +136,7 @@ fn finish_request(
                 content_length = value.parse().map_err(|_| bad("bad Content-Length"))?;
             }
             "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
+            "accept" => accept = value.to_string(),
             _ => {}
         }
     }
@@ -140,6 +168,8 @@ fn finish_request(
         path: path.to_string(),
         body,
         keep_alive,
+        accept,
+        first_byte,
     }))
 }
 
@@ -161,6 +191,16 @@ impl Response {
             status: 200,
             body,
             content_type: "application/json",
+        }
+    }
+
+    /// A `200 OK` response with an explicit content type (e.g. the
+    /// Prometheus text exposition `text/plain; version=0.0.4`).
+    pub fn text(body: String, content_type: &'static str) -> Self {
+        Response {
+            status: 200,
+            body,
+            content_type,
         }
     }
 
@@ -226,7 +266,7 @@ mod tests {
         client
             .write_all(b"POST /advise HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"a\":1}")
             .unwrap();
-        let out = read_request(&mut server, Vec::new()).unwrap();
+        let out = read_request(&mut server, Partial::default()).unwrap();
         let ReadOutcome::Request(req) = out else {
             panic!("expected a request, got {out:?}");
         };
@@ -236,6 +276,21 @@ mod tests {
         );
         assert_eq!(req.body, r#"{"a":1}"#);
         assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        assert!(req.first_byte.is_some(), "arrival time is captured");
+        assert!(req.accept.is_empty(), "no Accept header sent");
+    }
+
+    #[test]
+    fn accept_header_is_surfaced_for_negotiation() {
+        let (mut client, mut server) = pipe();
+        client
+            .write_all(b"GET /metrics HTTP/1.1\r\nAccept: text/plain\r\n\r\n")
+            .unwrap();
+        let ReadOutcome::Request(req) = read_request(&mut server, Partial::default()).unwrap()
+        else {
+            panic!("expected a request");
+        };
+        assert_eq!(req.accept, "text/plain");
     }
 
     #[test]
@@ -244,13 +299,14 @@ mod tests {
         client
             .write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
             .unwrap();
-        let ReadOutcome::Request(req) = read_request(&mut server, Vec::new()).unwrap() else {
+        let ReadOutcome::Request(req) = read_request(&mut server, Partial::default()).unwrap()
+        else {
             panic!("expected a request");
         };
         assert!(!req.keep_alive);
         drop(client);
         assert!(matches!(
-            read_request(&mut server, Vec::new()).unwrap(),
+            read_request(&mut server, Partial::default()).unwrap(),
             ReadOutcome::Closed
         ));
     }
@@ -262,15 +318,22 @@ mod tests {
             .set_read_timeout(Some(std::time::Duration::from_millis(30)))
             .unwrap();
         client.write_all(b"GET /hea").unwrap();
-        let ReadOutcome::TimedOut(partial) = read_request(&mut server, Vec::new()).unwrap() else {
+        let ReadOutcome::TimedOut(partial) = read_request(&mut server, Partial::default()).unwrap()
+        else {
             panic!("expected a timeout with partial bytes");
         };
-        assert_eq!(partial, b"GET /hea");
+        assert_eq!(partial.bytes, b"GET /hea");
+        let arrived = partial.first_byte.expect("first byte stamped");
         client.write_all(b"lthz HTTP/1.1\r\n\r\n").unwrap();
         let ReadOutcome::Request(req) = read_request(&mut server, partial).unwrap() else {
             panic!("expected the resumed request");
         };
         assert_eq!(req.path, "/healthz");
+        assert_eq!(
+            req.first_byte,
+            Some(arrived),
+            "resume keeps the original arrival time"
+        );
     }
 
     #[test]

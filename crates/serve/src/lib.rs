@@ -10,10 +10,14 @@
 //! - the sharded **store** keeps the best known answer per query durable
 //!   across restarts,
 //! - the **thread pool** from `t2opt-parallel` drives the request
-//!   workers, and `t2opt-telemetry` carries the counters.
+//!   workers, and `t2opt-telemetry` carries the counters, per-tier
+//!   latency histograms, request traces, and structured logs.
 //!
-//! Endpoints: `POST /advise`, `GET /metrics`, `GET /healthz`, plus
-//! `POST /shutdown` for portable clean shutdown in CI.
+//! Endpoints: `POST /advise`, `GET /metrics` (JSON or Prometheus text
+//! exposition via `?format=prometheus` / `Accept: text/plain`),
+//! `GET /trace` (recent request traces as Chrome-trace JSON),
+//! `GET /healthz`, plus `POST /shutdown` for portable clean shutdown in
+//! CI.
 
 #![warn(missing_docs)]
 

@@ -14,6 +14,13 @@
 //! - `--workers N` request worker threads (default 8)
 //! - `--refiners N` background refiner threads (default 1)
 //! - `--queue-cap N` refinement queue capacity (default 64)
+//! - `--log PATH` append JSONL logs to PATH instead of stderr
+//! - `--no-trace` disable request tracing and store lock-wait timing
+//!   (the `/trace` buffer stays empty; counters and latency histograms
+//!   remain live)
+//!
+//! The log level comes from `T2OPT_LOG` (`error|warn|info|debug`,
+//! default `info`).
 //!
 //! SIGINT/SIGTERM (or `POST /shutdown`) trigger graceful shutdown:
 //! in-flight requests drain, refiners stop after their current job, and
@@ -23,6 +30,7 @@ use std::io::Write;
 use std::sync::atomic::{AtomicBool, Ordering};
 use t2opt_serve::{AdviceService, Server, ServerConfig};
 use t2opt_store::Store;
+use t2opt_telemetry::logger::{self, log_line, Level};
 
 /// Set by the signal handler; observed by the server's accept loop.
 static SIGNALED: AtomicBool = AtomicBool::new(false);
@@ -53,7 +61,13 @@ fn flag_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
     })
 }
 
+fn flag_present(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
 fn main() {
+    let log_path = flag_value("--log");
+    logger::init_from_env(log_path.as_deref());
     let host = flag_value("--host").unwrap_or_else(|| "127.0.0.1".to_string());
     let port: u16 = flag_parse("--port", 0);
     let shards: usize = flag_parse("--shards", 8);
@@ -68,6 +82,9 @@ fn main() {
         None => Store::in_memory(shards),
     };
     let service = AdviceService::new(store, queue_cap);
+    if flag_present("--no-trace") {
+        service.set_tracing(false);
+    }
 
     unsafe {
         signal(SIGINT, on_signal);
@@ -78,11 +95,15 @@ fn main() {
         .expect("failed to bind")
         .observe_signal(&SIGNALED);
     let addr = server.local_addr().expect("bound socket has an address");
-    eprintln!("t2opt-serve listening on {addr}");
+    log_line(
+        Level::Info,
+        "t2opt-serve listening",
+        &[("addr", logger::json_str(&addr.to_string()))],
+    );
     if let Some(path) = flag_value("--port-file") {
         let mut f = std::fs::File::create(&path).expect("failed to create port file");
         writeln!(f, "{}", addr.port()).expect("failed to write port file");
     }
     server.serve().expect("server error");
-    eprintln!("t2opt-serve: store flushed, bye");
+    log_line(Level::Info, "t2opt-serve: store flushed, bye", &[]);
 }

@@ -10,11 +10,12 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use t2opt_autotune::Workload;
 
 /// One pending refinement: the store key to upgrade plus the query that
-/// produced it.
+/// produced it, carrying the originating request's trace context so the
+/// background refinement's spans join that request's trace.
 #[derive(Debug, Clone)]
 pub struct RefineJob {
     /// Store key of the entry to upgrade.
@@ -23,6 +24,33 @@ pub struct RefineJob {
     pub chip: String,
     /// The (smoke-sized) workload to autotune.
     pub workload: Workload,
+    /// Trace of the request that enqueued this job (0 = untraced).
+    pub trace_id: u64,
+    /// Span the refinement parents to (the request's `refine.enqueue`).
+    pub parent_span: u64,
+    /// When the job entered the queue — queue-wait = pop time − this.
+    pub enqueued_at: Instant,
+}
+
+impl RefineJob {
+    /// An untraced job enqueued now.
+    pub fn new(key: impl Into<String>, chip: impl Into<String>, workload: Workload) -> Self {
+        RefineJob {
+            key: key.into(),
+            chip: chip.into(),
+            workload,
+            trace_id: 0,
+            parent_span: 0,
+            enqueued_at: Instant::now(),
+        }
+    }
+
+    /// Attaches the originating request's trace context.
+    pub fn traced(mut self, trace_id: u64, parent_span: u64) -> Self {
+        self.trace_id = trace_id;
+        self.parent_span = parent_span;
+        self
+    }
 }
 
 /// The bounded job queue shared by request workers (producers) and
@@ -158,11 +186,7 @@ mod tests {
     use t2opt_autotune::Workload;
 
     fn job(key: &str) -> RefineJob {
-        RefineJob {
-            key: key.into(),
-            chip: "ultrasparc-t2".into(),
-            workload: Workload::triad_smoke(1 << 10, 8),
-        }
+        RefineJob::new(key, "ultrasparc-t2", Workload::triad_smoke(1 << 10, 8))
     }
 
     #[test]

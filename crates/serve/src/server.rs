@@ -9,7 +9,7 @@
 //! clients), stops the refiners after their current job, and finally
 //! flushes dirty store shards to disk via compaction.
 
-use crate::http::{read_request, write_response, ReadOutcome, Response};
+use crate::http::{read_request, write_response, Partial, ReadOutcome, Response};
 use crate::refine::RefineQueue;
 use crate::service::AdviceService;
 use std::collections::VecDeque;
@@ -20,6 +20,7 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 use t2opt_autotune::ResultCache;
 use t2opt_parallel::ThreadPool;
+use t2opt_telemetry::logger::{log_line, Level};
 
 /// Pool sizes for one [`Server`].
 #[derive(Debug, Clone)]
@@ -118,7 +119,7 @@ impl Server {
                 let shutdown = Arc::clone(&shutdown);
                 scope.spawn(move || refiner_loop(&service, &queue, &shutdown));
             }
-            pool.run(|_tid| worker_loop(&conns, &service, &shutdown));
+            pool.run(|tid| worker_loop(&conns, &service, &shutdown, tid as u32));
             // Workers are done; wake anyone still parked on the queue.
             conns.signal.notify_all();
         });
@@ -128,9 +129,11 @@ impl Server {
 }
 
 /// The pending-connection queue between the acceptor and the workers.
+/// Each entry carries its accept time so the request trace's `accept`
+/// span can cover the queue wait.
 #[derive(Default)]
 struct ConnQueue {
-    streams: Mutex<VecDeque<TcpStream>>,
+    streams: Mutex<VecDeque<(TcpStream, Instant)>>,
     signal: Condvar,
 }
 
@@ -155,7 +158,7 @@ fn accept_loop(
                     .streams
                     .lock()
                     .unwrap_or_else(PoisonError::into_inner)
-                    .push_back(stream);
+                    .push_back((stream, Instant::now()));
                 conns.signal.notify_one();
             }
             // Nonblocking listener: idle or transient error — nap and
@@ -165,7 +168,7 @@ fn accept_loop(
     }
 }
 
-fn worker_loop(conns: &ConnQueue, service: &AdviceService, shutdown: &AtomicBool) {
+fn worker_loop(conns: &ConnQueue, service: &AdviceService, shutdown: &AtomicBool, tid: u32) {
     loop {
         let stream = {
             let mut streams = conns.streams.lock().unwrap_or_else(PoisonError::into_inner);
@@ -184,29 +187,85 @@ fn worker_loop(conns: &ConnQueue, service: &AdviceService, shutdown: &AtomicBool
             }
         };
         match stream {
-            Some(s) => handle_connection(s, service, shutdown),
+            Some((s, accepted_at)) => handle_connection(s, accepted_at, service, shutdown, tid),
             None => return,
         }
     }
 }
 
-fn handle_connection(mut stream: TcpStream, service: &AdviceService, shutdown: &AtomicBool) {
+fn handle_connection(
+    mut stream: TcpStream,
+    accepted_at: Instant,
+    service: &AdviceService,
+    shutdown: &AtomicBool,
+    tid: u32,
+) {
     let _ = stream.set_read_timeout(Some(READ_TICK));
-    let mut pending = Vec::new();
+    let traces = service.traces();
+    // Accept-queue wait: accept() in the acceptor thread until this worker
+    // dequeued the connection. Attributed to the connection's first
+    // request (later keep-alive requests never waited in that queue).
+    let dequeued_at = Instant::now();
+    let mut first_request = true;
+    let mut pending = Partial::default();
     let mut drain_deadline: Option<Instant> = None;
     loop {
         match read_request(&mut stream, std::mem::take(&mut pending)) {
             Ok(ReadOutcome::Request(req)) => {
+                let parsed_at = Instant::now();
+                let arrived = req.first_byte.unwrap_or(parsed_at);
+                let ctx = traces.start_at(
+                    format!("{} {}", req.method, req.path),
+                    traces.us_of(if first_request { accepted_at } else { arrived }),
+                );
+                if first_request {
+                    ctx.record(
+                        "accept",
+                        tid,
+                        traces.us_of(accepted_at),
+                        traces.us_of(dequeued_at) - traces.us_of(accepted_at),
+                    );
+                    first_request = false;
+                }
+                ctx.record(
+                    "parse",
+                    tid,
+                    traces.us_of(arrived),
+                    traces.us_of(parsed_at) - traces.us_of(arrived),
+                );
+                let _ambient = ctx.enter();
                 let stop_requested = req.method == "POST" && req.path == "/shutdown";
                 let response = if stop_requested {
                     Response::json(r#"{"status":"shutting down"}"#.to_string())
                 } else {
-                    service.handle(&req.method, &req.path, &req.body)
+                    service.handle_request(
+                        &req.method,
+                        &req.path,
+                        &req.body,
+                        &req.accept,
+                        &ctx,
+                        tid,
+                        req.first_byte,
+                    )
                 };
+                // End-to-end latency (first byte → response ready): recorded
+                // before the write so a client holding the response always
+                // finds its own sample already present in a scrape, and the
+                // histogram quantiles line up with a client-side stopwatch
+                // up to syscall and context-switch time.
+                if req.first_byte.is_some()
+                    && req.method == "POST"
+                    && req.path.split('?').next() == Some("/advise")
+                {
+                    let us = arrived.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                    service.record_advise_latency(&response, us);
+                }
                 let keep_alive =
                     req.keep_alive && !stop_requested && !shutdown.load(Ordering::Relaxed);
                 let write = write_response(&mut stream, &response, keep_alive);
+                ctx.finish_root("request", tid);
                 if stop_requested {
+                    log_line(Level::Info, "shutdown requested over HTTP", &[]);
                     shutdown.store(true, Ordering::Relaxed);
                 }
                 if write.is_err() || !keep_alive {
@@ -216,7 +275,7 @@ fn handle_connection(mut stream: TcpStream, service: &AdviceService, shutdown: &
             Ok(ReadOutcome::Closed) => return,
             Ok(ReadOutcome::TimedOut(partial)) => {
                 if shutdown.load(Ordering::Relaxed) {
-                    if partial.is_empty() {
+                    if partial.bytes.is_empty() {
                         // Idle keep-alive connection: nothing to drain.
                         return;
                     }

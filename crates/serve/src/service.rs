@@ -22,6 +22,7 @@ use crate::refine::{RefineJob, RefineQueue};
 use serde::Serialize;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Instant;
 use t2opt_autotune::surrogate::{model_for_chip, surrogate_score};
 use t2opt_autotune::{ParamSpace, ResultCache, SearchStrategy, Tuner, Workload};
 use t2opt_core::chip::{ChipSpec, PRESET_NAMES};
@@ -31,7 +32,10 @@ use t2opt_kernels::lbm::LbmLayout;
 use t2opt_model::PerfModel;
 use t2opt_sim::ChipConfig;
 use t2opt_store::{Entry, Store, TrialMeta};
-use t2opt_telemetry::metrics::Sink;
+use t2opt_telemetry::export::{prometheus_text, traces_chrome_trace};
+use t2opt_telemetry::logger::{log_line, Level};
+use t2opt_telemetry::metrics::{Counter, Histogram, Sink};
+use t2opt_telemetry::trace::{TraceBuffer, TraceCtx};
 
 /// Workload labels the service accepts.
 pub const WORKLOAD_NAMES: [&str; 5] = ["triad", "jacobi", "lbm-ijkv", "lbm-ivjk", "mix"];
@@ -86,19 +90,36 @@ pub struct AdviseAnswer {
     pub key: String,
 }
 
+/// How many recent request traces `GET /trace` retains by default.
+const TRACE_BUF_TRACES: usize = 64;
+/// Span cap per retained trace.
+const TRACE_BUF_SPANS: usize = 64;
+/// Default trace count returned by `GET /trace`.
+const TRACE_DEFAULT_N: usize = 32;
+
 /// Shared, thread-safe service state behind every endpoint.
 pub struct AdviceService {
     store: Store,
     chips: BTreeMap<String, ChipEntry>,
     refine: Arc<RefineQueue>,
     sink: Arc<Sink>,
+    traces: Arc<TraceBuffer>,
+    // Hot-path instruments, resolved once at construction so request
+    // handling never takes the sink's registry mutex.
+    lat_cache_us: Arc<Histogram>,
+    lat_advisor_us: Arc<Histogram>,
+    queue_wait_us: Arc<Histogram>,
+    bad_parse: Arc<Counter>,
+    bad_chip: Arc<Counter>,
+    bad_workload: Arc<Counter>,
 }
 
 impl AdviceService {
     /// Builds a service over `store` with a refinement queue of the given
-    /// capacity, precomputing per-preset advisors and models.
+    /// capacity, precomputing per-preset advisors and models. Tracing
+    /// starts enabled; see [`AdviceService::set_tracing`].
     pub fn new(store: Store, queue_capacity: usize) -> Self {
-        let chips = PRESET_NAMES
+        let chips: BTreeMap<String, ChipEntry> = PRESET_NAMES
             .iter()
             .map(|&name| {
                 let spec = ChipSpec::preset(name).expect("preset names are exhaustive");
@@ -113,12 +134,47 @@ impl AdviceService {
             })
             .map(|e| (e.spec.name.clone(), e))
             .collect();
+        let sink = Sink::enabled();
+        // Pre-register every counter the Prometheus exposition should
+        // show even at zero.
+        for name in [
+            "serve.requests",
+            "serve.advise",
+            "serve.cache_tier",
+            "serve.advisor_tier",
+            "serve.not_found",
+            "serve.bad_method",
+        ] {
+            sink.counter(name);
+        }
+        store.metrics().set_lock_timing(true);
         AdviceService {
             store,
             chips,
             refine: Arc::new(RefineQueue::new(queue_capacity)),
-            sink: Sink::enabled(),
+            traces: TraceBuffer::new(TRACE_BUF_TRACES, TRACE_BUF_SPANS),
+            lat_cache_us: sink.histogram("serve.latency.cache_tier_us"),
+            lat_advisor_us: sink.histogram("serve.latency.advisor_tier_us"),
+            queue_wait_us: sink.histogram("refine.queue_wait_us"),
+            bad_parse: sink.counter("serve.bad_requests.parse"),
+            bad_chip: sink.counter("serve.bad_requests.chip"),
+            bad_workload: sink.counter("serve.bad_requests.workload"),
+            sink,
         }
+    }
+
+    /// Turns request tracing (the `/trace` span buffer) and store
+    /// lock-wait timing on or off together. Off restores the overhead
+    /// contract of one relaxed load per probe site; the always-on counters
+    /// and latency histograms are plain relaxed atomics either way.
+    pub fn set_tracing(&self, on: bool) {
+        self.traces.set_enabled(on);
+        self.store.metrics().set_lock_timing(on);
+    }
+
+    /// The request-trace buffer backing `GET /trace`.
+    pub fn traces(&self) -> Arc<TraceBuffer> {
+        Arc::clone(&self.traces)
     }
 
     /// The backing store.
@@ -136,62 +192,191 @@ impl AdviceService {
         Arc::clone(&self.sink)
     }
 
-    /// Routes one HTTP request to its endpoint.
+    /// Routes one HTTP request to its endpoint (untraced; see
+    /// [`AdviceService::handle_request`] for the daemon's full path).
     pub fn handle(&self, method: &str, path: &str, body: &str) -> Response {
+        self.handle_request(method, path, body, "", &TraceCtx::disabled(), 0, None)
+    }
+
+    /// Routes one HTTP request to its endpoint, carrying the request's
+    /// trace context and worker thread id. `path` may include a query
+    /// string; `accept` is the `Accept` header value (for `/metrics`
+    /// content negotiation); `received_at` is when the request's first
+    /// byte arrived, so the per-tier latency histograms cover nearly the
+    /// same interval a client's stopwatch does.
+    #[allow(clippy::too_many_arguments)]
+    pub fn handle_request(
+        &self,
+        method: &str,
+        path: &str,
+        body: &str,
+        accept: &str,
+        ctx: &TraceCtx,
+        tid: u32,
+        received_at: Option<Instant>,
+    ) -> Response {
         self.sink.counter("serve.requests").inc();
-        match (method, path) {
-            ("POST", "/advise") => self.advise(body),
-            ("GET", "/metrics") => Response::json(self.metrics_json()),
+        let (route, query) = match path.split_once('?') {
+            Some((r, q)) => (r, q),
+            None => (path, ""),
+        };
+        match (method, route) {
+            ("POST", "/advise") => self.advise_request(body, ctx, tid, received_at),
+            ("GET", "/metrics") => {
+                if wants_prometheus(query, accept) {
+                    Response::text(self.metrics_prometheus(), "text/plain; version=0.0.4")
+                } else {
+                    Response::json(self.metrics_json())
+                }
+            }
+            ("GET", "/trace") => {
+                let n = query_param(query, "n")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(TRACE_DEFAULT_N);
+                Response::json(traces_chrome_trace(&self.traces.recent(n)))
+            }
             ("GET", "/healthz") => Response::json(format!(
                 r#"{{"status":"ok","entries":{},"shards":{}}}"#,
                 self.store.len(),
                 self.store.shard_count()
             )),
-            ("GET" | "POST", _) => Response::error(404, &format!("no such endpoint {path}")),
-            _ => Response::error(405, "use POST /advise, GET /metrics, GET /healthz"),
+            ("GET" | "POST", _) => {
+                self.sink.counter("serve.not_found").inc();
+                Response::error(404, &format!("no such endpoint {route}"))
+            }
+            _ => {
+                self.sink.counter("serve.bad_method").inc();
+                Response::error(
+                    405,
+                    "use POST /advise, GET /metrics, GET /trace, GET /healthz",
+                )
+            }
         }
     }
 
-    /// The `/advise` endpoint: parse, resolve the tier, answer.
+    /// The `/advise` endpoint: parse, resolve the tier, answer (untraced;
+    /// records the handler-local latency into the per-tier histograms —
+    /// the daemon instead records end-to-end latency via
+    /// [`AdviceService::record_advise_latency`]).
     pub fn advise(&self, body: &str) -> Response {
+        self.advise_request(body, &TraceCtx::disabled(), 0, None)
+    }
+
+    /// `/advise` with trace context: records one span per stage into the
+    /// request's trace. When `received_at` is `None` (embedded use, no
+    /// surrounding connection loop) the handler also records its own
+    /// latency into the per-tier histogram; when the daemon supplies the
+    /// first-byte arrival time it records the fuller first-byte →
+    /// response-written interval itself after the write.
+    pub fn advise_request(
+        &self,
+        body: &str,
+        ctx: &TraceCtx,
+        tid: u32,
+        received_at: Option<Instant>,
+    ) -> Response {
         self.sink.counter("serve.advise").inc();
+        let t0 = Instant::now();
+        let (response, tier) = self.advise_inner(body, ctx, tid);
+        if received_at.is_none() {
+            let us = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            match tier {
+                Some(Tier::Cache) => self.lat_cache_us.record(us),
+                Some(Tier::Advisor) => self.lat_advisor_us.record(us),
+                None => {}
+            }
+        }
+        response
+    }
+
+    /// Records one `/advise` answer's end-to-end latency (first byte →
+    /// response written, microseconds) into the per-tier histogram. The
+    /// daemon calls this after the response write so the histogram's
+    /// quantiles are comparable to a client-side stopwatch; the tier is
+    /// read back from the answer body.
+    pub fn record_advise_latency(&self, response: &Response, us: u64) {
+        if response.status != 200 {
+            return;
+        }
+        if response.body.contains(r#""tier":"cache""#) {
+            self.lat_cache_us.record(us);
+        } else if response.body.contains(r#""tier":"advisor""#) {
+            self.lat_advisor_us.record(us);
+        }
+    }
+
+    fn advise_inner(&self, body: &str, ctx: &TraceCtx, tid: u32) -> (Response, Option<Tier>) {
         let query = match parse_query(body) {
             Ok(q) => q,
             Err(msg) => {
-                self.sink.counter("serve.bad_requests").inc();
-                return Response::error(400, &msg);
+                self.bad_parse.inc();
+                log_line(
+                    Level::Debug,
+                    "advise rejected",
+                    &[("class", "\"parse\"".into())],
+                );
+                return (Response::error(400, &msg), None);
             }
         };
         let Some(chip) = self.chips.get(&query.chip) else {
-            self.sink.counter("serve.bad_requests").inc();
-            return Response::error(
-                400,
-                &format!("unknown chip {:?}; presets: {PRESET_NAMES:?}", query.chip),
+            self.bad_chip.inc();
+            log_line(
+                Level::Debug,
+                "advise rejected",
+                &[("class", "\"chip\"".into())],
+            );
+            return (
+                Response::error(
+                    400,
+                    &format!("unknown chip {:?}; presets: {PRESET_NAMES:?}", query.chip),
+                ),
+                None,
             );
         };
         let threads = query.threads.clamp(1, chip.spec.max_threads());
         let Some(workload) = resolve_workload(&query.workload, threads) else {
-            self.sink.counter("serve.bad_requests").inc();
-            return Response::error(
-                400,
-                &format!(
-                    "unknown workload {:?}; labels: {WORKLOAD_NAMES:?}",
-                    query.workload
+            self.bad_workload.inc();
+            log_line(
+                Level::Debug,
+                "advise rejected",
+                &[("class", "\"workload\"".into())],
+            );
+            return (
+                Response::error(
+                    400,
+                    &format!(
+                        "unknown workload {:?}; labels: {WORKLOAD_NAMES:?}",
+                        query.workload
+                    ),
                 ),
+                None,
             );
         };
         let key = query_key(&query.chip, &workload);
 
+        // Store lookup span, named by its outcome.
+        let lookup_start = Instant::now();
         let stored = self.store.get_entry(&key);
+        let lookup_us = lookup_start.elapsed().as_secs_f64() * 1e6;
+        ctx.record(
+            if stored.is_some() {
+                "store.hit"
+            } else {
+                "store.miss"
+            },
+            tid,
+            self.traces.us_of(lookup_start),
+            lookup_us,
+        );
         let refined = stored.as_ref().is_some_and(|e| {
             e.meta
                 .as_ref()
                 .is_some_and(|m| m.tag.ends_with(REFINED_SUFFIX))
         });
-        let answer = if refined {
+        let (answer, tier) = if refined {
             self.sink.counter("serve.cache_tier").inc();
             let e = stored.expect("refined implies an entry");
-            AdviseAnswer {
+            let answer = AdviseAnswer {
                 chip: query.chip.clone(),
                 workload: query.workload.clone(),
                 threads,
@@ -201,32 +386,40 @@ impl AdviceService {
                 gbs: e.gbs,
                 source: "measured".into(),
                 key,
-            }
+            };
+            (answer, Tier::Cache)
         } else {
             self.sink.counter("serve.advisor_tier").inc();
-            let predicted = surrogate_score(&chip.model, &workload, &chip.advisor_spec);
-            if stored.is_none() {
-                // First sight of this query: store the placeholder unless a
-                // racing refinement landed in the meantime.
-                let placeholder = Entry {
-                    gbs: predicted,
-                    meta: Some(TrialMeta {
-                        tag: format!("{}{ADVISOR_SUFFIX}", workload.tag()),
-                        chip: chip.fingerprint.clone(),
-                        spec: chip.advisor_spec.clone(),
-                    }),
-                };
-                self.store
-                    .update(&key, |cur| cur.is_none().then_some(placeholder));
+            let predicted;
+            {
+                let _model_span = ctx.span("advisor.model", tid);
+                predicted = surrogate_score(&chip.model, &workload, &chip.advisor_spec);
+                if stored.is_none() {
+                    // First sight of this query: store the placeholder
+                    // unless a racing refinement landed in the meantime.
+                    let placeholder = Entry {
+                        gbs: predicted,
+                        meta: Some(TrialMeta {
+                            tag: format!("{}{ADVISOR_SUFFIX}", workload.tag()),
+                            chip: chip.fingerprint.clone(),
+                            spec: chip.advisor_spec.clone(),
+                        }),
+                    };
+                    self.store
+                        .update(&key, |cur| cur.is_none().then_some(placeholder));
+                }
             }
             // Pending placeholder either way: make sure refinement is
-            // queued (the queue dedupes by key).
-            self.refine.enqueue(RefineJob {
-                key: key.clone(),
-                chip: query.chip.clone(),
-                workload: workload.clone(),
-            });
-            AdviseAnswer {
+            // queued (the queue dedupes by key). The enqueue span's id
+            // rides on the job so the background refinement parents to it.
+            {
+                let enq_span = ctx.span("refine.enqueue", tid);
+                self.refine.enqueue(
+                    RefineJob::new(key.clone(), query.chip.clone(), workload.clone())
+                        .traced(ctx.trace_id(), enq_span.id()),
+                );
+            }
+            let answer = AdviseAnswer {
                 chip: query.chip.clone(),
                 workload: query.workload.clone(),
                 threads,
@@ -236,9 +429,10 @@ impl AdviceService {
                 gbs: predicted,
                 source: "model-predicted".into(),
                 key,
-            }
+            };
+            (answer, Tier::Advisor)
         };
-        Response::json(to_json_string(&answer))
+        (Response::json(to_json_string(&answer)), Some(tier))
     }
 
     /// Runs one queued refinement job to completion: a `ModelPruned` (or,
@@ -248,6 +442,12 @@ impl AdviceService {
     /// transfer seeds from earlier ones. Only refiner threads call this —
     /// never the request path.
     pub fn run_refinement(&self, job: &RefineJob, trials: ResultCache) -> ResultCache {
+        let wait_us = job.enqueued_at.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        self.queue_wait_us.record(wait_us);
+        // Rejoin the originating request's trace (no-op when the job was
+        // untraced or the trace has been evicted).
+        let ctx = self.traces.resume(job.trace_id, job.parent_span);
+        let _ambient = ctx.enter();
         let Some(chip) = self.chips.get(&job.chip) else {
             return trials; // chip disappeared — impossible for presets
         };
@@ -265,6 +465,7 @@ impl AdviceService {
         } else {
             ParamSpace::offset_sweep_for(&chip.spec)
         };
+        let run_span = ctx.span("refine.run", 0);
         let mut tuner = Tuner::new(job.workload.clone(), chip.config.clone(), space)
             .strategy(strategy)
             .cache(trials)
@@ -278,26 +479,48 @@ impl AdviceService {
                 spec: report.best.spec.clone(),
             }),
         };
+        let best_gbs = upgraded.gbs;
         // Monotone upgrade: never replace a refined entry with a worse
         // one; always replace an advisor placeholder.
-        self.store.update(&job.key, |cur| match cur {
-            Some(e)
-                if e.gbs >= upgraded.gbs
-                    && e.meta
-                        .as_ref()
-                        .is_some_and(|m| m.tag.ends_with(REFINED_SUFFIX)) =>
-            {
-                None
-            }
-            _ => Some(upgraded),
-        });
+        {
+            let _up_span = ctx.child_of(run_span.id()).span("store.upgrade", 0);
+            self.store.update(&job.key, |cur| match cur {
+                Some(e)
+                    if e.gbs >= upgraded.gbs
+                        && e.meta
+                            .as_ref()
+                            .is_some_and(|m| m.tag.ends_with(REFINED_SUFFIX)) =>
+                {
+                    None
+                }
+                _ => Some(upgraded),
+            });
+        }
+        drop(run_span);
         self.refine.mark_completed();
+        log_line(
+            Level::Info,
+            "refinement completed",
+            &[
+                ("key", t2opt_telemetry::logger::json_str(&job.key)),
+                ("chip", t2opt_telemetry::logger::json_str(&job.chip)),
+                ("gbs", format!("{best_gbs:.3}")),
+                ("queue_wait_us", wait_us.to_string()),
+            ],
+        );
         tuner.into_cache()
     }
 
-    /// The `/metrics` document: serve counters, refinement queue state,
-    /// and the store snapshot. Also publishes store counters into the
-    /// telemetry sink.
+    /// Total rejected `/advise` bodies across all rejection classes —
+    /// the backward-compatible `bad_requests` JSON field.
+    fn bad_requests_total(&self) -> u64 {
+        self.bad_parse.get() + self.bad_chip.get() + self.bad_workload.get()
+    }
+
+    /// The JSON `/metrics` document: serve counters, refinement queue
+    /// state, and the store snapshot. Also publishes store counters into
+    /// the telemetry sink. `bad_requests` is the sum of the per-class
+    /// rejection counters, so the shape predates the class split.
     pub fn metrics_json(&self) -> String {
         self.store.metrics().publish(&self.sink);
         let counter = |name: &str| self.sink.counter(name).get();
@@ -307,11 +530,57 @@ impl AdviceService {
             counter("serve.advise"),
             counter("serve.cache_tier"),
             counter("serve.advisor_tier"),
-            counter("serve.bad_requests"),
+            self.bad_requests_total(),
             self.refine.snapshot_json(),
             to_json_string(&self.store.snapshot()),
         )
     }
+
+    /// The Prometheus text-exposition `/metrics` document (format 0.0.4):
+    /// every sink counter and histogram, the store's lock-wait histogram,
+    /// and the refinement queue gauges. The `serve.bad_requests.*`
+    /// counters render as one `serve_bad_requests_total` family labelled
+    /// by rejection `class`.
+    pub fn metrics_prometheus(&self) -> String {
+        self.store.metrics().publish(&self.sink);
+        let mut counters = self.sink.counter_values();
+        counters.push(("refine.queue_depth".into(), self.refine.depth() as u64));
+        counters.push(("refine.enqueued".into(), self.refine.enqueued()));
+        counters.push(("refine.completed".into(), self.refine.completed()));
+        counters.push(("refine.dropped".into(), self.refine.dropped()));
+        let mut histograms = self.sink.histogram_values();
+        histograms.push((
+            "store.lock_wait_us".into(),
+            self.store.metrics().lock_wait(),
+        ));
+        prometheus_text(&counters, &histograms, &[("serve.bad_requests.", "class")])
+    }
+}
+
+/// Which answer tier served an `/advise` request (drives the per-tier
+/// latency histograms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tier {
+    Cache,
+    Advisor,
+}
+
+/// `/metrics` content negotiation: an explicit `?format=` wins, then an
+/// `Accept` header mentioning `text/plain`; JSON is the default.
+fn wants_prometheus(query: &str, accept: &str) -> bool {
+    match query_param(query, "format") {
+        Some("prometheus") | Some("openmetrics") => true,
+        Some(_) => false, // explicit format (e.g. json) wins over Accept
+        None => accept.contains("text/plain"),
+    }
+}
+
+/// The value of `name` in a `k=v&k=v` query string, if present.
+fn query_param<'q>(query: &'q str, name: &str) -> Option<&'q str> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == name).then_some(v)
+    })
 }
 
 /// The store key for one `(chip preset, workload)` query. The workload
@@ -422,13 +691,182 @@ mod tests {
     }
 
     #[test]
-    fn bad_requests_are_400_with_the_valid_vocabulary() {
+    fn bad_requests_are_400_and_counted_by_class() {
         let svc = service();
         assert_eq!(svc.advise("{not json").status, 400);
         assert_eq!(svc.advise(r#"{"chip":"z80"}"#).status, 400);
         assert_eq!(svc.advise(r#"{"workload":"sort"}"#).status, 400);
         assert_eq!(svc.advise(r#"{"threads":0}"#).status, 400);
-        assert_eq!(svc.sink().counter("serve.bad_requests").get(), 4);
+        let counter = |name: &str| svc.sink().counter(name).get();
+        assert_eq!(
+            counter("serve.bad_requests.parse"),
+            2,
+            "bad JSON + bad threads"
+        );
+        assert_eq!(counter("serve.bad_requests.chip"), 1);
+        assert_eq!(counter("serve.bad_requests.workload"), 1);
+        // The JSON document still reports the backward-compatible sum.
+        let doc = parse_json(&svc.metrics_json()).unwrap();
+        let serve = doc.as_object().unwrap()["serve"]
+            .as_object()
+            .unwrap()
+            .clone();
+        assert_eq!(serve["bad_requests"].as_f64(), Some(4.0));
+    }
+
+    #[test]
+    fn unknown_endpoints_and_methods_have_their_own_counters() {
+        let svc = service();
+        assert_eq!(svc.handle("GET", "/nope", "").status, 404);
+        assert_eq!(svc.handle("DELETE", "/advise", "").status, 405);
+        assert_eq!(svc.sink().counter("serve.not_found").get(), 1);
+        assert_eq!(svc.sink().counter("serve.bad_method").get(), 1);
+        // Neither counts as a bad /advise body.
+        assert_eq!(svc.bad_requests_total(), 0);
+    }
+
+    #[test]
+    fn metrics_negotiates_prometheus_by_query_or_accept_header() {
+        let svc = service();
+        let ctx = TraceCtx::disabled();
+        let json = svc.handle_request("GET", "/metrics", "", "", &ctx, 0, None);
+        assert_eq!(json.content_type, "application/json");
+        let by_query =
+            svc.handle_request("GET", "/metrics?format=prometheus", "", "", &ctx, 0, None);
+        assert_eq!(by_query.content_type, "text/plain; version=0.0.4");
+        assert!(by_query
+            .body
+            .contains("# TYPE serve_requests_total counter"));
+        let by_accept = svc.handle_request("GET", "/metrics", "", "text/plain", &ctx, 0, None);
+        assert_eq!(by_accept.content_type, "text/plain; version=0.0.4");
+        // An explicit format=json beats an Accept header asking for text.
+        let explicit = svc.handle_request(
+            "GET",
+            "/metrics?format=json",
+            "",
+            "text/plain",
+            &ctx,
+            0,
+            None,
+        );
+        assert_eq!(explicit.content_type, "application/json");
+    }
+
+    #[test]
+    fn prometheus_exposition_carries_class_labels_and_histograms() {
+        let svc = service();
+        svc.advise("{not json");
+        svc.advise(r#"{"chip":"z80"}"#);
+        svc.advise(r#"{"workload":"triad","threads":8}"#);
+        let text = svc.metrics_prometheus();
+        assert!(
+            text.contains(r#"serve_bad_requests_total{class="parse"} 1"#),
+            "missing parse class in:\n{text}"
+        );
+        assert!(text.contains(r#"serve_bad_requests_total{class="chip"} 1"#));
+        assert!(text.contains("# TYPE serve_latency_advisor_tier_us histogram"));
+        assert!(
+            text.contains("serve_latency_advisor_tier_us_count 1"),
+            "advisor answer must land in the advisor-tier histogram:\n{text}"
+        );
+        assert!(text.contains("# TYPE store_lock_wait_us histogram"));
+        assert!(text.contains("refine_enqueued_total 1"));
+    }
+
+    #[test]
+    fn traced_advise_records_the_cold_miss_span_chain() {
+        let svc = service();
+        let traces = svc.traces();
+        let ctx = traces.start("POST /advise");
+        let resp = svc.handle_request(
+            "POST",
+            "/advise",
+            r#"{"chip":"budget-2mc","workload":"triad","threads":8}"#,
+            "",
+            &ctx,
+            3,
+            None,
+        );
+        assert_eq!(resp.status, 200);
+        // Run the queued refinement so the late spans join the trace.
+        let job = svc.refine_queue().try_pop().expect("refinement queued");
+        assert_eq!(job.trace_id, ctx.trace_id(), "job carries the trace");
+        assert_ne!(job.parent_span, 0, "job parents to the enqueue span");
+        svc.run_refinement(&job, ResultCache::in_memory());
+        ctx.finish_root("request", 3);
+        let t = &traces.recent(1)[0];
+        let names: Vec<&str> = t.spans().iter().map(|s| s.name.as_str()).collect();
+        for stage in [
+            "store.miss",
+            "advisor.model",
+            "refine.enqueue",
+            "refine.run",
+            "store.upgrade",
+            "request",
+        ] {
+            assert!(names.contains(&stage), "missing {stage} in {names:?}");
+        }
+        // store.upgrade is a child of refine.run, which parents to the
+        // request's refine.enqueue span.
+        let span_of = |n: &str| t.spans().iter().find(|s| s.name == n).unwrap();
+        assert_eq!(span_of("refine.run").parent_id, job.parent_span);
+        assert_eq!(
+            span_of("store.upgrade").parent_id,
+            span_of("refine.run").span_id
+        );
+        assert_eq!(span_of("refine.enqueue").span_id, job.parent_span);
+    }
+
+    #[test]
+    fn trace_endpoint_returns_chrome_trace_json() {
+        let svc = service();
+        let traces = svc.traces();
+        let ctx = traces.start("POST /advise");
+        svc.handle_request(
+            "POST",
+            "/advise",
+            r#"{"workload":"triad"}"#,
+            "",
+            &ctx,
+            0,
+            None,
+        );
+        ctx.finish_root("request", 0);
+        let resp = svc.handle("GET", "/trace?n=5", "");
+        assert_eq!(resp.status, 200);
+        let doc = parse_json(&resp.body).unwrap();
+        let events = doc.as_object().unwrap()["traceEvents"].as_array().unwrap();
+        assert!(!events.is_empty());
+        assert!(events.iter().any(|e| {
+            e.as_object()
+                .and_then(|o| o.get("name"))
+                .and_then(|n| n.as_str())
+                == Some("request")
+        }));
+    }
+
+    #[test]
+    fn disabled_tracing_records_no_traces_but_keeps_histograms() {
+        let svc = service();
+        svc.set_tracing(false);
+        let traces = svc.traces();
+        let ctx = traces.start("POST /advise");
+        svc.handle_request(
+            "POST",
+            "/advise",
+            r#"{"workload":"triad"}"#,
+            "",
+            &ctx,
+            0,
+            None,
+        );
+        ctx.finish_root("request", 0);
+        assert!(traces.is_empty(), "disabled tracing must retain nothing");
+        let snap = svc
+            .sink()
+            .histogram("serve.latency.advisor_tier_us")
+            .snapshot();
+        assert_eq!(snap.count, 1, "latency histograms are always on");
     }
 
     #[test]

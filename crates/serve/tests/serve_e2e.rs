@@ -169,6 +169,136 @@ fn bounded_queue_drops_oldest_and_reports_it() {
 }
 
 #[test]
+fn trace_endpoint_exports_the_cold_miss_chain_over_tcp() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        AdviceService::new(Store::in_memory(2), 4),
+        ServerConfig {
+            workers: 2,
+            refiners: 1,
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let serving = std::thread::spawn(move || server.serve().unwrap());
+
+    let mut client = Client::connect(addr).unwrap();
+    let (status, body) = client.post("/advise", r#"{"workload":"triad"}"#).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(obj(&body)["tier"].as_str(), Some("advisor"));
+    await_settled(&mut client, Duration::from_secs(120));
+
+    let (status, trace) = client.get("/trace?n=64").unwrap();
+    assert_eq!(status, 200);
+    let doc = obj(&trace);
+    let events = doc["traceEvents"].as_array().expect("traceEvents array");
+    assert!(!events.is_empty());
+    // The cold advise's full chain is present: connection-level spans, the
+    // service tiers, and the late refinement spans resumed by trace id.
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.as_object()?.get("name")?.as_str())
+        .collect();
+    for expected in [
+        "accept",
+        "parse",
+        "store.miss",
+        "advisor.model",
+        "refine.enqueue",
+        "refine.run",
+        "store.upgrade",
+        "request",
+    ] {
+        assert!(
+            names.contains(&expected),
+            "span {expected:?} missing from /trace export: {names:?}"
+        );
+    }
+
+    let (status, _) = client.post("/shutdown", "").unwrap();
+    assert_eq!(status, 200);
+    serving.join().unwrap();
+}
+
+#[test]
+fn metrics_negotiates_formats_and_scrapes_are_idempotent() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        AdviceService::new(Store::in_memory(2), 4),
+        ServerConfig {
+            workers: 2,
+            refiners: 0,
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let shutdown = server.shutdown_handle();
+    let serving = std::thread::spawn(move || server.serve().unwrap());
+
+    let mut client = Client::connect(addr).unwrap();
+    // Two identical advises: one store miss, then one more miss (the
+    // placeholder is advisor-tier until refinement, which is disabled).
+    for _ in 0..2 {
+        let (status, _) = client.post("/advise", r#"{"workload":"mix"}"#).unwrap();
+        assert_eq!(status, 200);
+    }
+
+    // Default is JSON; `?format=prometheus` and the Accept header both
+    // negotiate the text exposition.
+    let (_, json_body) = client.get("/metrics").unwrap();
+    assert!(json_body.starts_with('{'), "default /metrics is JSON");
+    let (_, by_query) = client.get("/metrics?format=prometheus").unwrap();
+    assert!(
+        by_query.starts_with("# HELP"),
+        "query param negotiates text"
+    );
+    let (_, by_accept) = client.get_with_accept("/metrics", "text/plain").unwrap();
+    assert!(by_accept.starts_with("# HELP"), "Accept negotiates text");
+    assert!(by_query.contains("# TYPE serve_advise_total counter"));
+    assert!(by_query.contains("serve_latency_advisor_tier_us_bucket{le=\"+Inf\"}"));
+
+    // Store counters publish set-to-current into the sink at scrape time:
+    // back-to-back scrapes with no traffic in between must report the
+    // same values, in both formats (the regression was each scrape
+    // re-adding the store's totals).
+    let prom_line = |text: &str, name: &str| -> String {
+        text.lines()
+            .find(|l| l.starts_with(name))
+            .unwrap_or_else(|| panic!("{name} missing from scrape"))
+            .to_string()
+    };
+    let first = client.get("/metrics?format=prometheus").unwrap().1;
+    for _ in 0..3 {
+        let again = client.get("/metrics?format=prometheus").unwrap().1;
+        for name in ["store_hits_total ", "store_misses_total "] {
+            assert_eq!(
+                prom_line(&first, name),
+                prom_line(&again, name),
+                "idle rescrape changed {name}"
+            );
+        }
+    }
+    let json_store = obj(&client.get("/metrics").unwrap().1)["store"]
+        .as_object()
+        .unwrap()
+        .clone();
+    let prom_misses: f64 = prom_line(&first, "store_misses_total ")
+        .rsplit(' ')
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert_eq!(
+        json_store["misses"].as_f64(),
+        Some(prom_misses),
+        "JSON and Prometheus scrapes must agree on store counters"
+    );
+
+    shutdown.store(true, std::sync::atomic::Ordering::Relaxed);
+    serving.join().unwrap();
+}
+
+#[test]
 fn unknown_paths_and_bad_bodies_get_http_errors() {
     let server = Server::bind(
         "127.0.0.1:0",

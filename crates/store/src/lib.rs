@@ -440,16 +440,41 @@ impl Store {
         }
     }
 
+    // The lock-wait histogram (`StoreMetrics::lock_wait`) measures how
+    // long callers block acquiring a shard lock — the serving stack's
+    // "was it store contention?" signal. Timing is off by default; when
+    // off the only cost is one relaxed load per acquisition.
+
     fn read_shard(&self, i: usize) -> std::sync::RwLockReadGuard<'_, Shard> {
-        self.shards[i]
-            .read()
-            .unwrap_or_else(PoisonError::into_inner)
+        if self.metrics.lock_timing() {
+            let t0 = std::time::Instant::now();
+            let guard = self.shards[i]
+                .read()
+                .unwrap_or_else(PoisonError::into_inner);
+            self.metrics
+                .record_lock_wait(t0.elapsed().as_micros().min(u64::MAX as u128) as u64);
+            guard
+        } else {
+            self.shards[i]
+                .read()
+                .unwrap_or_else(PoisonError::into_inner)
+        }
     }
 
     fn write_shard(&self, i: usize) -> std::sync::RwLockWriteGuard<'_, Shard> {
-        self.shards[i]
-            .write()
-            .unwrap_or_else(PoisonError::into_inner)
+        if self.metrics.lock_timing() {
+            let t0 = std::time::Instant::now();
+            let guard = self.shards[i]
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            self.metrics
+                .record_lock_wait(t0.elapsed().as_micros().min(u64::MAX as u128) as u64);
+            guard
+        } else {
+            self.shards[i]
+                .write()
+                .unwrap_or_else(PoisonError::into_inner)
+        }
     }
 }
 
@@ -653,6 +678,17 @@ mod tests {
         assert_eq!(reloaded.peek("aa"), Some(9.0));
         assert!(reloaded.peek_entry("aa").unwrap().meta.is_some());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lock_timing_records_waits_once_enabled() {
+        let store = Store::in_memory(2);
+        store.insert("aa", 1.0);
+        assert_eq!(store.metrics().lock_wait().count, 0, "timing off: silent");
+        store.metrics().set_lock_timing(true);
+        store.get("aa");
+        store.insert("bb", 2.0);
+        assert!(store.metrics().lock_wait().count >= 2);
     }
 
     #[test]

@@ -1,15 +1,19 @@
-//! Store-level counters: hits, misses, log appends, compactions.
+//! Store-level counters: hits, misses, log appends, compactions, and an
+//! optional shard-lock wait-time histogram.
 //!
 //! The counters are plain relaxed atomics owned by the store (the
 //! telemetry [`Sink`]'s counters are add-only and shared, so they cannot
-//! back a resettable hit/miss pair). [`StoreMetrics::publish`] pushes the
-//! totals into a `Sink` as deltas, so repeated publishes never double
-//! count and external telemetry consumers see the same monotone counters
-//! they get from every other subsystem.
+//! back a resettable hit/miss pair). [`StoreMetrics::publish`] mirrors
+//! the totals into a `Sink` by **setting** the sink counters to the
+//! store's current totals: publishing is idempotent, so any number of
+//! concurrent or repeated publishes (a Prometheus scrape racing a JSON
+//! scrape, say) leaves the sink exactly at the authoritative totals —
+//! where the old delta-push scheme could double count under racing
+//! publishers.
 
 use serde::Serialize;
-use std::sync::atomic::{AtomicU64, Ordering};
-use t2opt_telemetry::metrics::Sink;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use t2opt_telemetry::metrics::{Histogram, HistogramSnapshot, Sink};
 
 /// Monotone counters for one [`crate::Store`].
 #[derive(Debug, Default)]
@@ -18,8 +22,11 @@ pub struct StoreMetrics {
     misses: AtomicU64,
     appends: AtomicU64,
     compactions: AtomicU64,
-    // Totals already pushed to a Sink, so publish() adds only the delta.
-    published: [AtomicU64; 4],
+    // Shard-lock acquisition wait, microseconds. Recording is gated by
+    // `lock_timing` because it needs two `Instant::now()` calls per
+    // access — cheap, but not free like the counters.
+    lock_wait_us: Histogram,
+    lock_timing: AtomicBool,
 }
 
 /// Point-in-time copy of the counters plus occupancy, serializable into
@@ -88,22 +95,39 @@ impl StoreMetrics {
         self.misses.store(0, Ordering::Relaxed);
     }
 
-    /// Pushes the counters into a telemetry [`Sink`] under the `store.*`
-    /// namespace. Only the delta since the previous publish is added, so
-    /// calling this periodically (or once at shutdown) yields correct
-    /// monotone sink counters either way.
+    /// Turns shard-lock wait timing on or off (off by default).
+    pub fn set_lock_timing(&self, on: bool) {
+        self.lock_timing.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether shard-lock wait timing is on (one relaxed load — this is
+    /// the store's whole overhead when timing is off).
+    #[inline]
+    pub fn lock_timing(&self) -> bool {
+        self.lock_timing.load(Ordering::Relaxed)
+    }
+
+    /// Records one shard-lock acquisition wait (call only when
+    /// [`StoreMetrics::lock_timing`] is on).
+    #[inline]
+    pub fn record_lock_wait(&self, us: u64) {
+        self.lock_wait_us.record(us);
+    }
+
+    /// Snapshot of the shard-lock wait histogram (microseconds).
+    pub fn lock_wait(&self) -> HistogramSnapshot {
+        self.lock_wait_us.snapshot()
+    }
+
+    /// Mirrors the counters into a telemetry [`Sink`] under the `store.*`
+    /// namespace by setting each sink counter to the store's current
+    /// total. Idempotent: concurrent or repeated publishes all converge
+    /// on the authoritative totals, never double counting.
     pub fn publish(&self, sink: &Sink) {
-        let pairs = [
-            ("store.hits", &self.hits),
-            ("store.misses", &self.misses),
-            ("store.appends", &self.appends),
-            ("store.compactions", &self.compactions),
-        ];
-        for (i, (name, total)) in pairs.iter().enumerate() {
-            let current = total.load(Ordering::Relaxed);
-            let previous = self.published[i].swap(current, Ordering::Relaxed);
-            sink.counter(name).add(current.saturating_sub(previous));
-        }
+        sink.counter("store.hits").set(self.hits());
+        sink.counter("store.misses").set(self.misses());
+        sink.counter("store.appends").set(self.appends());
+        sink.counter("store.compactions").set(self.compactions());
     }
 
     /// Snapshot with the given occupancy vector (the store supplies it —
@@ -140,16 +164,60 @@ mod tests {
     }
 
     #[test]
-    fn publish_pushes_deltas_not_totals() {
+    fn publish_is_idempotent_set_to_current() {
         let m = StoreMetrics::default();
         let sink = Sink::enabled();
         m.hit();
         m.publish(&sink);
         m.hit();
         m.hit();
+        // Repeated publishes (e.g. a Prometheus scrape racing a JSON
+        // scrape) must converge on the totals, never accumulate.
+        m.publish(&sink);
         m.publish(&sink);
         m.publish(&sink);
         assert_eq!(sink.counter("store.hits").get(), 3);
+        m.miss();
+        m.publish(&sink);
+        assert_eq!(sink.counter("store.hits").get(), 3);
+        assert_eq!(sink.counter("store.misses").get(), 1);
+    }
+
+    #[test]
+    fn concurrent_publishes_converge_on_totals() {
+        use std::sync::Arc;
+        let m = Arc::new(StoreMetrics::default());
+        let sink = Sink::enabled();
+        for _ in 0..100 {
+            m.hit();
+        }
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                let sink = Arc::clone(&sink);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        m.publish(&sink);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(sink.counter("store.hits").get(), 100);
+    }
+
+    #[test]
+    fn lock_wait_histogram_is_gated() {
+        let m = StoreMetrics::default();
+        assert!(!m.lock_timing(), "timing starts off");
+        m.set_lock_timing(true);
+        m.record_lock_wait(5);
+        m.record_lock_wait(300);
+        let snap = m.lock_wait();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.sum, 305);
     }
 
     #[test]

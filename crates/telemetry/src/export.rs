@@ -1,5 +1,5 @@
 //! Exporters: JSON-lines, Chrome-trace (`chrome://tracing` / Perfetto),
-//! and a terminal ASCII heatmap.
+//! Prometheus text exposition, and a terminal ASCII heatmap.
 //!
 //! All JSON is produced through `t2opt_core::json` (the workspace's
 //! dependency-free serializer). The Chrome-trace envelope
@@ -7,8 +7,9 @@
 //! serde-serialized event objects because the vendored derive supports
 //! plain structs only.
 
-use crate::metrics::SpanRecord;
+use crate::metrics::{HistogramSnapshot, SpanRecord};
 use crate::timeline::Timeline;
+use crate::trace::TraceRecord;
 use serde::Serialize;
 use t2opt_core::json::to_json_string;
 
@@ -164,6 +165,230 @@ pub fn spans_chrome_trace(spans: &[SpanRecord], counters: &[(String, u64)]) -> S
         }));
     }
     envelope(events)
+}
+
+#[derive(Serialize)]
+struct SpanIdArgs {
+    trace: String,
+    span: String,
+    parent: String,
+}
+
+#[derive(Serialize)]
+struct TracedSliceEvent {
+    ph: String,
+    pid: u32,
+    tid: u32,
+    name: String,
+    cat: String,
+    ts: f64,
+    dur: f64,
+    args: SpanIdArgs,
+}
+
+/// Renders recent request traces (from a [`crate::trace::TraceBuffer`])
+/// as Chrome-trace JSON loadable in Perfetto / `chrome://tracing`. Each
+/// trace becomes its own process row named `"<label> <trace-id-hex>"`;
+/// span/parent ids ride along as hex strings in `args` so the tree is
+/// reconstructable from the export alone.
+pub fn traces_chrome_trace(traces: &[TraceRecord]) -> String {
+    let mut events = Vec::new();
+    for (i, t) in traces.iter().enumerate() {
+        let pid = 100 + i as u32;
+        events.push(meta(
+            pid,
+            0,
+            "process_name",
+            &format!("{} {:016x}", t.label, t.trace_id),
+        ));
+        for s in t.spans() {
+            events.push(to_json_string(&TracedSliceEvent {
+                ph: "X".to_string(),
+                pid,
+                tid: s.tid,
+                name: s.name.clone(),
+                cat: "request".to_string(),
+                ts: s.start_us,
+                dur: s.dur_us,
+                args: SpanIdArgs {
+                    trace: format!("{:016x}", s.trace_id),
+                    span: format!("{:016x}", s.span_id),
+                    parent: format!("{:016x}", s.parent_id),
+                },
+            }));
+        }
+    }
+    envelope(events)
+}
+
+/// Sanitizes an internal dotted metric name (`serve.bad_requests`) into
+/// the Prometheus name charset `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn prom_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Escapes a Prometheus label value: `\` → `\\`, `"` → `\"`, newline →
+/// `\n` (the three escapes the text exposition format defines).
+fn prom_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a `# HELP` docstring: `\` → `\\`, newline → `\n`.
+fn prom_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One metric family being assembled: header lines emitted once, sample
+/// lines in input order.
+struct PromFamily {
+    name: String,
+    kind: &'static str,
+    help: String,
+    samples: Vec<String>,
+}
+
+fn family_mut<'a>(
+    families: &'a mut Vec<PromFamily>,
+    name: &str,
+    kind: &'static str,
+    help: String,
+) -> &'a mut PromFamily {
+    if let Some(i) = families.iter().position(|f| f.name == name) {
+        &mut families[i]
+    } else {
+        families.push(PromFamily {
+            name: name.to_string(),
+            kind,
+            help,
+            samples: Vec::new(),
+        });
+        families.last_mut().expect("just pushed")
+    }
+}
+
+/// Renders counters and histogram snapshots in the Prometheus text
+/// exposition format (version 0.0.4): `# HELP`/`# TYPE` per family, all
+/// of a family's samples grouped, label values escaped per the format.
+///
+/// `label_rules` maps an internal name *prefix* to a label name: a
+/// counter `serve.bad_requests.parse` under the rule
+/// `("serve.bad_requests.", "class")` renders as
+/// `serve_bad_requests_total{class="parse"}`, so a family of sibling
+/// counters becomes one labeled Prometheus family. Names are sanitized
+/// to the Prometheus charset; counters get the conventional `_total`
+/// suffix.
+///
+/// Histograms render with exact integer bucket bounds: the log2 bucket
+/// `[2^(i-1), 2^i)` contains integers up to `2^i - 1`, so its cumulative
+/// line is `le="2^i-1"` (and bucket 0, holding only the value 0, is
+/// `le="0"`). Buckets above the highest non-empty one are elided; the
+/// mandatory `le="+Inf"`, `_sum`, and `_count` lines always appear.
+pub fn prometheus_text(
+    counters: &[(String, u64)],
+    histograms: &[(String, HistogramSnapshot)],
+    label_rules: &[(&str, &str)],
+) -> String {
+    let mut families: Vec<PromFamily> = Vec::new();
+    for (name, value) in counters {
+        let rule = label_rules
+            .iter()
+            .find(|(prefix, _)| name.starts_with(prefix) && name.len() > prefix.len());
+        match rule {
+            Some((prefix, label)) => {
+                let base = prefix.trim_end_matches('.');
+                let fam_name = format!("{}_total", prom_name(base));
+                let fam = family_mut(
+                    &mut families,
+                    &fam_name,
+                    "counter",
+                    format!("t2opt counter family {base}"),
+                );
+                fam.samples.push(format!(
+                    "{fam_name}{{{label}=\"{}\"}} {value}",
+                    prom_label_value(&name[prefix.len()..])
+                ));
+            }
+            None => {
+                let fam_name = format!("{}_total", prom_name(name));
+                let fam = family_mut(
+                    &mut families,
+                    &fam_name,
+                    "counter",
+                    format!("t2opt counter {name}"),
+                );
+                fam.samples.push(format!("{fam_name} {value}"));
+            }
+        }
+    }
+    for (name, snap) in histograms {
+        let fam_name = prom_name(name);
+        let fam = family_mut(
+            &mut families,
+            &fam_name,
+            "histogram",
+            format!("t2opt log2-bucket histogram {name}"),
+        );
+        let highest = snap
+            .buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        let mut cumulative = 0u64;
+        for (i, &c) in snap.buckets.iter().take(highest).enumerate() {
+            cumulative += c;
+            let le: u128 = if i == 0 { 0 } else { (1u128 << i) - 1 };
+            fam.samples
+                .push(format!("{fam_name}_bucket{{le=\"{le}\"}} {cumulative}"));
+        }
+        fam.samples.push(format!(
+            "{fam_name}_bucket{{le=\"+Inf\"}} {}",
+            cumulative.max(snap.count)
+        ));
+        fam.samples.push(format!("{fam_name}_sum {}", snap.sum));
+        fam.samples
+            .push(format!("{fam_name}_count {}", cumulative.max(snap.count)));
+    }
+    let mut out = String::new();
+    for fam in families {
+        out.push_str(&format!("# HELP {} {}\n", fam.name, prom_help(&fam.help)));
+        out.push_str(&format!("# TYPE {} {}\n", fam.name, fam.kind));
+        for s in fam.samples {
+            out.push_str(&s);
+            out.push('\n');
+        }
+    }
+    out
 }
 
 #[derive(Serialize)]
@@ -324,6 +549,9 @@ mod tests {
             tid: 1,
             start_us: 5.0,
             dur_us: 10.0,
+            trace_id: 0,
+            span_id: 0,
+            parent_id: 0,
         }];
         let json = chrome_trace(&t, &spans, 1200.0);
         let v = parse_json(&json).expect("valid JSON");
@@ -346,6 +574,9 @@ mod tests {
             tid: 0,
             start_us: 0.0,
             dur_us: 1.0,
+            trace_id: 0,
+            span_id: 0,
+            parent_id: 0,
         }];
         let json = spans_chrome_trace(&spans, &[("cache_hits".to_string(), 7)]);
         let v = parse_json(&json).expect("valid JSON");
@@ -396,5 +627,134 @@ mod tests {
         let cfg = TraceConfig::default();
         let t = TimelineRecorder::new(4, 8, 0, &cfg).finish(0);
         assert!(ascii_heatmap(&t, 80).contains("empty"));
+    }
+
+    #[test]
+    fn traces_chrome_trace_is_perfetto_shaped() {
+        let buf = crate::trace::TraceBuffer::new(4, 8);
+        let ctx = buf.start("POST /advise");
+        ctx.record("parse", 1, 0.5, 1.0);
+        {
+            let _s = ctx.span("store.miss", 1);
+        }
+        ctx.finish_root("request", 1);
+        buf.start("GET /metrics").finish_root("request", 2);
+
+        let json = traces_chrome_trace(&buf.recent(10));
+        let v = parse_json(&json).expect("valid JSON");
+        let events = v
+            .as_object()
+            .and_then(|o| o.get("traceEvents"))
+            .and_then(|e| e.as_array())
+            .expect("traceEvents array")
+            .to_vec();
+        // 2 process-name metas + 3 spans + 1 span.
+        assert_eq!(events.len(), 6);
+        let metas: Vec<_> = events
+            .iter()
+            .filter(|e| e.as_object().unwrap()["ph"].as_str() == Some("M"))
+            .collect();
+        assert_eq!(metas.len(), 2);
+        // Each trace gets its own pid row.
+        let pids: std::collections::BTreeSet<i64> = metas
+            .iter()
+            .map(|e| e.as_object().unwrap()["pid"].as_f64().unwrap() as i64)
+            .collect();
+        assert_eq!(pids.len(), 2);
+        // X events carry the span-id args for tree reconstruction.
+        let x = events
+            .iter()
+            .map(|e| e.as_object().unwrap())
+            .find(|o| o["ph"].as_str() == Some("X"))
+            .unwrap();
+        let args = x["args"].as_object().unwrap();
+        for key in ["trace", "span", "parent"] {
+            assert_eq!(args[key].as_str().map(str::len), Some(16), "{key} is hex64");
+        }
+    }
+
+    #[test]
+    fn prometheus_counters_group_into_labeled_families() {
+        let counters = vec![
+            ("serve.bad_requests.chip".to_string(), 2),
+            ("serve.bad_requests.parse".to_string(), 5),
+            ("serve.requests".to_string(), 40),
+        ];
+        let text = prometheus_text(&counters, &[], &[("serve.bad_requests.", "class")]);
+        let lines: Vec<&str> = text.lines().collect();
+        // One header pair per family, samples grouped under it.
+        assert_eq!(
+            lines
+                .iter()
+                .filter(|l| *l == &"# TYPE serve_bad_requests_total counter")
+                .count(),
+            1
+        );
+        assert!(lines.contains(&"serve_bad_requests_total{class=\"chip\"} 2"));
+        assert!(lines.contains(&"serve_bad_requests_total{class=\"parse\"} 5"));
+        assert!(lines.contains(&"serve_requests_total 40"));
+        assert!(lines.contains(&"# TYPE serve_requests_total counter"));
+    }
+
+    #[test]
+    fn prometheus_histogram_lines_are_cumulative_with_exact_bounds() {
+        let h = crate::metrics::Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(100); // bucket 7
+        h.record(100);
+        let text = prometheus_text(
+            &[],
+            &[("serve.latency.cache_tier_us".to_string(), h.snapshot())],
+            &[],
+        );
+        let expected = "\
+# HELP serve_latency_cache_tier_us t2opt log2-bucket histogram serve.latency.cache_tier_us
+# TYPE serve_latency_cache_tier_us histogram
+serve_latency_cache_tier_us_bucket{le=\"0\"} 1
+serve_latency_cache_tier_us_bucket{le=\"1\"} 2
+serve_latency_cache_tier_us_bucket{le=\"3\"} 2
+serve_latency_cache_tier_us_bucket{le=\"7\"} 2
+serve_latency_cache_tier_us_bucket{le=\"15\"} 2
+serve_latency_cache_tier_us_bucket{le=\"31\"} 2
+serve_latency_cache_tier_us_bucket{le=\"63\"} 2
+serve_latency_cache_tier_us_bucket{le=\"127\"} 4
+serve_latency_cache_tier_us_bucket{le=\"+Inf\"} 4
+serve_latency_cache_tier_us_sum 201
+serve_latency_cache_tier_us_count 4
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn prometheus_empty_histogram_still_has_inf_sum_count() {
+        let h = crate::metrics::Histogram::new();
+        let text = prometheus_text(&[], &[("x".to_string(), h.snapshot())], &[]);
+        assert!(text.contains("x_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("x_sum 0\n"));
+        assert!(text.contains("x_count 0\n"));
+    }
+
+    #[test]
+    fn prometheus_label_escaping_golden() {
+        // Exact-format golden: backslash, double quote, and newline in a
+        // label value must escape per the text exposition format.
+        let counters = vec![(
+            "lbl.a\\b\"c\nd".to_string(),
+            1, //
+        )];
+        let text = prometheus_text(&counters, &[], &[("lbl.", "v")]);
+        let expected = "\
+# HELP lbl_total t2opt counter family lbl
+# TYPE lbl_total counter
+lbl_total{v=\"a\\\\b\\\"c\\nd\"} 1
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn prometheus_names_are_sanitized() {
+        let text = prometheus_text(&[("1weird-name.x".to_string(), 3)], &[], &[]);
+        assert!(text.contains("_1weird_name_x_total 3"));
     }
 }

@@ -27,21 +27,35 @@
 //!   signature of mod-512 congruence aliasing), and naming of the offending
 //!   address streams.
 //! * [`export`] — JSON-lines, Chrome-trace (`chrome://tracing` /
-//!   Perfetto), and terminal ASCII-heatmap exporters.
+//!   Perfetto), Prometheus text-exposition, and terminal ASCII-heatmap
+//!   exporters.
+//! * [`trace`] — request-scoped tracing for the serving stack: cheap
+//!   xorshift trace/span ids, a [`trace::TraceCtx`] carried across the
+//!   accept → parse → tier-decision → refinement → store chain, and a
+//!   bounded [`trace::TraceBuffer`] retaining recent request traces.
+//! * [`logger`] — a minimal leveled structured logger (JSON lines with
+//!   the ambient trace id stamped on every line).
 
 #![warn(missing_docs)]
 
 pub mod alias;
 pub mod export;
+pub mod logger;
 pub mod metrics;
 pub mod probe;
 pub mod timeline;
+pub mod trace;
 
 /// The most commonly used telemetry types.
 pub mod prelude {
     pub use crate::alias::{AliasConfig, AliasReport};
-    pub use crate::export::{ascii_heatmap, chrome_trace, spans_chrome_trace, timeline_jsonl};
+    pub use crate::export::{
+        ascii_heatmap, chrome_trace, prometheus_text, spans_chrome_trace, timeline_jsonl,
+        traces_chrome_trace,
+    };
+    pub use crate::logger::{log_line, Level, Logger};
     pub use crate::metrics::{Counter, Histogram, RingLog, Sink, SpanRecord};
     pub use crate::probe::{NoProbe, SimProbe, StallKind};
     pub use crate::timeline::{StreamLabel, Timeline, TimelineRecorder, TraceConfig};
+    pub use crate::trace::{TraceBuffer, TraceCtx};
 }

@@ -1,0 +1,273 @@
+//! Minimal leveled structured logger: one JSON object per line, written
+//! to stderr or a file, with the thread's ambient trace id
+//! ([`crate::trace::current_trace`]) stamped on every line so a log line
+//! joins to its request trace.
+//!
+//! There is deliberately no macro layer or dependency: the daemon calls
+//! [`log_line`] (or [`Logger::log`] on an explicit instance, which tests
+//! use to capture output). The global logger is installed once via
+//! [`init`] / [`init_from_env`]; before installation — and in every
+//! library context that never installs one — logging is a no-op, so
+//! crates can log unconditionally without configuring anything.
+
+use std::fmt;
+use std::io::Write;
+use std::str::FromStr;
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, ordered: a logger at level `Info` emits `Error`, `Warn`,
+/// and `Info` lines and drops `Debug`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The daemon cannot do what it was asked to (failed bind, lost store).
+    Error,
+    /// Degraded but continuing (dropped refinement job, slow scrape).
+    Warn,
+    /// Normal operational milestones (listening, shutdown, compaction).
+    Info,
+    /// Per-request detail; off by default.
+    Debug,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Ok(Level::Error),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            other => Err(format!(
+                "unknown log level {other:?} (expected error|warn|info|debug)"
+            )),
+        }
+    }
+}
+
+/// A leveled JSONL writer. The daemon uses one global instance
+/// ([`init`]); tests construct their own over a `Vec<u8>` to assert on
+/// output.
+pub struct Logger {
+    level: Level,
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl fmt::Debug for Logger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Logger")
+            .field("level", &self.level)
+            .finish()
+    }
+}
+
+impl Logger {
+    /// A logger emitting lines at `level` and above into `out`.
+    pub fn new(level: Level, out: Box<dyn Write + Send>) -> Self {
+        Logger {
+            level,
+            out: Mutex::new(out),
+        }
+    }
+
+    /// A logger writing to stderr.
+    pub fn stderr(level: Level) -> Self {
+        Logger::new(level, Box::new(std::io::stderr()))
+    }
+
+    /// A logger appending to the file at `path`.
+    pub fn file(level: Level, path: &str) -> std::io::Result<Self> {
+        let f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Logger::new(level, Box::new(f)))
+    }
+
+    /// The threshold this logger emits at.
+    pub fn level(&self) -> Level {
+        self.level
+    }
+
+    /// Emits one JSON line: `ts` (unix seconds), `level`, `msg`, `trace`
+    /// (hex, only when the thread is inside a traced request), plus
+    /// `extra` key/value pairs (values emitted verbatim — pass already
+    /// valid JSON, e.g. via [`json_str`] for strings). Drops the line if
+    /// below the logger's level. I/O errors are swallowed: logging must
+    /// never take the daemon down.
+    pub fn log(&self, level: Level, msg: &str, extra: &[(&str, String)]) {
+        if level > self.level {
+            return;
+        }
+        let ts = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(0.0);
+        let mut line = format!(
+            "{{\"ts\":{ts:.6},\"level\":\"{}\",\"msg\":{}",
+            level.as_str(),
+            json_str(msg)
+        );
+        let trace = crate::trace::current_trace();
+        if trace != 0 {
+            line.push_str(&format!(",\"trace\":\"{trace:016x}\""));
+        }
+        for (k, v) in extra {
+            line.push_str(&format!(",{}:{v}", json_str(k)));
+        }
+        line.push_str("}\n");
+        let mut out = self.out.lock().unwrap_or_else(PoisonError::into_inner);
+        let _ = out.write_all(line.as_bytes());
+        let _ = out.flush();
+    }
+}
+
+/// Quotes and escapes `s` as a JSON string literal — for `extra` values
+/// in [`Logger::log`] / [`log_line`].
+pub fn json_str(s: &str) -> String {
+    t2opt_core::json::to_json_string(&s)
+}
+
+static GLOBAL: OnceLock<Logger> = OnceLock::new();
+
+/// Installs `logger` as the process-wide logger used by [`log_line`].
+/// Returns `false` if one was already installed (the first wins).
+pub fn init(logger: Logger) -> bool {
+    GLOBAL.set(logger).is_ok()
+}
+
+/// Installs a global logger configured from the environment: level from
+/// `T2OPT_LOG` (default `info`; unparsable values fall back to `info`),
+/// writing to `log_path` if given, else stderr. Falls back to stderr if
+/// the file cannot be opened (with a complaint on stderr).
+pub fn init_from_env(log_path: Option<&str>) -> bool {
+    let level = std::env::var("T2OPT_LOG")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(Level::Info);
+    let logger = match log_path {
+        Some(path) => Logger::file(level, path).unwrap_or_else(|e| {
+            eprintln!("t2opt-serve: cannot open log file {path:?} ({e}); logging to stderr");
+            Logger::stderr(level)
+        }),
+        None => Logger::stderr(level),
+    };
+    init(logger)
+}
+
+/// Logs through the global logger; a no-op until [`init`] runs.
+pub fn log_line(level: Level, msg: &str, extra: &[(&str, String)]) {
+    if let Some(logger) = GLOBAL.get() {
+        logger.log(level, msg, extra);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    /// A `Write` handle into a shared buffer so the test can read back
+    /// what the logger wrote.
+    #[derive(Clone)]
+    struct Shared(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn capture(level: Level) -> (Logger, Arc<Mutex<Vec<u8>>>) {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let logger = Logger::new(level, Box::new(Shared(Arc::clone(&buf))));
+        (logger, buf)
+    }
+
+    fn lines(buf: &Arc<Mutex<Vec<u8>>>) -> Vec<String> {
+        String::from_utf8(buf.lock().unwrap().clone())
+            .unwrap()
+            .lines()
+            .map(str::to_owned)
+            .collect()
+    }
+
+    #[test]
+    fn lines_are_json_with_level_and_msg() {
+        let (logger, buf) = capture(Level::Info);
+        logger.log(
+            Level::Warn,
+            "queue \"full\"\nreally",
+            &[("depth", "3".into()), ("key", json_str("a\"b"))],
+        );
+        let out = lines(&buf);
+        assert_eq!(out.len(), 1);
+        let parsed = t2opt_core::json::parse_json(&out[0]).expect("line is valid JSON");
+        let obj = parsed.as_object().unwrap();
+        assert_eq!(obj["level"].as_str(), Some("warn"));
+        assert_eq!(obj["msg"].as_str(), Some("queue \"full\"\nreally"));
+        assert_eq!(obj["depth"].as_f64(), Some(3.0));
+        assert_eq!(obj["key"].as_str(), Some("a\"b"));
+        assert!(obj["ts"].as_f64().unwrap() > 1.0e9, "ts is unix seconds");
+        assert!(!obj.contains_key("trace"), "no ambient trace, no field");
+    }
+
+    #[test]
+    fn below_threshold_lines_are_dropped() {
+        let (logger, buf) = capture(Level::Warn);
+        logger.log(Level::Info, "not emitted", &[]);
+        logger.log(Level::Debug, "not emitted either", &[]);
+        logger.log(Level::Error, "emitted", &[]);
+        assert_eq!(lines(&buf).len(), 1);
+    }
+
+    #[test]
+    fn ambient_trace_id_is_stamped() {
+        let trace_buf = crate::trace::TraceBuffer::new(2, 2);
+        let ctx = trace_buf.start("req");
+        let (logger, buf) = capture(Level::Debug);
+        {
+            let _g = ctx.enter();
+            logger.log(Level::Debug, "inside", &[]);
+        }
+        logger.log(Level::Debug, "outside", &[]);
+        let out = lines(&buf);
+        let inside = t2opt_core::json::parse_json(&out[0]).unwrap();
+        let expected = format!("{:016x}", ctx.trace_id());
+        assert_eq!(
+            inside.as_object().unwrap()["trace"].as_str(),
+            Some(expected.as_str())
+        );
+        assert!(!out[1].contains("trace"));
+    }
+
+    #[test]
+    fn level_parses_case_insensitively() {
+        assert_eq!("DEBUG".parse::<Level>().unwrap(), Level::Debug);
+        assert_eq!("warning".parse::<Level>().unwrap(), Level::Warn);
+        assert!("verbose".parse::<Level>().is_err());
+        assert!(Level::Debug > Level::Info);
+    }
+}

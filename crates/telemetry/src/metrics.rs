@@ -37,6 +37,15 @@ impl Counter {
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Overwrites the value. For counters that *mirror* an authoritative
+    /// counter owned elsewhere (the store's own atomics, say): repeated
+    /// publishes are then idempotent, where repeated `add`s of a delta
+    /// double-count under racing publishers.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
@@ -60,6 +69,15 @@ impl Default for Histogram {
     }
 }
 
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .field("sum", &self.sum.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
 impl Histogram {
     /// An empty histogram.
     pub fn new() -> Self {
@@ -70,16 +88,20 @@ impl Histogram {
         }
     }
 
-    /// Bucket index for a value.
+    /// Bucket index for a value: 0 for 0, else `1 + floor(log2 v)`,
+    /// saturated to the last bucket. Public so consumers comparing an
+    /// externally measured value against an exported histogram (e.g. the
+    /// serve load generator's p99 cross-check) can place the value in the
+    /// same bucket space.
     #[inline]
-    fn bucket_of(v: u64) -> usize {
-        (64 - v.leading_zeros()) as usize
+    pub fn bucket_of(v: u64) -> usize {
+        ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
     }
 
     /// Records one observation.
     #[inline]
     pub fn record(&self, v: u64) {
-        self.buckets[Self::bucket_of(v).min(HIST_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
     }
@@ -126,15 +148,67 @@ impl HistogramSnapshot {
         if self.count == 0 {
             return 0;
         }
+        match self.quantile_bucket(q) {
+            Some(0) | None => 0,
+            Some(i) => 1u64 << i.min(63),
+        }
+    }
+
+    /// Index of the log2 bucket containing quantile `q` in `[0, 1]`, or
+    /// `None` when the histogram is empty. The bucket is found by walking
+    /// the cumulative counts to `ceil(q · count)` (so `q = 0` is the
+    /// smallest observation's bucket and `q = 1` the largest's).
+    pub fn quantile_bucket(&self, q: f64) -> Option<usize> {
+        if self.count == 0 {
+            return None;
+        }
         let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return if i == 0 { 0 } else { 1u64 << i.min(63) };
+                return Some(i);
             }
         }
-        u64::MAX
+        // Bucket counts can lag `count` under concurrent recording; charge
+        // the remainder to the last bucket rather than invent an index.
+        Some(self.buckets.len().saturating_sub(1))
+    }
+
+    /// Inclusive `[lo, hi]` value bounds of the bucket containing quantile
+    /// `q` (`(0, 0)` when empty). The true quantile of the recorded values
+    /// is guaranteed to lie in this interval; its width is the histogram's
+    /// documented error bound — one power of two, i.e. any point estimate
+    /// taken from the bucket is within 2× of the true value.
+    pub fn quantile_bounds(&self, q: f64) -> (u64, u64) {
+        match self.quantile_bucket(q) {
+            None | Some(0) => (0, 0),
+            Some(i) => {
+                let lo = 1u64 << (i - 1).min(63);
+                let hi = if i >= 64 - 1 {
+                    u64::MAX
+                } else {
+                    (1u64 << i) - 1
+                };
+                (lo, hi)
+            }
+        }
+    }
+
+    /// Median estimate: the upper bound of the p50 bucket (within 2× of
+    /// the true median — see [`HistogramSnapshot::quantile_bounds`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate (bucket upper bound).
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate (bucket upper bound).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
     }
 }
 
@@ -142,7 +216,7 @@ impl HistogramSnapshot {
 /// are dropped and counted, so the retained prefix stays contiguous in
 /// time (the window-open edge is what the alias analysis needs; dropping
 /// the tail is explicit in `dropped`).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RingLog<T> {
     buf: Vec<T>,
     cap: usize,
@@ -189,6 +263,11 @@ impl<T> RingLog<T> {
         self.dropped
     }
 
+    /// The retained entries in insertion order.
+    pub fn as_slice(&self) -> &[T] {
+        &self.buf
+    }
+
     /// Consumes the log, returning the retained entries in insertion order.
     pub fn into_vec(self) -> Vec<T> {
         self.buf
@@ -196,6 +275,11 @@ impl<T> RingLog<T> {
 }
 
 /// One completed span: a named timed region on a host thread.
+///
+/// The three id fields tie spans into request traces (see
+/// [`crate::trace`]): all zero for plain un-traced spans, otherwise
+/// `trace_id` groups the spans of one logical request, `span_id` names
+/// this span, and `parent_id` is the enclosing span (0 for a root).
 #[derive(Debug, Clone, Serialize)]
 pub struct SpanRecord {
     /// Span name (e.g. `"trial offset=128"`).
@@ -206,6 +290,12 @@ pub struct SpanRecord {
     pub start_us: f64,
     /// Duration in microseconds.
     pub dur_us: f64,
+    /// Trace this span belongs to (0 = not part of a trace).
+    pub trace_id: u64,
+    /// This span's own id (0 = un-traced legacy span).
+    pub span_id: u64,
+    /// Id of the enclosing span (0 = root of its trace).
+    pub parent_id: u64,
 }
 
 /// A registry of named counters and histograms plus a span log, shared via
@@ -275,12 +365,52 @@ impl Sink {
     /// Starts a span; the span is recorded when the returned guard drops.
     /// On a disabled sink this is a no-op guard.
     pub fn span(self: &Arc<Self>, name: impl Into<String>, tid: u32) -> SpanGuard {
+        self.span_with_ids(name, tid, 0, 0, 0)
+    }
+
+    /// Starts a span that is the **root of a fresh trace**: a new trace id
+    /// and span id are drawn from [`crate::trace::next_id`], so child
+    /// spans can parent to it via [`Sink::span_child`].
+    pub fn span_root(self: &Arc<Self>, name: impl Into<String>, tid: u32) -> SpanGuard {
+        if !self.is_enabled() {
+            return self.span_with_ids(name, tid, 0, 0, 0);
+        }
+        let trace_id = crate::trace::next_id();
+        let span_id = crate::trace::next_id();
+        self.span_with_ids(name, tid, trace_id, span_id, 0)
+    }
+
+    /// Starts a span inside an existing trace, parented to `parent_id`.
+    pub fn span_child(
+        self: &Arc<Self>,
+        name: impl Into<String>,
+        tid: u32,
+        trace_id: u64,
+        parent_id: u64,
+    ) -> SpanGuard {
+        if !self.is_enabled() {
+            return self.span_with_ids(name, tid, 0, 0, 0);
+        }
+        self.span_with_ids(name, tid, trace_id, crate::trace::next_id(), parent_id)
+    }
+
+    fn span_with_ids(
+        self: &Arc<Self>,
+        name: impl Into<String>,
+        tid: u32,
+        trace_id: u64,
+        span_id: u64,
+        parent_id: u64,
+    ) -> SpanGuard {
         if self.is_enabled() {
             SpanGuard {
                 sink: Some(Arc::clone(self)),
                 name: name.into(),
                 tid,
                 start_us: self.now_us(),
+                trace_id,
+                span_id,
+                parent_id,
             }
         } else {
             SpanGuard {
@@ -288,6 +418,9 @@ impl Sink {
                 name: String::new(),
                 tid: 0,
                 start_us: 0.0,
+                trace_id: 0,
+                span_id: 0,
+                parent_id: 0,
             }
         }
     }
@@ -324,6 +457,21 @@ pub struct SpanGuard {
     name: String,
     tid: u32,
     start_us: f64,
+    trace_id: u64,
+    span_id: u64,
+    parent_id: u64,
+}
+
+impl SpanGuard {
+    /// The trace id this span opened or joined (0 for a no-op guard).
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// This span's id (0 for a no-op guard), usable as a child's parent.
+    pub fn span_id(&self) -> u64 {
+        self.span_id
+    }
 }
 
 impl Drop for SpanGuard {
@@ -334,6 +482,9 @@ impl Drop for SpanGuard {
                 tid: self.tid,
                 start_us: self.start_us,
                 dur_us: sink.now_us() - self.start_us,
+                trace_id: self.trace_id,
+                span_id: self.span_id,
+                parent_id: self.parent_id,
             };
             sink.spans.lock().expect("span log").push(record);
         }
@@ -447,6 +598,49 @@ mod tests {
         assert_eq!(spans[0].tid, 3);
         assert!(spans[0].dur_us >= 0.0);
         assert_eq!(sink.counter_values(), vec![("hits".to_string(), 2)]);
+    }
+
+    #[test]
+    fn parented_spans_share_a_trace() {
+        let sink = Sink::enabled();
+        let (trace, parent);
+        {
+            let root = sink.span_root("run", 0);
+            trace = root.trace_id();
+            parent = root.span_id();
+            assert_ne!(trace, 0);
+            assert_ne!(parent, 0);
+            let _child = sink.span_child("trial", 1, trace, parent);
+        }
+        let spans = sink.spans();
+        assert_eq!(spans.len(), 2);
+        // The child guard drops before the root guard.
+        assert_eq!(spans[0].trace_id, trace);
+        assert_eq!(spans[0].parent_id, parent);
+        assert_ne!(spans[0].span_id, parent);
+        assert_eq!(spans[1].span_id, parent);
+        assert_eq!(spans[1].parent_id, 0);
+    }
+
+    #[test]
+    fn quantile_bounds_bracket_the_true_value() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(100); // bucket 7: [64, 127]
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile_bucket(0.5), Some(7));
+        assert_eq!(s.quantile_bounds(0.5), (64, 127));
+        assert_eq!(s.quantile_bounds(0.99), (64, 127));
+        // Empty and zero-valued histograms pin to (0, 0).
+        assert_eq!(Histogram::new().snapshot().quantile_bounds(0.5), (0, 0));
+        let z = Histogram::new();
+        z.record(0);
+        assert_eq!(z.snapshot().quantile_bounds(0.99), (0, 0));
+        // The last bucket's upper bound saturates to u64::MAX.
+        let top = Histogram::new();
+        top.record(u64::MAX);
+        assert_eq!(top.snapshot().quantile_bounds(1.0), (1 << 62, u64::MAX));
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Property tests for log2-bucket quantile estimation: whatever the
+//! sample set, the p50/p90/p99 estimates must land inside the bucket that
+//! actually contains the true quantile, and the documented bounds must
+//! bracket the true value. Edge cases — empty, single sample, and a
+//! saturated top bucket — are pinned exactly.
+
+use proptest::prelude::*;
+use t2opt_telemetry::metrics::{Histogram, HistogramSnapshot};
+
+/// The true quantile of `samples` under the same convention the histogram
+/// uses: rank `ceil(q·n)` (1-based) of the sorted samples.
+fn true_quantile(samples: &[u64], q: f64) -> u64 {
+    assert!(!samples.is_empty());
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil().max(1.0) as usize).min(sorted.len());
+    sorted[rank - 1]
+}
+
+fn snapshot_of(samples: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// Full-range `u64` values with log-uniform spread (a raw draw shifted
+/// right by 0..64), so every histogram bucket — including the saturated
+/// last one — is exercised. The vendored proptest only implements
+/// exclusive ranges, hence the map instead of `0..=u64::MAX`.
+fn wide_u64() -> impl Strategy<Value = u64> {
+    (0u64..64, 1u64..u64::MAX).prop_map(|(shift, raw)| raw >> shift)
+}
+
+proptest! {
+    /// For every quantile we export, the inclusive `[lo, hi]` bounds
+    /// bracket the true quantile, the point estimate (`quantile()`) is
+    /// `hi + 1` rounded to a power of two (i.e. never below the true
+    /// value's bucket), and the estimated bucket is exactly the bucket
+    /// of the true value.
+    #[test]
+    fn quantile_estimates_land_in_the_true_values_bucket(
+        samples in proptest::collection::vec(wide_u64(), 1..300),
+        q_millis in 0u32..1001,
+    ) {
+        let q = q_millis as f64 / 1000.0;
+        let snap = snapshot_of(&samples);
+        let truth = true_quantile(&samples, q);
+        let (lo, hi) = snap.quantile_bounds(q);
+        prop_assert!(lo <= truth && truth <= hi,
+            "true q{q} = {truth} outside bounds [{lo}, {hi}]");
+        prop_assert_eq!(snap.quantile_bucket(q), Some(Histogram::bucket_of(truth)));
+        // The interval is one log2 bucket wide: any point inside it is
+        // within 2x of the true value (the documented error bound). The
+        // exception is the saturated last bucket, which also absorbs
+        // values >= 2^63 and is therefore wider.
+        if lo > 0 && hi != u64::MAX {
+            prop_assert!(hi < lo.saturating_mul(2));
+        }
+    }
+
+    /// p50/p90/p99 are monotone in q and each sits at its bucket's upper
+    /// power-of-two bound.
+    #[test]
+    fn named_quantiles_are_monotone(
+        samples in proptest::collection::vec(0u64..1_000_000, 1..200),
+    ) {
+        let snap = snapshot_of(&samples);
+        let (p50, p90, p99) = (snap.p50(), snap.p90(), snap.p99());
+        prop_assert!(p50 <= p90 && p90 <= p99);
+        for p in [p50, p90, p99] {
+            prop_assert!(p == 0 || p.is_power_of_two());
+        }
+    }
+
+    /// A single sample: every quantile collapses to that sample's bucket.
+    #[test]
+    fn single_sample_pins_every_quantile(v in wide_u64(), q_millis in 0u32..1001) {
+        let q = q_millis as f64 / 1000.0;
+        let snap = snapshot_of(&[v]);
+        let (lo, hi) = snap.quantile_bounds(q);
+        prop_assert!(lo <= v && v <= hi);
+        prop_assert_eq!(snap.quantile_bucket(q), Some(Histogram::bucket_of(v)));
+    }
+}
+
+#[test]
+fn empty_histogram_has_no_quantiles() {
+    let snap = snapshot_of(&[]);
+    assert_eq!(snap.quantile_bucket(0.5), None);
+    assert_eq!(snap.quantile_bounds(0.99), (0, 0));
+    assert_eq!(snap.p50(), 0);
+    assert_eq!(snap.p99(), 0);
+}
+
+#[test]
+fn saturated_top_bucket_reports_max_bounds() {
+    // Values ≥ 2^63 all saturate into the last bucket; its bounds must
+    // still bracket them (upper bound pinned to u64::MAX).
+    let snap = snapshot_of(&[u64::MAX, u64::MAX - 1, 1u64 << 63]);
+    let (lo, hi) = snap.quantile_bounds(0.99);
+    assert_eq!((lo, hi), (1u64 << 62, u64::MAX));
+    assert_eq!(snap.quantile_bucket(0.01), Some(63));
+}
