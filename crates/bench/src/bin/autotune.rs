@@ -35,6 +35,10 @@
 //! `ultrasparc-t2`): the sweep grids, the advisor cross-validation, and
 //! the cache fingerprints all follow that chip's interleave period, and
 //! the JSON output records the preset name.
+//!
+//! `--policy <fifo|read-first|fr-fcfs[:cap]>` selects the controllers'
+//! queue-arbitration discipline (default `fifo`). The chip fingerprint
+//! covers it, so cached results for different policies never mix.
 
 use serde::Serialize;
 use std::sync::Arc;
@@ -54,10 +58,12 @@ struct CacheStats {
     entries: usize,
 }
 
-/// JSON envelope recording which chip preset the tuning ran on.
+/// JSON envelope recording which chip preset and queue policy the tuning
+/// ran on.
 #[derive(Serialize)]
 struct AutotuneOutput {
     chip: String,
+    policy: String,
     cache: CacheStats,
     report: TuneReport,
 }
@@ -66,6 +72,7 @@ fn main() {
     let args = Args::from_env();
     let smoke = args.has_flag("smoke");
     let (spec, chip) = chip_from_args(&args);
+    let policy_name = chip.policy.name();
     let threads: usize = args
         .get("threads", if smoke { 16 } else { 64 })
         .min(chip.max_threads());
@@ -147,9 +154,10 @@ fn main() {
     }
 
     eprintln!(
-        "autotune: {} workload on {}, N = {}, {threads} threads, {strategy:?}",
+        "autotune: {} workload on {} ({} controllers), N = {}, {threads} threads, {strategy:?}",
         workload.tag(),
         spec.name,
+        policy_name,
         workload.n()
     );
     let report = tuner.run();
@@ -217,6 +225,7 @@ fn main() {
     if let Some(path) = args.get_str("json") {
         let out = AutotuneOutput {
             chip: spec.name.clone(),
+            policy: policy_name.to_string(),
             cache: CacheStats {
                 hits: report.cache_hits,
                 misses: report.cache_misses,

@@ -20,6 +20,12 @@
 //! `ultrasparc-t2`); the offset aliasing period then follows that chip's
 //! mapping, and the JSON output records the preset name.
 //!
+//! `--policy <fifo|read-first|fr-fcfs[:cap]>` selects the memory
+//! controllers' queue-arbitration discipline (default `fifo`, the
+//! calibrated T2). Use it to ask how much of the Fig. 2 offset collapse a
+//! smarter controller could dissolve — see the `policy_convoy` binary for
+//! the dedicated comparison.
+//!
 //! `--telemetry <path>` switches to diagnostic mode: one traced run at
 //! `--telemetry-offset` (default 0, the aliased worst case), printing the
 //! per-window controller heatmap and the aliasing report, and writing a
@@ -36,10 +42,12 @@ use t2opt_bench::{chip_from_args, write_json, Args, Table};
 use t2opt_kernels::stream::{self, StreamConfig, StreamKernel};
 use t2opt_telemetry::prelude::{ascii_heatmap, chrome_trace, AliasConfig, AliasReport};
 
-/// JSON envelope recording which chip preset produced the sweep.
+/// JSON envelope recording which chip preset and queue policy produced
+/// the sweep.
 #[derive(Serialize)]
 struct Fig2Output {
     chip: String,
+    policy: String,
     rows: Vec<Fig2Row>,
 }
 
@@ -129,10 +137,11 @@ fn main() {
     }
 
     eprintln!(
-        "fig2: STREAM {} sweep on {}, N = {n}, offsets 0..={max_offset} step {step}, \
-         threads {threads:?}",
+        "fig2: STREAM {} sweep on {} ({} controllers), N = {n}, \
+         offsets 0..={max_offset} step {step}, threads {threads:?}",
         kernel.name(),
-        spec.name
+        spec.name,
+        chip.policy.name()
     );
     let offsets = offset_range(max_offset, step);
     let rows = fig2_series(&chip, kernel, n, &offsets, &threads);
@@ -183,6 +192,7 @@ fn main() {
     if let Some(path) = args.get_str("json") {
         let out = Fig2Output {
             chip: spec.name.clone(),
+            policy: chip.policy.name().to_string(),
             rows,
         };
         write_json(path, &out).expect("failed to write JSON");

@@ -24,16 +24,38 @@ pub use cli::Args;
 pub use output::{to_json_string, write_json, Table};
 
 use t2opt_core::chip::{ChipSpec, PRESET_NAMES};
+use t2opt_sim::policy::{PolicyKind, POLICY_NAMES};
 use t2opt_sim::ChipConfig;
 
-/// Resolves the `--chip <preset>` flag into a chip spec and its simulator
-/// configuration. Defaults to `ultrasparc-t2`; an unknown preset exits
-/// with the registry listing (user error, not a panic).
+/// Resolves the `--policy <name>` flag into a queue-arbitration policy.
+/// Defaults to `fifo` (the calibrated T2 discipline); accepts the
+/// registry names with an optional `:N` starvation-cap suffix (e.g.
+/// `fr-fcfs:16`). An unknown spelling exits with the listing (user error,
+/// not a panic).
+pub fn policy_from_args(args: &Args) -> PolicyKind {
+    let raw = args.get_str("policy").unwrap_or("fifo");
+    match PolicyKind::parse(raw) {
+        Some(kind) => kind,
+        None => {
+            eprintln!(
+                "unknown queue policy {raw:?}; available: {} (optionally with :<cap>)",
+                POLICY_NAMES.join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Resolves the `--chip <preset>` and `--policy <name>` flags into a chip
+/// spec and its simulator configuration. Defaults to `ultrasparc-t2` with
+/// FIFO controllers; an unknown preset exits with the registry listing
+/// (user error, not a panic).
 pub fn chip_from_args(args: &Args) -> (ChipSpec, ChipConfig) {
     let name = args.get_str("chip").unwrap_or(PRESET_NAMES[0]);
     match ChipSpec::preset(name) {
         Some(spec) => {
-            let config = ChipConfig::from_spec(&spec);
+            let mut config = ChipConfig::from_spec(&spec);
+            config.policy = policy_from_args(args);
             (spec, config)
         }
         None => {

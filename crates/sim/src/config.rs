@@ -11,6 +11,7 @@
 //! near the measured ~13 GB/s (reported) rather than the 42 GB/s brochure
 //! number. See DESIGN.md §6 for the calibration reasoning.
 
+use crate::policy::PolicyKind;
 use serde::{Deserialize, Serialize};
 use t2opt_core::chip::ChipSpec;
 use t2opt_core::mapping::MapPolicy;
@@ -130,6 +131,11 @@ pub struct ChipConfig {
     pub mem: MemConfig,
     /// The address → controller/bank mapping policy.
     pub map: MapPolicy,
+    /// The memory-controller queue arbitration discipline (see
+    /// [`crate::policy`]). [`PolicyKind::Fifo`] — the T2's behavior and the
+    /// default — keeps the engine on its historical inline service path and
+    /// is pinned bitwise by `tests/policy_differential.rs`.
+    pub policy: PolicyKind,
 }
 
 impl ChipConfig {
@@ -163,6 +169,7 @@ impl ChipConfig {
                 queue_depth: 16,
             },
             map: MapPolicy::t2(),
+            policy: PolicyKind::Fifo,
         }
     }
 
@@ -271,6 +278,16 @@ mod tests {
         assert_eq!(c.n_banks(), 8);
         assert_eq!(c.max_threads(), 64);
         assert_eq!(c.l2.sets(), 4096);
+        assert!(c.policy.is_fifo(), "FIFO is the calibrated T2 discipline");
+    }
+
+    #[test]
+    fn non_default_policies_validate() {
+        for spec in ["read-first", "fr-fcfs:4"] {
+            let mut c = ChipConfig::ultrasparc_t2();
+            c.policy = PolicyKind::parse(spec).unwrap();
+            c.validate().unwrap();
+        }
     }
 
     #[test]

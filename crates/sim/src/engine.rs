@@ -20,12 +20,33 @@
 //!   while *stores* retire through an 8-entry TSO store buffer whose
 //!   read-for-ownerships drain asynchronously.
 //!
-//! Because every channel serves FIFO, a request's completion time is known
-//! the moment it is admitted; the engine therefore schedules exact thread
-//! wake-ups and needs no server-side events at all. Full controller queues
-//! and full bank miss buffers NACK the request; the thread retries when the
-//! blocking entry completes (also a known time). Everything is
-//! deterministically seeded, so simulations are bit-reproducible.
+//! ## Two service paths
+//!
+//! Memory controllers are first-class event sources: the priority queue
+//! holds thread wake-ups *and* `(next_tick, mc_id)` controller arbitration
+//! wake-ups (see [`crate::policy`] and DESIGN.md §13). Which path a run
+//! takes depends on the configured [`crate::policy::PolicyKind`]:
+//!
+//! * **FIFO (the pinned default).** Because FIFO's service decision can
+//!   never depend on requests that arrive later, a request's completion
+//!   time is known the moment it is admitted; the engine resolves it
+//!   inline on the enqueue path, schedules exact thread wake-ups, and
+//!   never emits a controller event — the historical fast path, kept
+//!   statement-for-statement and held to bitwise-identical [`SimStats`]
+//!   by `tests/policy_differential.rs`.
+//! * **Arbitrated (FR-FCFS, read-over-write, …).** Admission only parks
+//!   the request in the controller's pending queue and schedules an
+//!   arbitration event; when the event fires and the southbound channel
+//!   is free, the [`crate::policy::QueuePolicy`] picks among the arrived
+//!   requests, the transfer is serviced, and the waiting thread's wake-up
+//!   is scheduled at the *resolved* completion time. NACKed threads whose
+//!   retry time is unknowable (every queue occupant still unresolved)
+//!   park on the controller and are released by the next service.
+//!
+//! Full controller queues and full bank miss buffers NACK the request in
+//! both paths. Everything is deterministically seeded and policies are
+//! required to be deterministic, so simulations are bit-reproducible
+//! under every policy.
 //!
 //! ## Why the gang window exists
 //!
@@ -48,6 +69,7 @@
 use crate::cache::{Access, L2Cache};
 use crate::config::ChipConfig;
 use crate::mc::MemController;
+use crate::policy::{MemRequest, QueuePolicy, ReqClass};
 use crate::stats::SimStats;
 use crate::trace::{Op, Program};
 use std::cmp::Reverse;
@@ -85,6 +107,25 @@ fn prune(q: &mut VecDeque<u64>, now: u64) {
     while q.front().is_some_and(|&c| c <= now) {
         q.pop_front();
     }
+}
+
+/// Drops completed entries (≤ now) from an *unordered* completion list —
+/// the arbitrated path resolves completions out of admission order, so the
+/// front-only [`prune`] would leak entries there.
+#[inline]
+fn retain_future(q: &mut VecDeque<u64>, now: u64) {
+    q.retain(|&c| c > now);
+}
+
+/// An entry in the engine's priority queue. Ties on `(time, seq)` never
+/// reach the event payload (`seq` is globally unique), so thread-only event
+/// streams — the FIFO fast path — pop in exactly the pre-policy order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    /// Wake hardware thread `tid`.
+    Thread(u32),
+    /// Run controller `mc`'s arbitration step.
+    McArb(u32),
 }
 
 impl Simulation {
@@ -225,11 +266,61 @@ impl Simulation {
         let mut mcs: Vec<MemController> = (0..cfg.n_controllers())
             .map(|i| MemController::new_seeded(&cfg.mem, i as u64 + 1))
             .collect();
+        // ---- FIFO fast-path occupancy (unused on the arbitrated path) ----
         // Completion times of requests admitted to each controller's finite
         // input queue (occupancy + NACK wake times).
         let mut mc_admitted: Vec<VecDeque<u64>> = vec![VecDeque::new(); cfg.n_controllers()];
         // Completion times of outstanding misses per L2 bank (MSHRs).
         let mut bank_inflight: Vec<VecDeque<u64>> = vec![VecDeque::new(); cfg.n_banks()];
+
+        // ---- Arbitrated-path state (unused on the FIFO fast path) ----
+        /// One controller's arbitration-side queue state.
+        struct McState {
+            /// Admitted requests awaiting arbitration. Each occupies a
+            /// queue slot until its transfer *completes*.
+            pending: Vec<MemRequest>,
+            /// Completion times of serviced transfers still occupying a
+            /// queue slot.
+            inflight: VecDeque<u64>,
+            /// Threads NACKed while every slot occupant was unresolved
+            /// (no retry time computable); released at the next service.
+            retry: Vec<u32>,
+            /// Earliest scheduled arbitration wake-up (event dedup).
+            arb_at: Option<u64>,
+        }
+        /// One L2 bank's MSHR state on the arbitrated path.
+        struct BankState {
+            /// Misses holding an MSHR whose transfer is not yet serviced.
+            pending: usize,
+            /// Completion times of serviced misses still holding an MSHR.
+            inflight: VecDeque<u64>,
+            /// Threads NACKed on a full MSHR file with no resolved entry.
+            retry: Vec<u32>,
+        }
+        let inline = cfg.policy.is_fifo();
+        let mut policies: Vec<Box<dyn QueuePolicy>> = (0..cfg.n_controllers())
+            .map(|_| cfg.policy.build())
+            .collect();
+        let mut mc_st: Vec<McState> = (0..cfg.n_controllers())
+            .map(|_| McState {
+                pending: Vec::new(),
+                inflight: VecDeque::new(),
+                retry: Vec::new(),
+                arb_at: None,
+            })
+            .collect();
+        let mut bank_st: Vec<BankState> = (0..cfg.n_banks())
+            .map(|_| BankState {
+                pending: 0,
+                inflight: VecDeque::new(),
+                retry: Vec::new(),
+            })
+            .collect();
+        // Global admission sequence: id order is age order for the policies.
+        let mut next_req = 0u64;
+        // Scratch buffers for the arbitration step.
+        let mut elig_idx: Vec<usize> = Vec::new();
+        let mut elig_req: Vec<MemRequest> = Vec::new();
         let queue_depth = cfg.mem.queue_depth;
         let mshr_per_bank = cfg.l2.mshr_per_bank.max(1);
         let mut bank_busy = vec![0u64; cfg.n_banks()];
@@ -245,6 +336,14 @@ impl Simulation {
             Barrier,
             /// Parked by the gang drift window (woken by gang progress).
             Drift,
+            /// Arbitrated path: parked on a full load/store budget whose
+            /// release time is unresolved; woken when one of the thread's
+            /// own requests is serviced.
+            Data,
+            /// Arbitrated path: NACKed with no computable retry time;
+            /// parked on the controller's / bank's retry list and woken by
+            /// its next service.
+            Retry,
         }
         struct ThreadState {
             core: usize,
@@ -254,12 +353,20 @@ impl Simulation {
             loads: VecDeque<u64>,
             /// Completion times of in-flight store RFOs (buffer entries).
             stores: VecDeque<u64>,
+            /// Arbitrated path: issued load misses not yet serviced (their
+            /// completion times do not exist yet).
+            loads_pending: usize,
+            /// Arbitrated path: issued store RFOs not yet serviced.
+            stores_pending: usize,
             /// Latest completion over everything this thread issued.
             drain_until: u64,
             wait: Wait,
-            /// Cycle at which the thread parked (barrier/drift), for the
-            /// stall probes.
+            /// Cycle at which the thread parked (barrier/drift/data/retry),
+            /// for the stall probes.
             park_start: u64,
+            /// What the thread is parked on ([`Wait::Data`]/[`Wait::Retry`]),
+            /// for the stall probes.
+            park_kind: StallKind,
             finished: bool,
         }
         let mut ts: Vec<ThreadState> = threads
@@ -270,9 +377,12 @@ impl Simulation {
                 pending: None,
                 loads: VecDeque::new(),
                 stores: VecDeque::new(),
+                loads_pending: 0,
+                stores_pending: 0,
                 drain_until: 0,
                 wait: Wait::None,
                 park_start: 0,
+                park_kind: StallKind::LoadMiss,
                 finished: false,
             })
             .collect();
@@ -287,15 +397,18 @@ impl Simulation {
         let mut barriers: std::collections::HashMap<u32, BarrierState> =
             std::collections::HashMap::new();
 
-        let mut heap: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
+        let mut heap: BinaryHeap<Reverse<(u64, u64, Ev)>> = BinaryHeap::new();
         let mut seq = 0u64;
-        let push = |heap: &mut BinaryHeap<Reverse<(u64, u64, u32)>>,
-                    seq: &mut u64,
-                    time: u64,
-                    tid: u32| {
-            *seq += 1;
-            heap.push(Reverse((time, *seq, tid)));
-        };
+        let push =
+            |heap: &mut BinaryHeap<Reverse<(u64, u64, Ev)>>, seq: &mut u64, time: u64, tid: u32| {
+                *seq += 1;
+                heap.push(Reverse((time, *seq, Ev::Thread(tid))));
+            };
+        let push_arb =
+            |heap: &mut BinaryHeap<Reverse<(u64, u64, Ev)>>, seq: &mut u64, time: u64, mci: u32| {
+                *seq += 1;
+                heap.push(Reverse((time, *seq, Ev::McArb(mci))));
+            };
         for tid in 0..n_threads {
             push(&mut heap, &mut seq, 0, tid as u32);
         }
@@ -342,7 +455,181 @@ impl Simulation {
             }};
         }
 
-        while let Some(Reverse((now, _s, tid))) = heap.pop() {
+        // Schedules controller `mci`'s next arbitration wake-up at `at`,
+        // deduplicating against an earlier-or-equal one already in the heap.
+        macro_rules! sched_arb {
+            ($mci:expr, $at:expr) => {{
+                let mci = $mci;
+                let at = $at;
+                let st = &mut mc_st[mci];
+                if st.arb_at.map_or(true, |t| at < t) {
+                    st.arb_at = Some(at);
+                    push_arb(&mut heap, &mut seq, at, mci as u32);
+                }
+            }};
+        }
+
+        // Arbitrated-path admission: parks the request in the controller's
+        // pending queue and schedules arbitration for when both the request
+        // and the southbound channel can be ready.
+        macro_rules! admit {
+            ($mci:expr, $req:expr) => {{
+                let mci = $mci;
+                let req: MemRequest = $req;
+                let at = req.arrival.max(mcs[mci].south_busy);
+                mc_st[mci].pending.push(req);
+                sched_arb!(mci, at);
+            }};
+        }
+
+        while let Some(Reverse((now, _s, ev))) = heap.pop() {
+            let tid = match ev {
+                Ev::Thread(tid) => tid,
+                Ev::McArb(mci) => {
+                    // ===== Controller arbitration step =====
+                    let mci = mci as usize;
+                    {
+                        let st = &mut mc_st[mci];
+                        if st.arb_at == Some(now) {
+                            st.arb_at = None;
+                        }
+                        if st.pending.is_empty() {
+                            continue;
+                        }
+                    }
+                    // Don't reserve a busy southbound channel: selecting
+                    // now would commit an order before later arrivals are
+                    // seen — the exact FIFO behavior the policies exist to
+                    // avoid. Re-arbitrate when the channel frees.
+                    let south = mcs[mci].south_busy;
+                    if south > now {
+                        sched_arb!(mci, south);
+                        continue;
+                    }
+                    // Requests that have actually arrived are eligible.
+                    elig_idx.clear();
+                    elig_req.clear();
+                    let next_arrival = {
+                        let st = &mc_st[mci];
+                        for (i, r) in st.pending.iter().enumerate() {
+                            if r.arrival <= now {
+                                elig_idx.push(i);
+                                elig_req.push(r.clone());
+                            }
+                        }
+                        if elig_idx.is_empty() {
+                            Some(
+                                st.pending
+                                    .iter()
+                                    .map(|r| r.arrival)
+                                    .min()
+                                    .expect("pending is non-empty"),
+                            )
+                        } else {
+                            None
+                        }
+                    };
+                    if let Some(at) = next_arrival {
+                        sched_arb!(mci, at);
+                        continue;
+                    }
+                    // One service slot: the policy picks, the channel model
+                    // resolves the completion time.
+                    let sel = policies[mci].select(&elig_req, now);
+                    assert!(
+                        sel < elig_req.len(),
+                        "policy {} returned out-of-range index {sel} ({} eligible)",
+                        policies[mci].name(),
+                        elig_req.len()
+                    );
+                    let req = mc_st[mci].pending.swap_remove(elig_idx[sel]);
+                    let out = match req.class {
+                        ReqClass::Writeback => mcs[mci].service_write(now),
+                        ReqClass::DemandRead | ReqClass::StoreRfo => mcs[mci].service_read(now),
+                    };
+                    stats.mc_busy_cycles[mci] += out.busy_added;
+                    {
+                        let st = &mut mc_st[mci];
+                        st.inflight.push_back(out.completion);
+                        // Every older request that was ready and passed
+                        // over counts one step toward its starvation cap.
+                        for p in st.pending.iter_mut() {
+                            if p.arrival <= now && p.id < req.id {
+                                p.bypassed = p.bypassed.saturating_add(1);
+                            }
+                        }
+                    }
+                    policies[mci].on_service(&req);
+                    probe.mc_service(
+                        mci,
+                        now,
+                        out.busy_added,
+                        mc_st[mci].pending.len() + mc_st[mci].inflight.len(),
+                        matches!(req.class, ReqClass::Writeback),
+                    );
+                    // A queue slot frees when this transfer completes: that
+                    // resolves the retry time for threads NACKed while all
+                    // occupants were unresolved.
+                    let slot_free = out.completion.max(now + 1);
+                    for w in std::mem::take(&mut mc_st[mci].retry) {
+                        probe.stall(w, StallKind::Nack, ts[w as usize].park_start, slot_free);
+                        ts[w as usize].wait = Wait::None;
+                        push(&mut heap, &mut seq, slot_free, w);
+                    }
+                    if let (Some(b), Some(owner)) = (req.bank, req.tid) {
+                        // A demand read or RFO: the MSHR it holds resolves,
+                        // and so does the owner thread's wait time.
+                        {
+                            let bs = &mut bank_st[b];
+                            bs.pending -= 1;
+                            bs.inflight.push_back(out.completion);
+                        }
+                        for w in std::mem::take(&mut bank_st[b].retry) {
+                            probe.stall(w, StallKind::Nack, ts[w as usize].park_start, slot_free);
+                            ts[w as usize].wait = Wait::None;
+                            push(&mut heap, &mut seq, slot_free, w);
+                        }
+                        let oi = owner as usize;
+                        let t = &mut ts[oi];
+                        let ready = match req.class {
+                            ReqClass::StoreRfo => {
+                                t.stores_pending -= 1;
+                                t.stores.push_back(out.completion);
+                                out.completion
+                            }
+                            _ => {
+                                t.loads_pending -= 1;
+                                let data_ready = out.completion + cfg.mem.extra_latency;
+                                t.loads.push_back(data_ready);
+                                data_ready
+                            }
+                        };
+                        t.drain_until = t.drain_until.max(ready);
+                        if t.finished {
+                            // The owner ran off the end of its program with
+                            // this request still in flight: extend the drain.
+                            stats.end_cycle = stats.end_cycle.max(t.drain_until);
+                        } else if t.wait == Wait::Data {
+                            let kind = t.park_kind;
+                            let start = t.park_start;
+                            t.wait = Wait::None;
+                            probe.stall(owner, kind, start, ready);
+                            push(&mut heap, &mut seq, ready, owner);
+                        }
+                    }
+                    if !mc_st[mci].pending.is_empty() {
+                        let south = mcs[mci].south_busy;
+                        let min_arr = mc_st[mci]
+                            .pending
+                            .iter()
+                            .map(|r| r.arrival)
+                            .min()
+                            .expect("pending is non-empty");
+                        sched_arb!(mci, south.max(min_arr).max(now));
+                    }
+                    continue;
+                }
+            };
             let op = match ts[tid as usize].pending.take() {
                 Some(op) => op,
                 None => match ts[tid as usize].program.next() {
@@ -426,6 +713,196 @@ impl Simulation {
                             continue;
                         }
                     }
+                    if !inline {
+                        // ===== Arbitrated (policy) path =====
+                        // Budget checks: in-flight completion times may be
+                        // unresolved (still awaiting arbitration), so the
+                        // wake-up is only known when a resolved entry
+                        // exists; otherwise park until one of this
+                        // thread's requests is serviced.
+                        if !is_write {
+                            let t = &mut ts[tid as usize];
+                            retain_future(&mut t.loads, now);
+                            if t.loads.len() + t.loads_pending >= outstanding_limit {
+                                t.pending = Some(op);
+                                if let Some(&wake) = t.loads.iter().min() {
+                                    probe.stall(tid, StallKind::LoadMiss, now, wake);
+                                    push(&mut heap, &mut seq, wake, tid);
+                                } else {
+                                    t.wait = Wait::Data;
+                                    t.park_kind = StallKind::LoadMiss;
+                                    t.park_start = now;
+                                }
+                                continue;
+                            }
+                        } else {
+                            let t = &mut ts[tid as usize];
+                            retain_future(&mut t.stores, now);
+                            if t.stores.len() + t.stores_pending >= store_buffer {
+                                t.pending = Some(op);
+                                if let Some(&wake) = t.stores.iter().min() {
+                                    probe.stall(tid, StallKind::StoreBuffer, now, wake);
+                                    push(&mut heap, &mut seq, wake, tid);
+                                } else {
+                                    t.wait = Wait::Data;
+                                    t.park_kind = StallKind::StoreBuffer;
+                                    t.park_start = now;
+                                }
+                                continue;
+                            }
+                        }
+                        // Memory-pipe issue slot.
+                        let (pipe_idx, &pipe_free) = pipes[core]
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, &b)| b)
+                            .expect("mem_pipes > 0");
+                        if pipe_free > now {
+                            ts[tid as usize].pending = Some(op);
+                            probe.stall(tid, StallKind::Pipe, now, pipe_free);
+                            push(&mut heap, &mut seq, pipe_free, tid);
+                            continue;
+                        }
+                        let bank = cfg.map.bank(addr) as usize;
+                        let mc = cfg.map.controller(addr) as usize;
+                        if !cache.contains(addr) {
+                            retain_future(&mut mc_st[mc].inflight, now);
+                            retain_future(&mut bank_st[bank].inflight, now);
+                            let mc_full =
+                                mc_st[mc].pending.len() + mc_st[mc].inflight.len() >= queue_depth;
+                            let bank_full = bank_st[bank].pending + bank_st[bank].inflight.len()
+                                >= mshr_per_bank;
+                            if mc_full || bank_full {
+                                stats.nacks += 1;
+                                ts[tid as usize].pending = Some(op);
+                                pipes[core][pipe_idx] = now + 2;
+                                probe.nack(now, tid, mc, bank, mc_full);
+                                // The earliest slot release is the earliest
+                                // *resolved* completion; when every occupant
+                                // still awaits arbitration the time is
+                                // unknowable — park until the next service.
+                                let known = if mc_full {
+                                    mc_st[mc].inflight.iter().min().copied()
+                                } else {
+                                    bank_st[bank].inflight.iter().min().copied()
+                                };
+                                match known {
+                                    Some(wake) => {
+                                        let retry_at = wake.max(now + 1);
+                                        probe.stall(tid, StallKind::Nack, now, retry_at);
+                                        push(&mut heap, &mut seq, retry_at, tid);
+                                    }
+                                    None => {
+                                        let t = &mut ts[tid as usize];
+                                        t.wait = Wait::Retry;
+                                        t.park_kind = StallKind::Nack;
+                                        t.park_start = now;
+                                        if mc_full {
+                                            mc_st[mc].retry.push(tid);
+                                        } else {
+                                            bank_st[bank].retry.push(tid);
+                                        }
+                                    }
+                                }
+                                continue;
+                            }
+                        }
+                        pipes[core][pipe_idx] = now + 1;
+                        // L2 bank access.
+                        let bank_start = (now + 1).max(bank_busy[bank]);
+                        bank_busy[bank] = bank_start + cfg.l2.bank_cycles;
+                        stats.bank_accesses[bank] += 1;
+                        stats.mem_ops += 1;
+                        probe.bank_access(bank, bank_start);
+                        let old_count = gang_count[tid as usize];
+                        gang_count[tid as usize] += 1;
+                        if old_count == gang_min {
+                            gang_update!(now);
+                        }
+                        let bank_done = bank_start + cfg.l2.bank_cycles;
+                        match cache.access(addr, is_write) {
+                            Access::Hit => {
+                                stats.l2_hits += 1;
+                                let resume = if is_write {
+                                    bank_done
+                                } else {
+                                    bank_start + cfg.l2.hit_latency
+                                };
+                                push(&mut heap, &mut seq, resume, tid);
+                            }
+                            Access::Miss { writeback } => {
+                                stats.l2_misses += 1;
+                                if let Some(victim) = writeback {
+                                    let vmc = cfg.map.controller(victim) as usize;
+                                    stats.mc_write_bytes[vmc] += line_bytes;
+                                    stats.l2_writebacks += 1;
+                                    next_req += 1;
+                                    admit!(
+                                        vmc,
+                                        MemRequest {
+                                            id: next_req,
+                                            arrival: bank_done,
+                                            addr: victim,
+                                            class: ReqClass::Writeback,
+                                            tid: None,
+                                            bank: None,
+                                            bypassed: 0,
+                                        }
+                                    );
+                                }
+                                stats.mc_read_bytes[mc] += line_bytes;
+                                next_req += 1;
+                                admit!(
+                                    mc,
+                                    MemRequest {
+                                        id: next_req,
+                                        arrival: bank_done,
+                                        addr,
+                                        class: if is_write {
+                                            ReqClass::StoreRfo
+                                        } else {
+                                            ReqClass::DemandRead
+                                        },
+                                        tid: Some(tid),
+                                        bank: Some(bank),
+                                        bypassed: 0,
+                                    }
+                                );
+                                bank_st[bank].pending += 1;
+                                let t = &mut ts[tid as usize];
+                                if is_write {
+                                    // Store miss: the RFO drains from the
+                                    // store buffer; the thread moves on.
+                                    t.stores_pending += 1;
+                                    push(&mut heap, &mut seq, bank_done, tid);
+                                } else {
+                                    t.loads_pending += 1;
+                                    if t.loads.len() + t.loads_pending >= outstanding_limit {
+                                        // Budget full (the T2 case): block
+                                        // until data returns — a time that
+                                        // exists only after arbitration.
+                                        if let Some(&wake) = t.loads.iter().min() {
+                                            probe.stall(tid, StallKind::LoadMiss, bank_done, wake);
+                                            push(&mut heap, &mut seq, wake, tid);
+                                        } else {
+                                            t.wait = Wait::Data;
+                                            t.park_kind = StallKind::LoadMiss;
+                                            t.park_start = bank_done;
+                                        }
+                                    } else {
+                                        // Hit-under-miss headroom.
+                                        push(&mut heap, &mut seq, bank_done, tid);
+                                    }
+                                }
+                            }
+                        }
+                        continue;
+                    }
+                    // ===== Historical FIFO fast path =====
+                    // Kept statement-for-statement: completion times are
+                    // resolved at admission, no controller events exist, and
+                    // `tests/policy_differential.rs` pins the statistics
+                    // bitwise against a pre-policy capture.
                     // Loads: outstanding-miss budget; wait for the oldest
                     // miss to land.
                     if !is_write {
@@ -581,6 +1058,38 @@ impl Simulation {
             live, 0,
             "deadlock: {live} thread(s) never finished (barrier mismatch?)"
         );
+        // Request conservation (arbitrated path; trivially empty on the
+        // FIFO fast path): every admitted request was serviced exactly
+        // once, every MSHR released, every parked thread released.
+        for (i, st) in mc_st.iter().enumerate() {
+            assert!(
+                st.pending.is_empty(),
+                "conservation: controller {i} still holds {} unserviced request(s)",
+                st.pending.len()
+            );
+            assert!(
+                st.retry.is_empty(),
+                "conservation: controller {i} still parks {} NACKed thread(s)",
+                st.retry.len()
+            );
+        }
+        for (i, b) in bank_st.iter().enumerate() {
+            assert_eq!(
+                b.pending, 0,
+                "conservation: bank {i} MSHRs still track unserviced misses"
+            );
+            assert!(
+                b.retry.is_empty(),
+                "conservation: bank {i} still parks NACKed threads"
+            );
+        }
+        for (i, t) in ts.iter().enumerate() {
+            assert_eq!(
+                t.loads_pending + t.stores_pending,
+                0,
+                "conservation: thread {i} ended with unresolved requests"
+            );
+        }
         stats
     }
 }
@@ -741,7 +1250,14 @@ mod tests {
     /// Builds the 64-thread STREAM-triad-like workload of the paper with
     /// array-base offsets `offs` (A store, B/C loads) and returns the run.
     fn triad_run(offs: [u64; 3]) -> SimStats {
-        let sim = Simulation::t2();
+        triad_run_with(offs, crate::policy::PolicyKind::Fifo)
+    }
+
+    /// As [`triad_run`], but under the given arbitration policy.
+    fn triad_run_with(offs: [u64; 3], policy: crate::policy::PolicyKind) -> SimStats {
+        let mut cfg = ChipConfig::ultrasparc_t2();
+        cfg.policy = policy;
+        let sim = Simulation::new(cfg);
         let n = 1 << 12; // elements per thread chunk
         let chunk_bytes = (n * 8) as u64;
         let threads: Vec<ThreadSpec> = (0..64)
@@ -956,5 +1472,64 @@ mod tests {
         let a = triad_run([0, 128, 256]);
         let b = triad_run([0, 128, 256]);
         assert_eq!(a, b, "simulations must be bit-reproducible");
+    }
+
+    #[test]
+    fn arbitrated_policies_conserve_traffic_and_stay_deterministic() {
+        use crate::policy::PolicyKind;
+        let fifo = triad_run([0, 0, 0]);
+        for policy in [
+            PolicyKind::ReadFirst { starvation_cap: 8 },
+            PolicyKind::FrFcfs { starvation_cap: 8 },
+        ] {
+            let a = triad_run_with([0, 0, 0], policy);
+            let b = triad_run_with([0, 0, 0], policy);
+            assert_eq!(a, b, "{policy:?} must be bit-reproducible");
+            // Reordering changes *when*, never *what*: the traffic volume
+            // is identical to FIFO's.
+            assert_eq!(a.mem_ops, fifo.mem_ops, "{policy:?} op conservation");
+            assert_eq!(a.l2_misses, fifo.l2_misses, "{policy:?} miss count");
+            assert_eq!(
+                a.total_read_bytes(),
+                fifo.total_read_bytes(),
+                "{policy:?} read traffic"
+            );
+            // Write-backs are eviction-order dependent (reordering shifts
+            // which lines are still dirty at the end), so only per-run
+            // conservation and closeness hold for them.
+            assert_eq!(
+                a.total_write_bytes(),
+                a.l2_writebacks * 64,
+                "{policy:?} write-back byte conservation"
+            );
+            let wr = a.total_write_bytes() as f64 / fifo.total_write_bytes() as f64;
+            assert!(
+                (0.9..1.1).contains(&wr),
+                "{policy:?} write traffic far from FIFO's: {wr:.3}"
+            );
+            assert!(a.end_cycle > 0 && a.cycles() > 0);
+        }
+    }
+
+    #[test]
+    fn arbitrated_fifo_semantics_stay_close_to_the_inline_path() {
+        // The inline FIFO path and the event-driven arbitration machinery
+        // are different implementations of *nearly* the same discipline
+        // (arbitration re-decides at service time, FIFO commits at
+        // admission, and jitter draws land in a different order), so exact
+        // equality is not expected — but a FIFO-like arbitrated policy with
+        // an immediate starvation cap must land within a few percent on the
+        // macroscopic observables. A large gap would mean the deferred
+        // machinery models a different machine, not a different policy.
+        let fifo = triad_run([0, 128, 256]);
+        let arb = triad_run_with(
+            [0, 128, 256],
+            crate::policy::PolicyKind::ReadFirst { starvation_cap: 0 },
+        );
+        let ratio = arb.cycles() as f64 / fifo.cycles() as f64;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "cap-0 read-first should approximate FIFO on a spread triad: {ratio:.3}"
+        );
     }
 }

@@ -26,6 +26,9 @@ pub struct MemController {
     command_cycles: u64,
     jitter_permille: u64,
     rng: u64,
+    /// The seeded initial PRNG state, so [`MemController::reset`] restores
+    /// the jitter stream along with the channel timelines.
+    rng_seeded: u64,
     /// Time the northbound (read-data) channel becomes free.
     pub north_busy: u64,
     /// Time the southbound (command + write-data) channel becomes free.
@@ -50,12 +53,14 @@ impl MemController {
             (0.0..1.0).contains(&cfg.service_jitter),
             "service_jitter must be in [0, 1)"
         );
+        let rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
         MemController {
             read_service: cfg.read_service,
             write_service: cfg.write_service,
             command_cycles: cfg.command_cycles,
             jitter_permille: (cfg.service_jitter * 1000.0) as u64,
-            rng: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+            rng,
+            rng_seeded: rng,
             north_busy: 0,
             south_busy: 0,
         }
@@ -114,10 +119,15 @@ impl MemController {
         }
     }
 
-    /// Resets both channel timelines.
+    /// Resets the controller to its as-constructed state: both channel
+    /// timelines *and* the jitter PRNG, which returns to the state
+    /// [`MemController::new_seeded`] established. A reset controller is
+    /// indistinguishable from a freshly built one, so reusing controllers
+    /// across runs stays bit-reproducible.
     pub fn reset(&mut self) {
         self.north_busy = 0;
         self.south_busy = 0;
+        self.rng = self.rng_seeded;
     }
 }
 
@@ -197,6 +207,34 @@ mod tests {
         assert_eq!(
             out.completion,
             10_000 + cfg.command_cycles + cfg.read_service
+        );
+    }
+
+    #[test]
+    fn reset_restores_the_seeded_jitter_stream() {
+        // Regression: `reset` used to clear only the channel timelines and
+        // leave the PRNG wherever the previous run advanced it, so a reset
+        // controller produced a *different* jitter sequence than a fresh
+        // one — silently breaking bit-reproducibility for any caller that
+        // reuses controllers across runs.
+        let mut cfg = ChipConfig::ultrasparc_t2().mem;
+        cfg.service_jitter = 0.3;
+        let mut reused = MemController::new_seeded(&cfg, 5);
+        let fresh_run: Vec<_> = {
+            let mut m = MemController::new_seeded(&cfg, 5);
+            (0..50).map(|_| m.service_read(0)).collect()
+        };
+        for _ in 0..17 {
+            reused.service_read(0);
+            reused.service_write(0);
+        }
+        reused.reset();
+        assert_eq!(reused.north_busy, 0);
+        assert_eq!(reused.south_busy, 0);
+        let second_run: Vec<_> = (0..50).map(|_| reused.service_read(0)).collect();
+        assert_eq!(
+            fresh_run, second_run,
+            "a reset controller must replay the seeded jitter stream"
         );
     }
 

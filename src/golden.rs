@@ -1,0 +1,185 @@
+//! The FIFO differential-pinning matrix.
+//!
+//! The `QueuePolicy` refactor (DESIGN.md §13) moved memory-controller
+//! service-time decisions out of the enqueue path and into an arbitration
+//! step, with the historical FIFO discipline as the pinned default. The
+//! contract is *bitwise* equality: under `PolicyKind::Fifo` every
+//! [`SimStats`] field must match the pre-refactor engine exactly, on every
+//! registered chip preset, for read-heavy and write-heavy workloads, on
+//! both the probe-off and the traced path.
+//!
+//! This module defines that matrix once, for two consumers:
+//!
+//! * `examples/policy_golden.rs` regenerates `tests/golden/policy_fifo.json`
+//!   (run it only when the matrix itself is *intentionally* extended — the
+//!   committed file was captured from the pre-refactor engine and is the
+//!   ground truth the refactor is held to);
+//! * `tests/policy_differential.rs` re-runs the matrix and compares against
+//!   the committed file field by field.
+//!
+//! The matrix shrinks each preset's L2 to 256 KiB so the 3 × 256 KiB STREAM
+//! arrays overflow it and the memory controllers — the refactored layer —
+//! see real traffic at a tier-1-friendly problem size. The aliasing lives
+//! in the controller mapping, which the cache size does not touch. Two
+//! stock-T2 cases (the Fig. 4 layout extremes at 64 threads) cover the
+//! unshrunk calibrated machine.
+
+use t2opt_core::chip::PRESET_NAMES;
+use t2opt_core::json::JsonValue;
+use t2opt_kernels::stream::{self, StreamConfig, StreamKernel};
+use t2opt_kernels::triad::{self, TriadConfig, TriadLayout};
+use t2opt_parallel::Placement;
+use t2opt_sim::{ChipConfig, SimStats};
+
+/// Where the committed pre-refactor capture lives, relative to the
+/// workspace root.
+pub const GOLDEN_PATH: &str = "tests/golden/policy_fifo.json";
+
+/// Serialized envelope of one matrix capture.
+#[derive(serde::Serialize)]
+pub struct GoldenFile {
+    /// All matrix cases, in matrix order.
+    pub cases: Vec<GoldenCase>,
+}
+
+/// One (workload, chip) cell of the matrix.
+#[derive(serde::Serialize)]
+pub struct GoldenCase {
+    /// Stable case name, `<preset>/<workload>`.
+    pub name: String,
+    /// The statistics the FIFO engine produced for it.
+    pub stats: SimStats,
+}
+
+/// The preset config with the L2 shrunk to 256 KiB (see module docs).
+fn shrunk(preset: &str) -> ChipConfig {
+    let mut c = ChipConfig::preset(preset).expect("registry preset resolves");
+    c.l2.bytes = 1 << 18;
+    c
+}
+
+fn scatter(chip: &ChipConfig) -> Placement {
+    Placement::Scatter {
+        n_cores: chip.core.n_cores,
+    }
+}
+
+/// Runs the full matrix and returns `(name, stats)` per case.
+pub fn run_matrix() -> Vec<(String, SimStats)> {
+    let mut out = Vec::new();
+    for preset in PRESET_NAMES {
+        let chip = shrunk(preset);
+        let threads = chip.max_threads().min(16);
+        let run = |kernel, offset: usize| {
+            stream::run_sim(
+                &StreamConfig::fig2(1 << 15, offset, threads),
+                kernel,
+                &chip,
+                &scatter(&chip),
+            )
+            .stats
+        };
+        // Read-heavy, fully aliased / advisor-spread, plus a write-heavy
+        // kernel: the three MC service regimes (north-bound convoy, spread
+        // pipelining, south-bound pressure).
+        out.push((
+            format!("{preset}/triad-aliased"),
+            run(StreamKernel::Triad, 0),
+        ));
+        out.push((
+            format!("{preset}/triad-spread"),
+            run(StreamKernel::Triad, 16),
+        ));
+        out.push((format!("{preset}/copy-8"), run(StreamKernel::Copy, 8)));
+        // The probe path: a traced run must produce the same statistics.
+        let (traced, _) = stream::run_sim_traced(
+            &StreamConfig::fig2(1 << 15, 0, threads),
+            StreamKernel::Triad,
+            &chip,
+            &scatter(&chip),
+            4096,
+        );
+        out.push((format!("{preset}/triad-aliased-traced"), traced.stats));
+    }
+    // Stock calibrated T2 at full thread count: the Fig. 4 layout extremes.
+    let chip = ChipConfig::ultrasparc_t2();
+    for (label, layout) in [
+        ("align8k", TriadLayout::Align8k),
+        ("offset128", TriadLayout::AlignOffset(128)),
+    ] {
+        let cfg = TriadConfig {
+            n: 1 << 14,
+            layout,
+            threads: 64,
+            ntimes: 1,
+        };
+        out.push((
+            format!("t2-stock/triad64-{label}"),
+            triad::run_sim(&cfg, &chip, &Placement::t2_scatter()).stats,
+        ));
+    }
+    out
+}
+
+fn field_u64(obj: &JsonValue, key: &str) -> u64 {
+    obj.as_object()
+        .and_then(|o| o.get(key))
+        .and_then(JsonValue::as_f64)
+        .unwrap_or_else(|| panic!("golden stats missing u64 field {key:?}")) as u64
+}
+
+fn field_vec(obj: &JsonValue, key: &str) -> Vec<u64> {
+    obj.as_object()
+        .and_then(|o| o.get(key))
+        .and_then(JsonValue::as_array)
+        .unwrap_or_else(|| panic!("golden stats missing array field {key:?}"))
+        .iter()
+        .map(|v| v.as_f64().expect("numeric array element") as u64)
+        .collect()
+}
+
+/// Reconstructs a [`SimStats`] from its golden JSON object. Every field is
+/// named explicitly: if `SimStats` grows a counter, this fails to reflect
+/// it and the differential test's `PartialEq` flags the drift instead of
+/// silently defaulting it.
+pub fn stats_from_json(v: &JsonValue) -> SimStats {
+    SimStats {
+        start_cycle: field_u64(v, "start_cycle"),
+        end_cycle: field_u64(v, "end_cycle"),
+        mc_read_bytes: field_vec(v, "mc_read_bytes"),
+        mc_write_bytes: field_vec(v, "mc_write_bytes"),
+        mc_busy_cycles: field_vec(v, "mc_busy_cycles"),
+        l2_hits: field_u64(v, "l2_hits"),
+        l2_misses: field_u64(v, "l2_misses"),
+        l2_writebacks: field_u64(v, "l2_writebacks"),
+        bank_accesses: field_vec(v, "bank_accesses"),
+        mem_ops: field_u64(v, "mem_ops"),
+        nacks: field_u64(v, "nacks"),
+        flops: field_u64(v, "flops"),
+    }
+}
+
+/// Loads the committed golden file as `(name, stats)` pairs.
+pub fn load_golden(path: &std::path::Path) -> Vec<(String, SimStats)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read golden file {}: {e}", path.display()));
+    let doc = t2opt_core::json::parse_json(&text).expect("golden file parses");
+    let cases = doc
+        .as_object()
+        .and_then(|o| o.get("cases"))
+        .and_then(JsonValue::as_array)
+        .expect("golden file has a cases array");
+    cases
+        .iter()
+        .map(|c| {
+            let obj = c.as_object().expect("case is an object");
+            let name = obj
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .expect("case has a name")
+                .to_string();
+            let stats = stats_from_json(obj.get("stats").expect("case has stats"));
+            (name, stats)
+        })
+        .collect()
+}

@@ -47,6 +47,8 @@
 //! assert_eq!(a.base_addr() % 8192, 0);
 //! ```
 
+pub mod golden;
+
 pub use t2opt_autotune as autotune;
 pub use t2opt_core as core;
 pub use t2opt_kernels as kernels;

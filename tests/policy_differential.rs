@@ -1,0 +1,56 @@
+//! FIFO differential pinning: the `QueuePolicy` refactor (DESIGN.md §13)
+//! must leave the default FIFO discipline **bitwise identical** to the
+//! pre-refactor engine.
+//!
+//! `tests/golden/policy_fifo.json` was captured from the engine *before*
+//! controller arbitration events and `QueuePolicy` existed (see
+//! `examples/policy_golden.rs`). This test re-runs the same matrix — every
+//! registered chip preset × {aliased triad, spread triad, write-heavy
+//! copy}, the traced/probe path, and the stock-T2 Fig. 4 extremes — and
+//! compares every `SimStats` field with `==`. A mismatch is a regression
+//! in the engine's pinned default behavior, not a reason to regenerate the
+//! golden file.
+
+use t2opt::golden::{load_golden, run_matrix, GOLDEN_PATH};
+use t2opt::sim::policy::PolicyKind;
+
+#[test]
+fn fifo_is_the_default_policy() {
+    assert!(PolicyKind::default().is_fifo());
+    assert!(t2opt::sim::ChipConfig::ultrasparc_t2().policy.is_fifo());
+    for name in t2opt::core::chip::PRESET_NAMES {
+        let c = t2opt::sim::ChipConfig::preset(name).expect("preset resolves");
+        assert!(c.policy.is_fifo(), "preset {name} must default to FIFO");
+    }
+}
+
+#[test]
+fn fifo_stats_match_the_pre_refactor_golden_bitwise() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH);
+    let golden = load_golden(&path);
+    let current = run_matrix();
+    assert_eq!(
+        golden.len(),
+        current.len(),
+        "matrix size drifted from the committed golden — \
+         extend the golden only via examples/policy_golden.rs"
+    );
+    let mut failures = Vec::new();
+    for ((gname, gstats), (cname, cstats)) in golden.iter().zip(current.iter()) {
+        assert_eq!(gname, cname, "matrix case order drifted");
+        if gstats != cstats {
+            failures.push(format!(
+                "{cname}: golden {:?} vs current {:?}",
+                gstats, cstats
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "FIFO is no longer bitwise identical to the pre-refactor engine \
+         ({} of {} cases differ):\n{}",
+        failures.len(),
+        golden.len(),
+        failures.join("\n")
+    );
+}
