@@ -185,6 +185,39 @@ mod tests {
     }
 
     #[test]
+    fn key_and_fingerprint_cover_the_full_numa_configuration() {
+        // The cache is addressed by the chip's full configuration, not its
+        // preset name: two chips differing only in socket topology, and
+        // two layout specs differing only in page placement, must never
+        // alias onto one record.
+        let w = Workload::triad_smoke(1 << 10, 8);
+        let spec = LayoutSpec::new().base_align(8192);
+        let flat = ChipConfig::ultrasparc_t2();
+        let mut numa = ChipConfig::ultrasparc_t2();
+        numa.numa.n_sockets = 2;
+        numa.numa.remote_read_extra = 120;
+        assert_ne!(
+            ResultCache::key(&w, &flat, &spec),
+            ResultCache::key(&w, &numa, &spec),
+            "socket topology must be part of the address"
+        );
+        assert_ne!(
+            ResultCache::chip_fingerprint(&flat),
+            ResultCache::chip_fingerprint(&numa),
+            "socket topology must be part of the fingerprint"
+        );
+
+        let remote = spec
+            .clone()
+            .placement(t2opt_core::mapping::PagePlacement::Remote);
+        assert_ne!(
+            ResultCache::key(&w, &flat, &spec),
+            ResultCache::key(&w, &flat, &remote),
+            "page placement must be part of the address"
+        );
+    }
+
+    #[test]
     fn canonical_specs_share_a_key() {
         // seg_align 0 and 1 normalize to the same spec, so they must hit
         // the same cache line.

@@ -1,15 +1,18 @@
 //! The tuning parameter space: a grid over the four layout parameters of
-//! Fig. 3 (`base_align`, `seg_align`, `shift`, `block_offset`).
+//! Fig. 3 (`base_align`, `seg_align`, `shift`, `block_offset`) plus, on
+//! multi-socket chips, the NUMA page-placement axis.
 //!
 //! The space is a cartesian product of per-dimension value lists, so every
-//! candidate has grid coordinates `[i0, i1, i2, i3]` — which is what the
-//! coordinate-descent and advisor-seeded strategies walk.
+//! candidate has grid coordinates `[i0, i1, i2, i3, i4]` — which is what
+//! the coordinate-descent and advisor-seeded strategies walk.
 
 use t2opt_core::chip::ChipSpec;
 use t2opt_core::layout::LayoutSpec;
+use t2opt_core::mapping::PagePlacement;
 
-/// Number of tuned dimensions (the four Fig. 3 parameters).
-pub const N_DIMS: usize = 4;
+/// Number of tuned dimensions (the four Fig. 3 parameters plus the NUMA
+/// page-placement axis).
+pub const N_DIMS: usize = 5;
 
 /// A grid over the four layout parameters. Every dimension must be
 /// non-empty; candidates are enumerated in row-major order
@@ -25,6 +28,10 @@ pub struct ParamSpace {
     /// Per-array block offsets to try (bytes): array `j` of the workload is
     /// displaced by `j · block_offset`.
     pub block_offsets: Vec<usize>,
+    /// NUMA page placements to try. `[PagePlacement::FirstTouch]` — the
+    /// single-socket identity — everywhere except grids built for a
+    /// multi-socket chip, so pre-NUMA spaces keep their exact shape.
+    pub placements: Vec<PagePlacement>,
 }
 
 impl ParamSpace {
@@ -35,6 +42,7 @@ impl ParamSpace {
             seg_aligns: vec![0],
             shifts: vec![0],
             block_offsets: vec![0],
+            placements: vec![PagePlacement::FirstTouch],
         }
     }
 
@@ -47,6 +55,7 @@ impl ParamSpace {
             seg_aligns: vec![0],
             shifts: vec![0],
             block_offsets: (0..limit).step_by(step).collect(),
+            placements: vec![PagePlacement::FirstTouch],
         }
     }
 
@@ -66,6 +75,13 @@ impl ParamSpace {
             seg_aligns: vec![0, period],
             shifts: vec![0, period / n_mc],
             block_offsets: (0..period).step_by(step).collect(),
+            // Multi-socket chips get the affinity axis: the tuner
+            // co-optimizes placement × byte layout.
+            placements: if spec.sockets.is_numa() {
+                PagePlacement::ALL.to_vec()
+            } else {
+                vec![PagePlacement::FirstTouch]
+            },
         }
     }
 
@@ -93,6 +109,13 @@ impl ParamSpace {
         self
     }
 
+    /// Replaces the placement dimension.
+    pub fn with_placements(mut self, placements: Vec<PagePlacement>) -> Self {
+        assert!(!placements.is_empty(), "need at least one placement");
+        self.placements = placements;
+        self
+    }
+
     /// The Fig. 7 LBM padding sweep: page-aligned grids, segments packed
     /// or padded out to the 512 B super-line, inter-segment shifts up to
     /// one controller step, and the two toggle grids packed or displaced
@@ -106,17 +129,19 @@ impl ParamSpace {
             seg_aligns: vec![1, 512],
             shifts: vec![0, 64, 128],
             block_offsets: vec![0, 128],
+            placements: vec![PagePlacement::FirstTouch],
         }
     }
 
     /// Per-dimension sizes `[|base_aligns|, |seg_aligns|, |shifts|,
-    /// |block_offsets|]`.
+    /// |block_offsets|, |placements|]`.
     pub fn dims(&self) -> [usize; N_DIMS] {
         [
             self.base_aligns.len(),
             self.seg_aligns.len(),
             self.shifts.len(),
             self.block_offsets.len(),
+            self.placements.len(),
         ]
     }
 
@@ -140,6 +165,7 @@ impl ParamSpace {
             .seg_align(self.seg_aligns[idx[1]])
             .shift(self.shifts[idx[2]])
             .block_offset(self.block_offsets[idx[3]])
+            .placement(self.placements[idx[4]])
     }
 
     /// All candidates in row-major order.
@@ -149,13 +175,16 @@ impl ParamSpace {
             for &sa in &self.seg_aligns {
                 for &sh in &self.shifts {
                     for &bo in &self.block_offsets {
-                        out.push(
-                            LayoutSpec::new()
-                                .base_align(ba)
-                                .seg_align(sa)
-                                .shift(sh)
-                                .block_offset(bo),
-                        );
+                        for &pl in &self.placements {
+                            out.push(
+                                LayoutSpec::new()
+                                    .base_align(ba)
+                                    .seg_align(sa)
+                                    .shift(sh)
+                                    .block_offset(bo)
+                                    .placement(pl),
+                            );
+                        }
                     }
                 }
             }
@@ -184,6 +213,11 @@ impl ParamSpace {
             nearest(&self.seg_aligns, target.seg_align, true),
             nearest(&self.shifts, target.shift, false),
             nearest(&self.block_offsets, target.block_offset, false),
+            // Placement is categorical: exact match, else the first entry.
+            self.placements
+                .iter()
+                .position(|&p| p == target.placement)
+                .unwrap_or(0),
         ]
     }
 }
@@ -199,13 +233,14 @@ mod tests {
             seg_aligns: vec![0, 512],
             shifts: vec![0],
             block_offsets: vec![0, 128],
+            placements: vec![PagePlacement::FirstTouch],
         };
         let all = space.candidates();
         assert_eq!(all.len(), space.len());
         assert_eq!(all.len(), 8);
-        assert_eq!(all[0], space.spec_at([0, 0, 0, 0]));
-        assert_eq!(all[1], space.spec_at([0, 0, 0, 1]));
-        assert_eq!(all[7], space.spec_at([1, 1, 0, 1]));
+        assert_eq!(all[0], space.spec_at([0, 0, 0, 0, 0]));
+        assert_eq!(all[1], space.spec_at([0, 0, 0, 1, 0]));
+        assert_eq!(all[7], space.spec_at([1, 1, 0, 1, 0]));
     }
 
     #[test]
@@ -253,6 +288,18 @@ mod tests {
     }
 
     #[test]
+    fn numa_chips_get_the_placement_axis_and_single_socket_chips_do_not() {
+        let t2 = ParamSpace::t2_default();
+        assert_eq!(t2.placements, vec![PagePlacement::FirstTouch]);
+        let numa = ParamSpace::for_chip(&ChipSpec::preset("2s-numa").unwrap());
+        assert_eq!(numa.placements, PagePlacement::ALL.to_vec());
+        assert_eq!(numa.len(), numa.candidates().len());
+        // The categorical dimension projects exactly.
+        let idx = numa.nearest_index(&LayoutSpec::new().placement(PagePlacement::Remote));
+        assert_eq!(numa.spec_at(idx).placement, PagePlacement::Remote);
+    }
+
+    #[test]
     fn nearest_index_projects_advisor_seed() {
         let space = ParamSpace::t2_default();
         let seed = t2opt_core::advisor::LayoutAdvisor::t2().suggest_layout();
@@ -271,6 +318,7 @@ mod tests {
             seg_aligns: vec![0],
             shifts: vec![0],
             block_offsets: vec![0],
+            placements: vec![PagePlacement::FirstTouch],
         };
         // A canonical spec with base_align 1 must match the grid's 0 entry.
         let idx = space.nearest_index(&LayoutSpec::new().base_align(0));

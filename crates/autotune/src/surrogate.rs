@@ -28,6 +28,7 @@ pub fn model_for_chip(chip: &ChipConfig) -> PerfModel {
             outstanding_misses: chip.core.outstanding_misses,
         },
     )
+    .with_numa(chip.numa)
 }
 
 /// The model's predicted bandwidth for one (workload, layout) candidate —
@@ -37,7 +38,7 @@ pub fn model_for_chip(chip: &ChipConfig) -> PerfModel {
 /// [`SearchStrategy::ModelPruned`]: crate::tuner::SearchStrategy::ModelPruned
 pub fn surrogate_score(model: &PerfModel, workload: &Workload, spec: &LayoutSpec) -> f64 {
     let shape: KernelShape = workload.model_shape(spec);
-    model.predict(&shape).gbs
+    model.predict_placed(&shape, spec.placement).gbs
 }
 
 #[cfg(test)]

@@ -291,9 +291,9 @@ impl Tuner {
         self.cache
     }
 
-    /// The advisor matching the chip's mapping policy.
+    /// The advisor matching the chip's mapping policy and socket topology.
     pub fn advisor(&self) -> LayoutAdvisor {
-        LayoutAdvisor::new(self.chip.map)
+        LayoutAdvisor::new(self.chip.map).with_numa(self.chip.numa, self.chip.mem.read_service)
     }
 
     /// Runs the configured search and returns the report. Counters in the
@@ -372,7 +372,9 @@ impl Tuner {
                         for s in 0..dims[1] {
                             for h in 0..dims[2] {
                                 for o in 0..dims[3] {
-                                    all.push([b, s, h, o]);
+                                    for p in 0..dims[4] {
+                                        all.push([b, s, h, o, p]);
+                                    }
                                 }
                             }
                         }
@@ -467,10 +469,13 @@ impl Tuner {
             for s in 0..dims[1] {
                 for h in 0..dims[2] {
                     for o in 0..dims[3] {
-                        let idx = [b, s, h, o];
-                        let spec = self.space.spec_at(idx);
-                        let gbs = crate::surrogate::surrogate_score(&model, &self.workload, &spec);
-                        scored.push((idx, gbs));
+                        for pl in 0..dims[4] {
+                            let idx = [b, s, h, o, pl];
+                            let spec = self.space.spec_at(idx);
+                            let gbs =
+                                crate::surrogate::surrogate_score(&model, &self.workload, &spec);
+                            scored.push((idx, gbs));
+                        }
                     }
                 }
             }
@@ -566,7 +571,11 @@ impl Tuner {
                             run_ids.1,
                         )
                     });
-                    let mut sim = Simulation::new(chip.clone());
+                    // The candidate's NUMA page placement rides on the
+                    // layout spec; the engine takes it from the config.
+                    let mut trial_chip = chip.clone();
+                    trial_chip.placement = spec.placement;
+                    let mut sim = Simulation::new(trial_chip);
                     if workload.warmup() {
                         sim = sim.measure_after_barrier(0);
                     }
@@ -953,6 +962,7 @@ mod tests {
             seg_aligns: vec![1, 512],
             shifts: vec![0, 128],
             block_offsets: vec![0],
+            placements: vec![t2opt_core::mapping::PagePlacement::FirstTouch],
         };
         let mut tuner = Tuner::new(
             Workload::jacobi_smoke(64, 16),
@@ -978,7 +988,7 @@ mod tests {
     /// sits diagonally at (2, 2). Exactly the trap coordinate descent
     /// cannot leave and annealing must.
     const DECEPTIVE: [[f64; 3]; 3] = [[10.0, 6.0, 7.0], [6.0, 8.0, 9.0], [7.0, 9.0, 20.0]];
-    const DECEPTIVE_DIMS: [usize; N_DIMS] = [1, 3, 3, 1];
+    const DECEPTIVE_DIMS: [usize; N_DIMS] = [1, 3, 3, 1, 1];
 
     fn deceptive_eval(batch: &[[usize; N_DIMS]]) -> Vec<f64> {
         batch.iter().map(|i| DECEPTIVE[i[1]][i[2]]).collect()
@@ -995,7 +1005,7 @@ mod tests {
     fn annealing_escapes_the_deceptive_landscape() {
         let (pos, val) = anneal_impl(DECEPTIVE_DIMS, [0; N_DIMS], 7, 64, &mut deceptive_eval);
         assert_eq!(val, 20.0, "annealing must reach the diagonal optimum");
-        assert_eq!(pos, [0, 2, 2, 0]);
+        assert_eq!(pos, [0, 2, 2, 0, 0]);
         // The acceptance criterion, stated directly: annealing strictly
         // beats coordinate descent here.
         let (_, cd_val) = descend_impl(DECEPTIVE_DIMS, [0; N_DIMS], 8, &mut deceptive_eval);
@@ -1062,6 +1072,7 @@ mod tests {
             seg_aligns: vec![1],
             shifts: vec![0, 64, 128],
             block_offsets: vec![64, 0, 128],
+            placements: vec![t2opt_core::mapping::PagePlacement::FirstTouch],
         }
     }
 
@@ -1144,6 +1155,7 @@ mod tests {
             seg_aligns: vec![1, 512],
             shifts: vec![0, 128],
             block_offsets: vec![0],
+            placements: vec![t2opt_core::mapping::PagePlacement::FirstTouch],
         };
         let mut triad = Tuner::new(
             Workload::triad_smoke(1 << 12, 16),

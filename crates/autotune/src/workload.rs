@@ -615,7 +615,11 @@ impl Workload {
             .iter()
             .map(|u| advisor.predict(&u.streams).efficiency)
             .sum();
-        total / units.len().max(1) as f64
+        // On a NUMA chip the candidate's page placement scales the whole
+        // estimate: remote traffic cannot be recovered by byte offsets
+        // (affinity dominates aliasing). Unity on single-socket chips.
+        let locality = advisor.locality_factor(spec.placement);
+        locality * total / units.len().max(1) as f64
     }
 }
 

@@ -8,6 +8,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use t2opt_autotune::cache::{ResultCache, TrialMeta};
 use t2opt_autotune::{ParamSpace, Workload};
 use t2opt_core::layout::{LayoutSpec, SegmentPlan};
+use t2opt_core::mapping::PagePlacement;
 use t2opt_sim::ChipConfig;
 
 /// A non-empty subset of `vals` selected by `mask` (the first value is
@@ -24,11 +25,12 @@ fn subset(vals: &[usize], mask: u8) -> Vec<usize> {
 /// Arbitrary well-formed parameter spaces over realistic sweep values
 /// (alignments powers of two, shifts/offsets element-aligned).
 fn arb_space() -> impl Strategy<Value = ParamSpace> {
-    (0u8..255, 0u8..255, 0u8..255, 0u8..255).prop_map(|(b, s, h, o)| ParamSpace {
+    (0u8..255, 0u8..255, 0u8..255, 0u8..255, 0u8..4).prop_map(|(b, s, h, o, p)| ParamSpace {
         base_aligns: subset(&[64, 128, 4096, 8192], b),
         seg_aligns: subset(&[1, 64, 512, 4096], s),
         shifts: subset(&[0, 8, 64, 128, 136, 512], h),
         block_offsets: subset(&[0, 64, 128, 192, 448], o),
+        placements: PagePlacement::ALL[..1 + (p as usize % 3)].to_vec(),
     })
 }
 
@@ -86,7 +88,8 @@ proptest! {
                 .base_align(spec.base_align)
                 .seg_align(spec.seg_align)
                 .shift(spec.shift)
-                .block_offset(spec.block_offset);
+                .block_offset(spec.block_offset)
+                .placement(spec.placement);
             prop_assert_eq!(&renormalized, &spec);
         }
     }
@@ -100,8 +103,10 @@ proptest! {
             for s in 0..dims[1] {
                 for h in 0..dims[2] {
                     for o in 0..dims[3] {
-                        let idx = [b, s, h, o];
-                        prop_assert_eq!(space.nearest_index(&space.spec_at(idx)), idx);
+                        for p in 0..dims[4] {
+                            let idx = [b, s, h, o, p];
+                            prop_assert_eq!(space.nearest_index(&space.spec_at(idx)), idx);
+                        }
                     }
                 }
             }

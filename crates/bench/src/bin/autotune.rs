@@ -70,6 +70,9 @@ struct AutotuneOutput {
 
 fn main() {
     let args = Args::from_env();
+    if args.has_flag("list-chips") {
+        t2opt_bench::list_chips();
+    }
     let smoke = args.has_flag("smoke");
     let (spec, chip) = chip_from_args(&args);
     let policy_name = chip.policy.name();

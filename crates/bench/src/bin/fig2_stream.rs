@@ -53,6 +53,9 @@ struct Fig2Output {
 
 fn main() {
     let args = Args::from_env();
+    if args.has_flag("list-chips") {
+        t2opt_bench::list_chips();
+    }
     let full = args.has_flag("full");
     let n: usize = args.get("n", if full { 1 << 25 } else { 1 << 20 });
     let max_offset: usize = args.get("max-offset", 256);

@@ -24,6 +24,7 @@ use t2opt_bench::{write_json, Args, Table};
 use t2opt_core::chip::{ChipSpec, PRESET_NAMES};
 use t2opt_core::corr::spearman;
 use t2opt_core::layout::LayoutSpec;
+use t2opt_core::mapping::PagePlacement;
 use t2opt_sim::ChipConfig;
 
 /// One candidate of the sweep: the layout, what the simulator measured,
@@ -62,7 +63,10 @@ struct ModelValidateOutput {
 /// which is what gives the rank correlation its resolving power.
 fn aliasing_workload(spec: &ChipSpec, args: &Args) -> (Workload, usize, usize) {
     let period = spec.interleave_period();
-    let threads = args.get("threads", spec.max_threads().min(16));
+    // 16 threads per socket: NUMA chips need the extra per-socket
+    // concurrency to be capacity-bound (at 16 threads total the socket
+    // split alone hides the convoy behind the latency ceiling).
+    let threads = args.get("threads", spec.max_threads().min(16 * spec.n_sockets()));
     let n = args.get("n", (period / 8).max(256) * threads);
     let workload = Workload::StreamMix {
         reads: args.get("reads", 3),
@@ -78,10 +82,20 @@ fn aliasing_workload(spec: &ChipSpec, args: &Args) -> (Workload, usize, usize) {
 fn validate_chip(spec: &ChipSpec, args: &Args) -> ChipValidation {
     let chip = ChipConfig::from_spec(spec);
     let (workload, threads, n) = aliasing_workload(spec, args);
-    let space = ParamSpace::offset_sweep_for(spec);
+    // Single-socket chips validate over the full Fig. 4 offset sweep. On a
+    // NUMA chip the first-order layout axis is page *placement* — within
+    // one placement the simulator's offset microstructure at
+    // capacity-bound thread counts is stagger noise — so the sweep crosses
+    // all three placements with the two canonical offsets (aliased, and
+    // the advisor's one-controller step).
+    let mut space = ParamSpace::offset_sweep_for(spec);
+    if spec.n_sockets() > 1 {
+        space.block_offsets = vec![0, spec.interleave_period() / spec.num_controllers()];
+        space = space.with_placements(PagePlacement::ALL.to_vec());
+    }
 
     eprintln!(
-        "model_validate: {} offset sweep, {} candidates, {threads} threads, N = {n}",
+        "model_validate: {} layout sweep, {} candidates, {threads} threads, N = {n}",
         spec.name,
         space.len()
     );
@@ -146,9 +160,16 @@ fn main() {
     }
 
     for v in &chips {
-        let mut table = Table::new(vec!["block_offset", "sim GB/s", "model GB/s", "model eff"]);
+        let mut table = Table::new(vec![
+            "placement",
+            "block_offset",
+            "sim GB/s",
+            "model GB/s",
+            "model eff",
+        ]);
         for c in &v.candidates {
             table.row(vec![
+                c.spec.placement.label().to_string(),
                 c.spec.block_offset.to_string(),
                 format!("{:.2}", c.measured_gbs),
                 format!("{:.2}", c.model_gbs),

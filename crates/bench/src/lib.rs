@@ -46,6 +46,46 @@ pub fn policy_from_args(args: &Args) -> PolicyKind {
     }
 }
 
+/// Prints the chip-preset registry with each preset's geometry — name,
+/// controllers (grouped by socket on NUMA presets), cores × threads, and
+/// the controller-aliasing period — then exits. Backs the `--list-chips`
+/// flag on the figure and tuner binaries.
+pub fn list_chips() -> ! {
+    println!("available chip presets:");
+    for name in PRESET_NAMES {
+        let spec = ChipSpec::preset(name).expect("registry names resolve");
+        let sockets = spec.n_sockets();
+        let mcs = if sockets > 1 {
+            format!(
+                "{} MCs ({} sockets x {})",
+                spec.num_controllers(),
+                sockets,
+                spec.mcs_per_socket()
+            )
+        } else {
+            format!("{} MCs", spec.num_controllers())
+        };
+        let mut line = format!(
+            "  {:<16} {mcs}, {} cores x {} threads, period {} B",
+            spec.name,
+            spec.n_cores,
+            spec.threads_per_core,
+            spec.interleave_period()
+        );
+        if sockets > 1 {
+            line.push_str(&format!(
+                " (local {} B), remote +{} cyc read / +{} cyc write, link {} cyc/line",
+                spec.local_period(),
+                spec.sockets.remote_read_extra,
+                spec.sockets.remote_write_extra,
+                spec.sockets.link_cycles_per_line
+            ));
+        }
+        println!("{line}");
+    }
+    std::process::exit(0);
+}
+
 /// Resolves the `--chip <preset>` and `--policy <name>` flags into a chip
 /// spec and its simulator configuration. Defaults to `ultrasparc-t2` with
 /// FIFO controllers; an unknown preset exits with the registry listing

@@ -39,7 +39,8 @@
 //! toward `1/n_mc` — the Fig. 2/Fig. 4 dips; with the suggested offsets all
 //! three terms coincide and efficiency is 1.
 
-use crate::mapping::MapPolicy;
+use crate::chip::SocketTopology;
+use crate::mapping::{MapPolicy, PagePlacement};
 use serde::{Deserialize, Serialize};
 
 /// Direction of an access stream.
@@ -148,16 +149,65 @@ pub enum Bound {
     Hotspot,
 }
 
-/// The analytic advisor for a given controller mapping policy.
+/// The analytic advisor for a given controller mapping policy (and, on
+/// multi-socket chips, its socket topology).
+///
+/// # Affinity dominates aliasing
+///
+/// On a NUMA chip the advisor reasons in two stages, in order of impact:
+///
+/// 1. **Placement first.** Any page on the wrong socket pays the remote
+///    latency hop *and* serializes on the shared inter-socket link, whose
+///    per-line occupancy caps all-remote bandwidth far below one socket's
+///    local aggregate. No byte offset can buy that back, so the advisor
+///    always suggests socket-local (first-touch) placement before it
+///    considers offsets ([`LayoutAdvisor::locality_factor`] quantifies the
+///    cost of ignoring this).
+/// 2. **Offset within the socket.** Under first-touch placement the raw
+///    controller index folds into the home socket's group, so the
+///    aliasing arithmetic happens modulo the *per-socket* period: all
+///    offset/shift/alignment suggestions use `period / n_sockets` and the
+///    `mcs_per_socket` local controllers.
 #[derive(Debug, Clone)]
 pub struct LayoutAdvisor {
     policy: MapPolicy,
+    sockets: SocketTopology,
+    /// One remote line's inter-socket-link occupancy, in units of one
+    /// local controller's per-line read service (0 on a single socket).
+    remote_cost_ratio: f64,
 }
 
 impl LayoutAdvisor {
-    /// Advisor for the given mapping policy.
+    /// Advisor for the given mapping policy on a single socket.
     pub fn new(policy: MapPolicy) -> Self {
-        LayoutAdvisor { policy }
+        LayoutAdvisor {
+            policy,
+            sockets: SocketTopology::single(),
+            remote_cost_ratio: 0.0,
+        }
+    }
+
+    /// Attaches a socket topology. `sockets.link_cycles_per_line` is
+    /// normalized against `read_service` (the local controllers' per-line
+    /// occupancy) so the placement factor compares link and controller
+    /// capacity in the same units.
+    pub fn with_numa(mut self, sockets: SocketTopology, read_service: u64) -> Self {
+        self.sockets = sockets;
+        self.remote_cost_ratio = if sockets.is_numa() {
+            sockets.link_cycles_per_line as f64 / read_service.max(1) as f64
+        } else {
+            0.0
+        };
+        self
+    }
+
+    /// Attaches a socket topology with the T2's 12-cycle read service as
+    /// the normalization base (every shipped preset's value except
+    /// `budget-2mc`). Prefer [`crate::chip::ChipSpec::advisor`], which
+    /// passes the chip's own service time through
+    /// [`LayoutAdvisor::with_numa`].
+    pub fn with_sockets(self, sockets: SocketTopology) -> Self {
+        self.with_numa(sockets, 12)
     }
 
     /// Advisor for the real UltraSPARC T2 mapping.
@@ -165,9 +215,9 @@ impl LayoutAdvisor {
         LayoutAdvisor::new(MapPolicy::t2())
     }
 
-    /// Advisor for a chip preset's mapping policy.
+    /// Advisor for a chip preset's mapping policy and socket topology.
     pub fn for_chip(spec: &crate::chip::ChipSpec) -> Self {
-        LayoutAdvisor::new(spec.map)
+        LayoutAdvisor::new(spec.map).with_numa(spec.sockets, spec.read_service)
     }
 
     /// The mapping policy in use.
@@ -175,11 +225,57 @@ impl LayoutAdvisor {
         &self.policy
     }
 
+    /// The socket topology in use.
+    pub fn sockets(&self) -> &SocketTopology {
+        &self.sockets
+    }
+
+    /// Controllers per socket under the contiguous grouping.
+    fn mcs_per_socket(&self) -> usize {
+        let n_mc = self.policy.geometry().num_controllers() as usize;
+        (n_mc / self.sockets.n_sockets.max(1)).max(1)
+    }
+
+    /// The per-socket interleave period — the period the aliasing
+    /// arithmetic actually runs at once pages are socket-local (equal to
+    /// the full period on one socket).
+    pub fn local_period(&self) -> usize {
+        self.policy.interleave_period() as usize / self.sockets.n_sockets.max(1)
+    }
+
+    /// The bandwidth factor a page placement keeps relative to socket-local
+    /// placement, in `(0, 1]`: 1.0 for first touch, and for placements
+    /// with a remote line fraction `f` the ratio of the local aggregate
+    /// rate to the link-throttled rate. This is the "affinity dominates
+    /// aliasing" number — on the shipped NUMA presets it is far below the
+    /// worst aliasing penalty, which tops out at `1/mcs_per_socket`.
+    pub fn locality_factor(&self, placement: PagePlacement) -> f64 {
+        let f = placement.remote_fraction(self.sockets.n_sockets);
+        if f == 0.0 {
+            return 1.0;
+        }
+        let n_mc = self.policy.geometry().num_controllers() as f64;
+        // Per line: local service occupies one of n_mc controllers
+        // (aggregate time 1/n_mc in service units); the remote fraction
+        // additionally serializes on the single shared link.
+        let local_time = 1.0 / n_mc;
+        let link_time = f * self.remote_cost_ratio;
+        local_time / local_time.max(link_time)
+    }
+
     /// Predicts the controller-utilization efficiency of a set of lockstep
     /// streams. See the module docs for the model.
+    ///
+    /// On a multi-socket chip the streams are assumed socket-local
+    /// (first-touch placement): the raw controller index folds into the
+    /// home socket's group of `mcs_per_socket` controllers, so two
+    /// addresses whose raw controllers differ only in the socket bits
+    /// still alias. Combine with [`LayoutAdvisor::locality_factor`] for
+    /// non-local placements.
     pub fn predict(&self, streams: &[StreamDesc]) -> Prediction {
         let geo = self.policy.geometry();
         let n_mc = geo.num_controllers() as usize;
+        let mps = self.mcs_per_socket();
         let line = geo.line_size();
         // One full interleave period for policies whose period is exact
         // (bit-sliced and page-granular maps); a longer averaging window
@@ -190,14 +286,14 @@ impl LayoutAdvisor {
             }
             MapPolicy::XorFold { .. } => 4 * (geo.super_line() / line) as usize * n_mc,
         };
-        let mut load = vec![0u64; n_mc];
+        let mut load = vec![0u64; mps];
         let mut convoy_time = 0u64;
         let mut distinct_sum = 0usize;
         for p in 0..phases {
-            let mut blocking = vec![0u64; n_mc];
+            let mut blocking = vec![0u64; mps];
             for s in streams {
                 let addr = s.base + p as u64 * line;
-                let mc = self.policy.controller(addr) as usize;
+                let mc = self.policy.controller(addr) as usize % mps;
                 blocking[mc] += u64::from(s.kind.blocking());
                 load[mc] += u64::from(s.kind.weight());
             }
@@ -205,7 +301,7 @@ impl LayoutAdvisor {
             distinct_sum += blocking.iter().filter(|&&b| b > 0).count();
         }
         let total: u64 = load.iter().sum();
-        let ideal = total as f64 / n_mc as f64;
+        let ideal = total as f64 / mps as f64;
         let hotspot = *load.iter().max().unwrap() as f64;
         let convoy = convoy_time as f64;
         let actual = convoy.max(ideal).max(hotspot);
@@ -233,23 +329,31 @@ impl LayoutAdvisor {
     /// `[0, 128, 256, 384]` (§2.2: offsets 128/256/384 for B, C, D with A at
     /// the page boundary). Under page interleave the step grows to one page,
     /// the smallest offset that changes controllers at all.
+    /// On a NUMA chip the offsets stay inside the *per-socket* period and
+    /// rotate over the local controllers — crossing into another socket's
+    /// residues would trade a cheap aliasing fix for an expensive affinity
+    /// break (see the type-level docs); the step is identical because both
+    /// the period and the controller count divide by `n_sockets`.
     pub fn suggest_offsets(&self, n: usize) -> Vec<usize> {
-        let n_mc = self.policy.geometry().num_controllers() as usize;
-        let step = self.policy.interleave_period() as usize / n_mc;
-        (0..n).map(|i| (i % n_mc) * step).collect()
+        let mps = self.mcs_per_socket();
+        let step = self.local_period() / mps;
+        (0..n).map(|i| (i % mps) * step).collect()
     }
 
     /// Suggested per-segment shift so that successive segments rotate through
-    /// the controllers: `period / n_mc` (128 B on the T2, the paper's
-    /// Jacobi choice).
+    /// the (socket-local) controllers: `period / n_mc` (128 B on the T2, the
+    /// paper's Jacobi choice — and the same value on the NUMA presets, where
+    /// it is `local_period / mcs_per_socket`).
     pub fn suggest_shift(&self) -> usize {
-        self.policy.interleave_period() as usize / self.policy.geometry().num_controllers() as usize
+        self.local_period() / self.mcs_per_socket()
     }
 
     /// Suggested segment alignment: the interleave period (512 B on the T2),
-    /// so that shifts translate exactly into controller rotation.
+    /// so that shifts translate exactly into controller rotation. On NUMA
+    /// chips this is the per-socket period — the granularity the folded
+    /// mapping actually repeats at.
     pub fn suggest_seg_align(&self) -> usize {
-        self.policy.interleave_period() as usize
+        self.local_period()
     }
 
     /// The advisor's complete closed-form layout for the mapping: page base
@@ -264,14 +368,18 @@ impl LayoutAdvisor {
     /// starts from (§2.3: the optimum "can be obtained by analyzing the data
     /// access properties of the loop kernel … no 'trial and error' is
     /// required").
+    /// On NUMA chips the layout additionally pins first-touch placement —
+    /// affinity before offsets — and all byte parameters use the
+    /// per-socket period.
     pub fn suggest_layout(&self) -> crate::layout::LayoutSpec {
-        let period = self.policy.interleave_period() as usize;
+        let period = self.local_period();
         let page = 8192usize.max(period);
         crate::layout::LayoutSpec::new()
             .base_align(page)
             .seg_align(self.suggest_seg_align())
             .shift(self.suggest_shift())
-            .block_offset(period / self.policy.geometry().num_controllers() as usize)
+            .block_offset(period / self.mcs_per_socket())
+            .placement(PagePlacement::FirstTouch)
     }
 
     /// Brute-force check of the analytic suggestion: searches offsets over
@@ -530,6 +638,57 @@ mod tests {
             .collect();
         let eff = adv.predict(&fine).efficiency;
         assert!((0.25..0.30).contains(&eff), "got {eff}");
+    }
+
+    #[test]
+    fn numa_advisor_folds_aliasing_into_the_socket() {
+        let spec = crate::chip::ChipSpec::numa_2s();
+        let adv = spec.advisor();
+        // Offsets stay inside the 512 B per-socket period with the T2 step.
+        assert_eq!(adv.suggest_offsets(4), vec![0, 128, 256, 384]);
+        assert_eq!(adv.suggest_shift(), 128);
+        assert_eq!(adv.suggest_seg_align(), 512);
+        assert_eq!(adv.local_period(), 512);
+        // A 512 B offset changes the *raw* controller (bit 9) but not the
+        // local one — under first-touch placement it still aliases.
+        assert_ne!(
+            spec.map.controller(0),
+            spec.map.controller(512),
+            "raw map must differ so the fold is doing real work"
+        );
+        let aliased = adv.predict(&triad_streams([0, 512, 1024, 1536]));
+        assert_eq!(aliased.bound, Bound::Convoy);
+        assert!((aliased.concurrent_controllers - 1.0).abs() < 1e-12);
+        let spread = adv.predict(&triad_streams([0, 128, 256, 384]));
+        assert!((spread.efficiency - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn affinity_dominates_aliasing_on_the_numa_presets() {
+        for name in ["2s-numa", "4s-numa-wide"] {
+            let spec = crate::chip::ChipSpec::preset(name).unwrap();
+            let adv = spec.advisor();
+            let local = adv.locality_factor(PagePlacement::FirstTouch);
+            let inter = adv.locality_factor(PagePlacement::Interleave);
+            let remote = adv.locality_factor(PagePlacement::Remote);
+            assert_eq!(local, 1.0);
+            assert!(local > inter && inter > remote, "{name}: {inter} {remote}");
+            // The worst aliasing penalty within a socket is 1/mps; the
+            // wrong-socket penalty must be deeper than that.
+            let worst_alias = 1.0 / spec.mcs_per_socket() as f64;
+            assert!(
+                remote < worst_alias,
+                "{name}: wrong socket ({remote}) must cost more than \
+                 the worst convoy ({worst_alias})"
+            );
+            // The suggested layout pins first-touch placement.
+            assert_eq!(adv.suggest_layout().placement, PagePlacement::FirstTouch);
+        }
+        // Single-socket chips: placement is a no-op.
+        let t2 = LayoutAdvisor::t2();
+        for p in PagePlacement::ALL {
+            assert_eq!(t2.locality_factor(p), 1.0);
+        }
     }
 
     #[test]

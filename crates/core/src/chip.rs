@@ -20,12 +20,65 @@ use serde::{Deserialize, Serialize};
 
 /// Names of all registered presets, in registry order. The first entry is
 /// the default chip.
-pub const PRESET_NAMES: [&str; 4] = [
+pub const PRESET_NAMES: [&str; 6] = [
     "ultrasparc-t2",
     "t2-page-interleave",
     "wide-8mc",
     "budget-2mc",
+    "2s-numa",
+    "4s-numa-wide",
 ];
+
+/// The socket dimension of a chip: how the controllers (and cores) are
+/// grouped into locality domains, and what crossing a domain costs.
+///
+/// Controllers are grouped *contiguously*: with `S` sockets and `M`
+/// controllers, socket `s` owns controllers `[s·M/S, (s+1)·M/S)`, and the
+/// cores split the same way. The single-socket instance (`n_sockets == 1`)
+/// is the identity — every access is local, the link is never charged —
+/// which is how all pre-NUMA presets keep their bitwise behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SocketTopology {
+    /// Number of sockets; controllers and cores divide evenly across them.
+    pub n_sockets: usize,
+    /// Extra cycles a remote *read* pays on top of the local service path
+    /// (directory/coherence hop before the line can be returned).
+    pub remote_read_extra: u64,
+    /// Extra cycles a remote *write* (write-back or RFO drain) pays before
+    /// the remote controller starts servicing it.
+    pub remote_write_extra: u64,
+    /// Inter-socket link occupancy per 64 B line. The link is modeled as
+    /// one shared full-duplex-agnostic resource: every remote line
+    /// serializes on it, so its inverse is the remote bandwidth cap.
+    pub link_cycles_per_line: u64,
+    /// OS page size in bytes — the granularity of first-touch placement.
+    pub page_bytes: u64,
+}
+
+impl SocketTopology {
+    /// The single-socket identity: no remote accesses exist, so the cost
+    /// parameters are zero and only `page_bytes` carries a (moot) default.
+    pub fn single() -> Self {
+        SocketTopology {
+            n_sockets: 1,
+            remote_read_extra: 0,
+            remote_write_extra: 0,
+            link_cycles_per_line: 0,
+            page_bytes: 4096,
+        }
+    }
+
+    /// Whether this topology has more than one locality domain.
+    pub fn is_numa(&self) -> bool {
+        self.n_sockets > 1
+    }
+}
+
+impl Default for SocketTopology {
+    fn default() -> Self {
+        SocketTopology::single()
+    }
+}
 
 /// A chip topology: mapping geometry plus the timing figures that
 /// distinguish one interleaved-controller machine from another.
@@ -52,6 +105,9 @@ pub struct ChipSpec {
     pub read_service: u64,
     /// Controller occupancy per 64 B write, in cycles.
     pub write_service: u64,
+    /// Socket/locality structure. The single-socket identity
+    /// (`SocketTopology::single()`) reproduces pre-NUMA behavior exactly.
+    pub sockets: SocketTopology,
 }
 
 impl ChipSpec {
@@ -66,6 +122,7 @@ impl ChipSpec {
             threads_per_core: 8,
             read_service: 12,
             write_service: 24,
+            sockets: SocketTopology::single(),
         }
     }
 
@@ -101,6 +158,7 @@ impl ChipSpec {
             threads_per_core: 8,
             read_service: 12,
             write_service: 24,
+            sockets: SocketTopology::single(),
         }
     }
 
@@ -121,6 +179,68 @@ impl ChipSpec {
             threads_per_core: 8,
             read_service: 16,
             write_service: 32,
+            sockets: SocketTopology::single(),
+        }
+    }
+
+    /// A two-socket NUMA machine: each socket is a T2-like node with four
+    /// controllers, so the raw map has eight controllers selected by bits
+    /// 9:7 (1 KiB raw period, 512 B per-socket period). Remote lines pay a
+    /// coherence hop and serialize on one inter-socket link whose per-line
+    /// occupancy caps all-remote traffic well below one socket's local
+    /// aggregate (Bergstrom's STREAM gap, arXiv:1103.3225).
+    pub fn numa_2s() -> Self {
+        ChipSpec {
+            name: "2s-numa".into(),
+            map: MapPolicy::Sliced(AddressMap {
+                line_bits: 6,
+                mc_lo_bit: 7,
+                mc_bits: 3,
+                bank_lo_bit: 6,
+                bank_bits: 3,
+            }),
+            clock_hz: 1.2e9,
+            n_cores: 16,
+            threads_per_core: 8,
+            read_service: 12,
+            write_service: 24,
+            sockets: SocketTopology {
+                n_sockets: 2,
+                remote_read_extra: 120,
+                remote_write_extra: 60,
+                link_cycles_per_line: 8,
+                page_bytes: 4096,
+            },
+        }
+    }
+
+    /// A four-socket wide machine: 16 controllers (bits 10:7) over 16 L2
+    /// banks in four groups of four, 32 cores. The per-socket period stays
+    /// 512 B while the raw map period grows to 2 KiB, so affinity and
+    /// in-socket offset tuning compose exactly as on `2s-numa` but with a
+    /// deeper wrong-socket penalty (three of four sockets are remote).
+    pub fn numa_4s_wide() -> Self {
+        ChipSpec {
+            name: "4s-numa-wide".into(),
+            map: MapPolicy::Sliced(AddressMap {
+                line_bits: 6,
+                mc_lo_bit: 7,
+                mc_bits: 4,
+                bank_lo_bit: 6,
+                bank_bits: 4,
+            }),
+            clock_hz: 1.2e9,
+            n_cores: 32,
+            threads_per_core: 8,
+            read_service: 12,
+            write_service: 24,
+            sockets: SocketTopology {
+                n_sockets: 4,
+                remote_read_extra: 160,
+                remote_write_extra: 80,
+                link_cycles_per_line: 10,
+                page_bytes: 4096,
+            },
         }
     }
 
@@ -132,6 +252,8 @@ impl ChipSpec {
             "t2-page-interleave" => Some(ChipSpec::t2_page_interleave()),
             "wide-8mc" => Some(ChipSpec::wide_8mc()),
             "budget-2mc" => Some(ChipSpec::budget_2mc()),
+            "2s-numa" => Some(ChipSpec::numa_2s()),
+            "4s-numa-wide" => Some(ChipSpec::numa_4s_wide()),
             _ => None,
         }
     }
@@ -169,9 +291,48 @@ impl ChipSpec {
         self.n_cores * self.threads_per_core
     }
 
-    /// An analytic [`LayoutAdvisor`] for this chip's mapping.
+    /// Number of sockets (1 for every pre-NUMA preset).
+    pub fn n_sockets(&self) -> usize {
+        self.sockets.n_sockets
+    }
+
+    /// Controllers per socket (contiguous grouping; see
+    /// [`SocketTopology`]).
+    pub fn mcs_per_socket(&self) -> usize {
+        let s = self.n_sockets().max(1);
+        debug_assert_eq!(self.num_controllers() % s, 0);
+        (self.num_controllers() / s).max(1)
+    }
+
+    /// The *per-socket* interleave period in bytes: the layout period that
+    /// matters once pages are placed socket-locally, because first-touch
+    /// placement folds the raw controller index into the home socket's
+    /// group. Equal to [`ChipSpec::interleave_period`] on one socket.
+    pub fn local_period(&self) -> usize {
+        self.interleave_period() / self.n_sockets().max(1)
+    }
+
+    /// Cores per socket (contiguous grouping, like the controllers).
+    pub fn cores_per_socket(&self) -> usize {
+        let s = self.n_sockets().max(1);
+        debug_assert_eq!(self.n_cores % s, 0);
+        (self.n_cores / s).max(1)
+    }
+
+    /// The socket that owns core `core`.
+    pub fn socket_of_core(&self, core: usize) -> usize {
+        (core / self.cores_per_socket()).min(self.n_sockets() - 1)
+    }
+
+    /// The socket that owns controller `mc`.
+    pub fn socket_of_controller(&self, mc: usize) -> usize {
+        (mc / self.mcs_per_socket()).min(self.n_sockets() - 1)
+    }
+
+    /// An analytic [`LayoutAdvisor`] for this chip's mapping and socket
+    /// topology.
     pub fn advisor(&self) -> LayoutAdvisor {
-        LayoutAdvisor::new(self.map)
+        LayoutAdvisor::new(self.map).with_sockets(self.sockets)
     }
 }
 
@@ -225,21 +386,64 @@ mod tests {
     }
 
     #[test]
-    fn advisor_offsets_cover_all_controllers_for_each_preset() {
+    fn numa_presets_group_controllers_and_cores_contiguously() {
+        let two = ChipSpec::numa_2s();
+        assert_eq!(two.num_controllers(), 8);
+        assert_eq!(two.n_sockets(), 2);
+        assert_eq!(two.mcs_per_socket(), 4);
+        assert_eq!(two.interleave_period(), 1024);
+        assert_eq!(two.local_period(), 512);
+        assert_eq!(two.cores_per_socket(), 8);
+        assert_eq!(two.socket_of_controller(3), 0);
+        assert_eq!(two.socket_of_controller(4), 1);
+        assert_eq!(two.socket_of_core(7), 0);
+        assert_eq!(two.socket_of_core(8), 1);
+
+        let four = ChipSpec::numa_4s_wide();
+        assert_eq!(four.num_controllers(), 16);
+        assert_eq!(four.n_sockets(), 4);
+        assert_eq!(four.mcs_per_socket(), 4);
+        assert_eq!(four.interleave_period(), 2048);
+        assert_eq!(four.local_period(), 512);
+        assert_eq!(four.max_threads(), 256);
+        assert_eq!(four.socket_of_controller(15), 3);
+    }
+
+    #[test]
+    fn single_socket_presets_stay_on_the_identity_topology() {
+        for name in [
+            "ultrasparc-t2",
+            "t2-page-interleave",
+            "wide-8mc",
+            "budget-2mc",
+        ] {
+            let spec = ChipSpec::preset(name).unwrap();
+            assert_eq!(spec.sockets, SocketTopology::single(), "{name}");
+            assert!(!spec.sockets.is_numa());
+            assert_eq!(spec.local_period(), spec.interleave_period());
+        }
+    }
+
+    #[test]
+    fn advisor_offsets_cover_all_local_controllers_for_each_preset() {
+        // Under first-touch placement the raw controller folds into the
+        // home socket's group, so the advisor's offsets must cover every
+        // *local* controller; on one socket that is all controllers.
         for name in PRESET_NAMES {
             let spec = ChipSpec::preset(name).unwrap();
             let n_mc = spec.num_controllers();
+            let mps = spec.mcs_per_socket();
             let offs = spec.advisor().suggest_offsets(n_mc);
             let mut mcs: Vec<u32> = offs
                 .iter()
-                .map(|&o| spec.map.controller(o as u64))
+                .map(|&o| spec.map.controller(o as u64) % mps as u32)
                 .collect();
             mcs.sort_unstable();
             mcs.dedup();
             assert_eq!(
                 mcs.len(),
-                n_mc,
-                "offsets must spread over all MCs on {name}"
+                mps,
+                "offsets must spread over all local MCs on {name}"
             );
         }
     }

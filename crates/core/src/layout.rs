@@ -87,17 +87,23 @@ pub struct LayoutSpec {
     /// Whole-block offset in bytes, applied after everything else. The block
     /// begins `block_offset` bytes past the aligned base. Default 0.
     pub block_offset: usize,
+    /// NUMA page placement for the block's pages. Byte positions are
+    /// unaffected — this rides along so the tuner can co-optimize affinity
+    /// with the four byte-level parameters. Default first-touch (the OS
+    /// default, and a no-op on single-socket chips).
+    pub placement: crate::mapping::PagePlacement,
 }
 
 impl LayoutSpec {
     /// A fresh spec: 64-byte base alignment, packed segments, no shift, no
-    /// offset.
+    /// offset, first-touch placement.
     pub fn new() -> Self {
         LayoutSpec {
             base_align: 64,
             seg_align: 1,
             shift: 0,
             block_offset: 0,
+            placement: crate::mapping::PagePlacement::FirstTouch,
         }
     }
 
@@ -134,6 +140,12 @@ impl LayoutSpec {
     /// Sets the whole-block offset in bytes.
     pub fn block_offset(mut self, offset: usize) -> Self {
         self.block_offset = offset;
+        self
+    }
+
+    /// Sets the NUMA page placement.
+    pub fn placement(mut self, placement: crate::mapping::PagePlacement) -> Self {
+        self.placement = placement;
         self
     }
 

@@ -75,7 +75,7 @@ pub mod prelude {
     pub use crate::chip::ChipSpec;
     pub use crate::iter::{HierExt, SegChunks};
     pub use crate::layout::{LayoutSpec, SegmentPlan};
-    pub use crate::mapping::{AddressMap, MapPolicy};
+    pub use crate::mapping::{AddressMap, MapPolicy, PagePlacement};
     pub use crate::seg_array::{SegArray, SegArrayBuilder};
 }
 

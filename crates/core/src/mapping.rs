@@ -217,6 +217,158 @@ impl Default for MapPolicy {
     }
 }
 
+/// OS page-placement policy on a multi-socket machine: which socket a
+/// page's backing memory lives on. On a single socket every policy is the
+/// identity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PagePlacement {
+    /// The page lives on the socket of the thread that touched it first —
+    /// the default policy of every mainstream OS, and the locality-optimal
+    /// one for socket-partitioned streams.
+    #[default]
+    FirstTouch,
+    /// Pages round-robin over sockets (`page_index mod n_sockets`),
+    /// trading peak local bandwidth for uniformity: a fraction
+    /// `(S-1)/S` of all lines crosses the inter-socket link.
+    Interleave,
+    /// Adversarial placement: every page lands one socket away from its
+    /// first toucher. This is Bergstrom's all-remote STREAM configuration
+    /// — the far end of the local/remote bandwidth gap — and the
+    /// wrong-socket baseline the advisor must beat.
+    Remote,
+}
+
+impl PagePlacement {
+    /// All placements, in the order the tuner's placement axis uses.
+    pub const ALL: [PagePlacement; 3] = [
+        PagePlacement::FirstTouch,
+        PagePlacement::Interleave,
+        PagePlacement::Remote,
+    ];
+
+    /// Stable lower-case label (CLI/JSON spelling).
+    pub fn label(&self) -> &'static str {
+        match self {
+            PagePlacement::FirstTouch => "first-touch",
+            PagePlacement::Interleave => "interleave",
+            PagePlacement::Remote => "remote",
+        }
+    }
+
+    /// Parses a [`PagePlacement::label`] spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        PagePlacement::ALL.into_iter().find(|p| p.label() == s)
+    }
+
+    /// The fraction of lines that cross the inter-socket link under this
+    /// placement when every thread streams through its own data, assuming
+    /// balanced sockets. First touch is fully local; interleave spreads
+    /// pages uniformly so `(S-1)/S` of them are remote to any one thread;
+    /// remote placement is remote by construction.
+    pub fn remote_fraction(&self, n_sockets: usize) -> f64 {
+        if n_sockets <= 1 {
+            return 0.0;
+        }
+        match self {
+            PagePlacement::FirstTouch => 0.0,
+            PagePlacement::Interleave => (n_sockets - 1) as f64 / n_sockets as f64,
+            PagePlacement::Remote => 1.0,
+        }
+    }
+}
+
+/// One recorded first access to a page: who touched it, and when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageTouch {
+    /// Page index (`addr / page_bytes`).
+    pub page: u64,
+    /// Touching thread id.
+    pub thread: u32,
+    /// Touch time (simulator cycles or any monotone stamp).
+    pub time: u64,
+}
+
+/// The pure first-touch page-placement model: given *all* recorded touches
+/// of a run, assigns each page a home socket. The winner per page is the
+/// earliest touch, ties broken by the lowest thread id — so the assignment
+/// is a function of the touch *set*, deterministic under any permutation
+/// of the input order (the property `tests/proptest_numa.rs` pins).
+///
+/// `thread_socket` maps a thread id to its socket.
+pub fn first_touch_homes(
+    touches: &[PageTouch],
+    n_sockets: usize,
+    thread_socket: impl Fn(u32) -> usize,
+) -> std::collections::BTreeMap<u64, usize> {
+    let mut winner: std::collections::BTreeMap<u64, (u64, u32)> = std::collections::BTreeMap::new();
+    for t in touches {
+        let cand = (t.time, t.thread);
+        winner
+            .entry(t.page)
+            .and_modify(|w| {
+                if cand < *w {
+                    *w = cand;
+                }
+            })
+            .or_insert(cand);
+    }
+    winner
+        .into_iter()
+        .map(|(page, (_, thread))| (page, thread_socket(thread).min(n_sockets - 1)))
+        .collect()
+}
+
+/// Incremental page → home-socket table, the engine-facing counterpart of
+/// [`first_touch_homes`]: pages are resolved in access order (the
+/// simulator is deterministic, so "first access wins" is well-defined
+/// there). `Interleave` needs no state; the other policies memoize the
+/// first toucher's verdict.
+#[derive(Debug, Clone)]
+pub struct PageHomes {
+    placement: PagePlacement,
+    n_sockets: usize,
+    page_shift: u32,
+    homes: std::collections::HashMap<u64, u32>,
+}
+
+impl PageHomes {
+    /// A table for `n_sockets` sockets and `page_bytes`-sized pages
+    /// (rounded to a power of two shift).
+    pub fn new(placement: PagePlacement, n_sockets: usize, page_bytes: u64) -> Self {
+        assert!(n_sockets >= 1, "need at least one socket");
+        let page_shift = page_bytes.max(1).next_power_of_two().trailing_zeros();
+        PageHomes {
+            placement,
+            n_sockets,
+            page_shift,
+            homes: std::collections::HashMap::new(),
+        }
+    }
+
+    /// The home socket of the page containing `addr`, resolving it on
+    /// first touch by `toucher_socket`.
+    #[inline]
+    pub fn home(&mut self, addr: u64, toucher_socket: u32) -> u32 {
+        if self.n_sockets == 1 {
+            return 0;
+        }
+        let page = addr >> self.page_shift;
+        match self.placement {
+            PagePlacement::Interleave => (page % self.n_sockets as u64) as u32,
+            PagePlacement::FirstTouch => *self.homes.entry(page).or_insert(toucher_socket),
+            PagePlacement::Remote => *self
+                .homes
+                .entry(page)
+                .or_insert((toucher_socket + 1) % self.n_sockets as u32),
+        }
+    }
+
+    /// Number of distinct pages resolved so far (0 for `Interleave`).
+    pub fn resolved_pages(&self) -> usize {
+        self.homes.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -328,6 +480,70 @@ mod tests {
                 paged.controller(addr + paged.interleave_period())
             );
         }
+    }
+
+    #[test]
+    fn first_touch_homes_pick_earliest_touch_lowest_thread() {
+        let touches = [
+            PageTouch {
+                page: 0,
+                thread: 5,
+                time: 10,
+            },
+            PageTouch {
+                page: 0,
+                thread: 1,
+                time: 10,
+            }, // tie → lower thread
+            PageTouch {
+                page: 1,
+                thread: 7,
+                time: 3,
+            },
+            PageTouch {
+                page: 1,
+                thread: 0,
+                time: 4,
+            }, // later → loses
+        ];
+        let homes = first_touch_homes(&touches, 2, |t| (t / 4) as usize);
+        assert_eq!(homes[&0], 0, "thread 1 wins the tie and lives on socket 0");
+        assert_eq!(homes[&1], 1, "thread 7 touched first and lives on socket 1");
+    }
+
+    #[test]
+    fn page_homes_policies_resolve_as_documented() {
+        let mut ft = PageHomes::new(PagePlacement::FirstTouch, 2, 4096);
+        assert_eq!(ft.home(0, 1), 1);
+        assert_eq!(ft.home(64, 0), 1, "same page keeps its first home");
+        assert_eq!(ft.home(4096, 0), 0);
+        assert_eq!(ft.resolved_pages(), 2);
+
+        let mut il = PageHomes::new(PagePlacement::Interleave, 2, 4096);
+        assert_eq!(il.home(0, 1), 0);
+        assert_eq!(il.home(4096, 1), 1);
+        assert_eq!(il.resolved_pages(), 0, "interleave is stateless");
+
+        let mut rm = PageHomes::new(PagePlacement::Remote, 2, 4096);
+        assert_eq!(rm.home(0, 0), 1, "remote places one socket away");
+        assert_eq!(rm.home(0, 1), 1, "…and sticks");
+
+        let mut single = PageHomes::new(PagePlacement::Remote, 1, 4096);
+        assert_eq!(single.home(0, 0), 0, "one socket: everything is local");
+    }
+
+    #[test]
+    fn placement_labels_round_trip_and_remote_fractions_bound() {
+        for p in PagePlacement::ALL {
+            assert_eq!(PagePlacement::parse(p.label()), Some(p));
+            assert_eq!(p.remote_fraction(1), 0.0);
+            let f = p.remote_fraction(4);
+            assert!((0.0..=1.0).contains(&f));
+        }
+        assert_eq!(PagePlacement::FirstTouch.remote_fraction(4), 0.0);
+        assert_eq!(PagePlacement::Remote.remote_fraction(4), 1.0);
+        assert!((PagePlacement::Interleave.remote_fraction(4) - 0.75).abs() < 1e-12);
+        assert_eq!(PagePlacement::parse("nope"), None);
     }
 
     #[test]

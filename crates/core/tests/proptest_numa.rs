@@ -1,0 +1,187 @@
+//! Property tests for the multi-socket topology model: socket helpers must
+//! stay mutually consistent with the address map on *arbitrary* geometries
+//! (not just the shipped presets), local/remote classification must
+//! conserve totals, and the first-touch placement function must be
+//! deterministic under any permutation of its input.
+
+use proptest::prelude::*;
+use t2opt_core::chip::{ChipSpec, SocketTopology};
+use t2opt_core::mapping::{first_touch_homes, AddressMap, MapPolicy, PagePlacement, PageTouch};
+
+/// An arbitrary multi-socket chip: the controller count is
+/// `n_sockets × mcs_per_socket` by construction, cores divide evenly, and
+/// the NUMA parameters stay in plausible ranges.
+fn arb_numa_chip() -> impl Strategy<Value = ChipSpec> {
+    (
+        1usize..4, // log2 sockets → 2, 4, or 8 sockets
+        0u32..3,   // log2 controllers per socket
+        0u32..4,   // bank bits
+        1usize..5, // cores per socket
+        1u64..257, // remote read adder (write adder and link derive from it)
+        9u32..15,  // log2 page bytes (512 B .. 16 KiB)
+    )
+        .prop_map(
+            |(sock_bits, mc_sock_bits, bank_bits, cps, rr, page_shift)| {
+                let n_sockets = 1usize << sock_bits;
+                let mc_bits = sock_bits as u32 + mc_sock_bits;
+                let (rw, link) = (rr / 2 + 1, rr % 31 + 1);
+                ChipSpec {
+                    name: format!("prop-{n_sockets}s-{}mc", 1u32 << mc_bits),
+                    map: MapPolicy::Sliced(AddressMap {
+                        line_bits: 6,
+                        mc_lo_bit: 7,
+                        mc_bits,
+                        bank_lo_bit: 6,
+                        bank_bits,
+                    }),
+                    clock_hz: 1.2e9,
+                    n_cores: cps * n_sockets,
+                    threads_per_core: 8,
+                    read_service: 12,
+                    write_service: 24,
+                    sockets: SocketTopology {
+                        n_sockets,
+                        remote_read_extra: rr,
+                        remote_write_extra: rw,
+                        link_cycles_per_line: link,
+                        page_bytes: 1 << page_shift,
+                    },
+                }
+            },
+        )
+}
+
+proptest! {
+    /// The socket helpers agree with each other and with the address map:
+    /// controllers partition into `n_sockets` contiguous groups of
+    /// `mcs_per_socket`, cores into groups of `cores_per_socket`, and the
+    /// local period times the socket count is the full period.
+    #[test]
+    fn socket_fields_are_consistent_with_the_map(spec in arb_numa_chip()) {
+        let s = spec.n_sockets();
+        prop_assert_eq!(s * spec.mcs_per_socket(), spec.num_controllers());
+        prop_assert_eq!(s * spec.cores_per_socket(), spec.n_cores);
+        prop_assert_eq!(s * spec.local_period(), spec.interleave_period());
+        for mc in 0..spec.num_controllers() {
+            prop_assert_eq!(spec.socket_of_controller(mc), mc / spec.mcs_per_socket());
+            prop_assert!(spec.socket_of_controller(mc) < s);
+        }
+        for core in 0..spec.n_cores {
+            prop_assert_eq!(spec.socket_of_core(core), core / spec.cores_per_socket());
+            prop_assert!(spec.socket_of_core(core) < s);
+        }
+    }
+
+    /// Local/remote classification conserves totals: for any set of
+    /// (page, toucher) pairs and any placement, every page gets exactly
+    /// one home in range, and the local + remote counts add up to the
+    /// number of accesses. First-touch is all-local for the toucher,
+    /// all-remote placement is all-remote, and interleave's remote count
+    /// matches its analytic remote fraction page-for-page.
+    #[test]
+    fn local_remote_classification_conserves_totals(
+        spec in arb_numa_chip(),
+        pages in proptest::collection::vec(0u64..64, 1..80),
+    ) {
+        use std::collections::BTreeMap;
+        use t2opt_core::mapping::PageHomes;
+        let s = spec.n_sockets();
+        for placement in PagePlacement::ALL {
+            let mut homes = PageHomes::new(placement, s, spec.sockets.page_bytes);
+            let mut first_toucher: BTreeMap<u64, u32> = BTreeMap::new();
+            let mut resolved: BTreeMap<u64, u32> = BTreeMap::new();
+            let mut local = 0usize;
+            let mut remote = 0usize;
+            for (i, &page) in pages.iter().enumerate() {
+                let toucher = (i % s) as u32;
+                first_toucher.entry(page).or_insert(toucher);
+                let addr = page * spec.sockets.page_bytes + (i as u64 % 7) * 64;
+                let home = homes.home(addr, toucher);
+                prop_assert!((home as usize) < s, "home socket out of range");
+                if let Some(&h) = resolved.get(&page) {
+                    prop_assert_eq!(h, home, "a page's home must never change");
+                } else {
+                    resolved.insert(page, home);
+                }
+                if home == toucher { local += 1 } else { remote += 1 }
+            }
+            prop_assert_eq!(local + remote, pages.len(), "classification must cover every access");
+            // Per-page semantics relative to each page's *first* toucher
+            // (placement memoizes the first touch, so later touchers of a
+            // shared page may land either way).
+            for (&page, &home) in &resolved {
+                let first = first_toucher[&page];
+                match placement {
+                    PagePlacement::FirstTouch => prop_assert_eq!(
+                        home, first,
+                        "first touch must home the page with its first toucher"
+                    ),
+                    PagePlacement::Remote => prop_assert!(
+                        home != first,
+                        "all-remote placement must never home with the first toucher"
+                    ),
+                    PagePlacement::Interleave => prop_assert_eq!(
+                        home as u64, page % s as u64,
+                        "interleave homes pages round-robin regardless of touchers"
+                    ),
+                }
+            }
+            // The analytic remote fraction brackets the observed one at
+            // the extremes (0 for first-touch single-toucher pages, 1 for
+            // all-remote).
+            let f = placement.remote_fraction(s);
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+    }
+
+    /// A page touched only ever by one socket is local to that socket
+    /// under first touch, however many times and in whatever order it is
+    /// touched.
+    #[test]
+    fn first_touch_is_local_for_single_socket_pages(
+        spec in arb_numa_chip(),
+        hits in proptest::collection::vec((0u64..16, 0u64..1000), 1..50),
+    ) {
+        use t2opt_core::mapping::PageHomes;
+        let s = spec.n_sockets();
+        let mut homes = PageHomes::new(PagePlacement::FirstTouch, s, spec.sockets.page_bytes);
+        for &(page, off) in &hits {
+            // Socket = page % s for every touch of a page: one socket per page.
+            let toucher = (page % s as u64) as u32;
+            let addr = page * spec.sockets.page_bytes + off % spec.sockets.page_bytes;
+            prop_assert_eq!(homes.home(addr, toucher), toucher);
+        }
+    }
+
+    /// `first_touch_homes` is a function of the touch *set*: permuting the
+    /// recorded touches never changes a single page's home socket.
+    #[test]
+    fn first_touch_homes_deterministic_under_permutation(
+        spec in arb_numa_chip(),
+        raw in proptest::collection::vec((0u64..32, 0u32..64, 0u64..100), 1..60),
+        seed in 0u64..1000,
+    ) {
+        let s = spec.n_sockets();
+        let touches: Vec<PageTouch> = raw
+            .iter()
+            .map(|&(page, thread, time)| PageTouch { page, thread, time })
+            .collect();
+        let socket_of = |thread: u32| (thread as usize) % s;
+
+        let baseline = first_touch_homes(&touches, s, socket_of);
+
+        // A deterministic pseudo-shuffle driven by `seed`.
+        let mut shuffled = touches.clone();
+        let n = shuffled.len();
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        for i in (1..n).rev() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let permuted = first_touch_homes(&shuffled, s, socket_of);
+        prop_assert_eq!(baseline, permuted, "page homes must not depend on touch order");
+    }
+}

@@ -4,8 +4,8 @@ use crate::shape::KernelShape;
 use crate::timing::ModelTiming;
 use serde::{Deserialize, Serialize};
 use t2opt_core::advisor::StreamDesc;
-use t2opt_core::chip::ChipSpec;
-use t2opt_core::mapping::MapPolicy;
+use t2opt_core::chip::{ChipSpec, SocketTopology};
+use t2opt_core::mapping::{MapPolicy, PagePlacement};
 
 /// Which of the two model terms set the predicted runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -71,18 +71,29 @@ struct UnitAnalysis {
 pub struct PerfModel {
     policy: MapPolicy,
     timing: ModelTiming,
+    numa: SocketTopology,
 }
 
 impl PerfModel {
-    /// A model of the given mapping policy and timing.
+    /// A model of the given mapping policy and timing, on a single socket.
     pub fn new(policy: MapPolicy, timing: ModelTiming) -> Self {
-        PerfModel { policy, timing }
+        PerfModel {
+            policy,
+            timing,
+            numa: SocketTopology::single(),
+        }
+    }
+
+    /// Sets the socket/locality structure (see [`Self::predict_placed`]).
+    pub fn with_numa(mut self, numa: SocketTopology) -> Self {
+        self.numa = numa;
+        self
     }
 
     /// A model for a chip topology spec, on the calibrated T2 latency
     /// template (see [`ModelTiming::from_spec`]).
     pub fn for_spec(spec: &ChipSpec) -> Self {
-        PerfModel::new(spec.map, ModelTiming::from_spec(spec))
+        PerfModel::new(spec.map, ModelTiming::from_spec(spec)).with_numa(spec.sockets)
     }
 
     /// The mapping policy in use.
@@ -95,8 +106,28 @@ impl PerfModel {
         &self.timing
     }
 
-    /// Predicts runtime and bandwidth for a workload shape.
+    /// Predicts runtime and bandwidth for a workload shape under first-touch
+    /// (socket-local) page placement — on a single-socket chip, simply *the*
+    /// prediction. Equivalent to
+    /// `predict_placed(shape, PagePlacement::FirstTouch)`.
     pub fn predict(&self, shape: &KernelShape) -> ModelPrediction {
+        self.predict_placed(shape, PagePlacement::FirstTouch)
+    }
+
+    /// Predicts runtime and bandwidth for a workload shape under the given
+    /// NUMA page placement.
+    ///
+    /// The locality term (DESIGN §14): a fraction
+    /// `f = placement.remote_fraction(S)` of all line transfers crosses the
+    /// shared inter-socket link, adding (a) a downstream link stage of
+    /// `f · lines · link_cycles_per_line` on top of the controller pipeline
+    /// — the link is one resource shared by all sockets, crossed *after*
+    /// service — and (b) `f · (remote_read_extra + link_cycles_per_line)`
+    /// cycles to the mean blocking-miss latency. With `f = 0` (first-touch,
+    /// or any placement on one socket) both terms vanish and this reduces
+    /// bitwise to the pre-NUMA closed form.
+    pub fn predict_placed(&self, shape: &KernelShape, placement: PagePlacement) -> ModelPrediction {
+        let remote_fraction = placement.remote_fraction(self.numa.n_sockets);
         let n_mc = self.policy.geometry().num_controllers() as f64;
         let mut total_occ = 0.0;
         let mut weighted_eff = 0.0;
@@ -132,17 +163,39 @@ impl PerfModel {
             0.0
         };
         let t_lat = if blocking_misses > 0.0 {
-            let in_flight = (concurrency / spread)
+            // `spread` counts distinct controllers per socket group (the
+            // unit_analysis fold); every socket replays the same pattern on
+            // its own group, so the chip-wide active-controller count — what
+            // the in-flight misses divide over — is `spread × n_sockets`.
+            let active = spread * self.numa.n_sockets.max(1) as f64;
+            let in_flight = (concurrency / active)
                 .min(self.timing.queue_depth as f64)
                 .max(1.0);
             let queue_wait = (in_flight - 1.0) * self.timing.read_service as f64;
-            let lambda = self.timing.base_latency() as f64 + queue_wait;
+            let lambda = self.timing.base_latency() as f64
+                + queue_wait
+                + remote_fraction
+                    * (self.numa.remote_read_extra + self.numa.link_cycles_per_line) as f64;
             blocking_misses * lambda / concurrency
         } else {
             0.0
         };
 
-        let cycles = t_cap.max(t_lat);
+        // Shared inter-socket link capacity: every remote line occupies the
+        // one link for `link_cycles_per_line` cycles, regardless of which
+        // controller serves it. The link is a *downstream* stage — a remote
+        // line crosses it after its controller finishes (the simulator
+        // serialises completions on `link_busy`) — so in the saturated
+        // regime its occupancy adds to the controller pipeline instead of
+        // hiding behind it. Zero for any single-socket placement.
+        let total_lines: f64 = shape
+            .units
+            .iter()
+            .map(|u| u.lines as f64 * u.streams.len() as f64)
+            .sum();
+        let t_link = remote_fraction * total_lines * self.numa.link_cycles_per_line as f64;
+
+        let cycles = t_cap.max(t_lat) + t_link;
         let bound = if t_lat > t_cap {
             ModelBound::Latency
         } else {
@@ -172,7 +225,12 @@ impl PerfModel {
     /// what the FB-DIMM 2:1 asymmetry does to the real controllers.
     fn unit_analysis(&self, streams: &[StreamDesc]) -> UnitAnalysis {
         let geo = self.policy.geometry();
-        let n_mc = geo.num_controllers() as usize;
+        // On a multi-socket chip the aliasing question folds into one
+        // socket's controller group (`controller(addr) % mps`): the home
+        // socket picks the group, the offset picks the controller within
+        // it — the same fold `LayoutAdvisor::predict` applies. On a single
+        // socket `mps == n_mc` and the fold is the identity.
+        let n_mc = (geo.num_controllers() as usize / self.numa.n_sockets.max(1)).max(1);
         let line = geo.line_size();
         // Exact period for bit-sliced and page-granular maps; a longer
         // averaging window for hashed policies (same choice the advisor
@@ -193,7 +251,7 @@ impl PerfModel {
             let mut blocking = vec![0u64; n_mc];
             for s in streams {
                 let addr = s.base + p as u64 * line;
-                let mc = self.policy.controller(addr) as usize;
+                let mc = self.policy.controller(addr) as usize % n_mc;
                 let b = u64::from(s.kind.blocking());
                 blocking[mc] += b * read;
                 // Occupancy: the blocking read plus the buffered write-back
@@ -426,6 +484,40 @@ mod tests {
         assert_eq!(
             model.predict(&shape),
             model.predict(&shape.translated(7 * period))
+        );
+    }
+
+    #[test]
+    fn numa_placement_term_orders_first_touch_interleave_remote() {
+        let model = PerfModel::for_spec(&ChipSpec::preset("2s-numa").unwrap());
+        let shape = triad_shape([0, 128, 256], 16);
+        let local = model.predict_placed(&shape, PagePlacement::FirstTouch);
+        let inter = model.predict_placed(&shape, PagePlacement::Interleave);
+        let remote = model.predict_placed(&shape, PagePlacement::Remote);
+        assert_eq!(local, model.predict(&shape), "predict() is first-touch");
+        assert!(
+            local.gbs > inter.gbs && inter.gbs > remote.gbs,
+            "locality must order placements: {} / {} / {} GB/s",
+            local.gbs,
+            inter.gbs,
+            remote.gbs
+        );
+    }
+
+    #[test]
+    fn numa_fold_keeps_socket_local_aliasing_visible() {
+        // Aliasing congruent mod the *local* period must still show up on a
+        // NUMA chip: the fold maps both sockets' groups onto one. 16 threads
+        // per socket — the capacity-bound regime; at lower concurrency the
+        // per-socket queues never fill and the gap (correctly) narrows.
+        let model = PerfModel::for_spec(&ChipSpec::preset("2s-numa").unwrap());
+        let aliased = model.predict(&triad_shape([0, 0, 0], 32));
+        let spread = model.predict(&triad_shape([0, 128, 256], 32));
+        assert!(
+            spread.gbs > 1.5 * aliased.gbs,
+            "spread {} vs aliased {} GB/s",
+            spread.gbs,
+            aliased.gbs
         );
     }
 

@@ -352,7 +352,7 @@ impl AdviceService {
                 None,
             );
         };
-        let key = query_key(&query.chip, &workload);
+        let key = query_key(&chip.fingerprint, &workload);
 
         // Store lookup span, named by its outcome.
         let lookup_start = Instant::now();
@@ -583,11 +583,13 @@ fn query_param<'q>(query: &'q str, name: &str) -> Option<&'q str> {
     })
 }
 
-/// The store key for one `(chip preset, workload)` query. The workload
+/// The store key for one `(chip, workload)` query. Keyed on the chip's
+/// full configuration fingerprint — not its preset name — so an edited
+/// custom spec can never alias a preset's stored results. The workload
 /// already encodes its thread count and problem size, so distinct thread
 /// counts get distinct keys.
-pub fn query_key(chip_name: &str, workload: &Workload) -> String {
-    t2opt_store::fnv1a64_hex(to_json_string(&(chip_name, workload)).as_bytes())
+pub fn query_key(chip_fingerprint: &str, workload: &Workload) -> String {
+    t2opt_store::fnv1a64_hex(to_json_string(&(chip_fingerprint, workload)).as_bytes())
 }
 
 /// Maps a workload label to its CI-sized (smoke) workload: serve answers

@@ -13,8 +13,8 @@
 
 use crate::policy::PolicyKind;
 use serde::{Deserialize, Serialize};
-use t2opt_core::chip::ChipSpec;
-use t2opt_core::mapping::MapPolicy;
+use t2opt_core::chip::{ChipSpec, SocketTopology};
+use t2opt_core::mapping::{MapPolicy, PagePlacement};
 
 /// L2 cache geometry and timing.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -136,6 +136,13 @@ pub struct ChipConfig {
     /// default — keeps the engine on its historical inline service path and
     /// is pinned bitwise by `tests/policy_differential.rs`.
     pub policy: PolicyKind,
+    /// Socket/locality structure. On the single-socket identity the engine
+    /// takes no NUMA branch at all, preserving bitwise-identical `SimStats`
+    /// for every pre-NUMA preset.
+    pub numa: SocketTopology,
+    /// Page-placement policy applied to the simulated workload's pages.
+    /// Irrelevant (never consulted) when `numa` is single-socket.
+    pub placement: PagePlacement,
 }
 
 impl ChipConfig {
@@ -170,6 +177,8 @@ impl ChipConfig {
             },
             map: MapPolicy::t2(),
             policy: PolicyKind::Fifo,
+            numa: SocketTopology::single(),
+            placement: PagePlacement::FirstTouch,
         }
     }
 
@@ -189,6 +198,7 @@ impl ChipConfig {
         c.mem.read_service = spec.read_service;
         c.mem.write_service = spec.write_service;
         c.map = spec.map;
+        c.numa = spec.sockets;
         c
     }
 
@@ -217,6 +227,32 @@ impl ChipConfig {
     /// Total hardware-thread capacity.
     pub fn max_threads(&self) -> usize {
         self.core.n_cores * self.core.threads_per_core
+    }
+
+    /// Number of sockets (1 for every pre-NUMA preset).
+    pub fn n_sockets(&self) -> usize {
+        self.numa.n_sockets.max(1)
+    }
+
+    /// Memory controllers per socket (contiguous grouping: socket `s` owns
+    /// controllers `[s·M/S, (s+1)·M/S)`).
+    pub fn mcs_per_socket(&self) -> usize {
+        (self.n_controllers() / self.n_sockets()).max(1)
+    }
+
+    /// Cores per socket (contiguous grouping, like controllers).
+    pub fn cores_per_socket(&self) -> usize {
+        (self.core.n_cores / self.n_sockets()).max(1)
+    }
+
+    /// The socket owning memory controller `mc`.
+    pub fn socket_of_controller(&self, mc: usize) -> usize {
+        mc / self.mcs_per_socket()
+    }
+
+    /// The socket a core is pinned to.
+    pub fn socket_of_core(&self, core: usize) -> usize {
+        (core / self.cores_per_socket()).min(self.n_sockets() - 1)
     }
 
     /// Converts a cycle count to seconds at this clock.
@@ -255,6 +291,31 @@ impl ChipConfig {
         }
         if !(0.0..1.0).contains(&self.mem.service_jitter) {
             return Err("service_jitter must be in [0, 1)".into());
+        }
+        let s = self.numa.n_sockets;
+        if s == 0 {
+            return Err("n_sockets must be positive".into());
+        }
+        if !self.n_controllers().is_multiple_of(s) {
+            return Err(format!(
+                "{} controllers do not divide evenly across {s} sockets",
+                self.n_controllers()
+            ));
+        }
+        if !self.core.n_cores.is_multiple_of(s) {
+            return Err(format!(
+                "{} cores do not divide evenly across {s} sockets",
+                self.core.n_cores
+            ));
+        }
+        if self.numa.is_numa()
+            && (!self.numa.page_bytes.is_power_of_two()
+                || self.numa.page_bytes < self.l2.line as u64)
+        {
+            return Err(format!(
+                "NUMA page size {} must be a power of two >= the {} B line",
+                self.numa.page_bytes, self.l2.line
+            ));
         }
         Ok(())
     }
@@ -323,6 +384,38 @@ mod tests {
         assert_eq!(budget.max_threads(), 32);
         let paged = ChipConfig::preset("t2-page-interleave").unwrap();
         assert_eq!(paged.interleave_period(), 16384);
+    }
+
+    #[test]
+    fn numa_presets_carry_socket_geometry() {
+        let c = ChipConfig::preset("2s-numa").unwrap();
+        c.validate().unwrap();
+        assert_eq!(c.n_sockets(), 2);
+        assert_eq!(c.n_controllers(), 8);
+        assert_eq!(c.mcs_per_socket(), 4);
+        assert_eq!(c.cores_per_socket(), 8);
+        assert_eq!(c.socket_of_controller(3), 0);
+        assert_eq!(c.socket_of_controller(4), 1);
+        assert_eq!(c.socket_of_core(7), 0);
+        assert_eq!(c.socket_of_core(8), 1);
+        let w = ChipConfig::preset("4s-numa-wide").unwrap();
+        w.validate().unwrap();
+        assert_eq!(w.n_sockets(), 4);
+        assert_eq!(w.mcs_per_socket(), 4);
+        assert_eq!(w.cores_per_socket(), 8);
+    }
+
+    #[test]
+    fn validate_rejects_uneven_socket_split() {
+        let mut c = ChipConfig::preset("2s-numa").unwrap();
+        c.core.n_cores = 15;
+        assert!(c.validate().is_err());
+        let mut c = ChipConfig::preset("2s-numa").unwrap();
+        c.numa.n_sockets = 3;
+        assert!(c.validate().is_err());
+        let mut c = ChipConfig::preset("2s-numa").unwrap();
+        c.numa.page_bytes = 48;
+        assert!(c.validate().is_err());
     }
 
     #[test]

@@ -75,6 +75,7 @@ use crate::trace::{Op, Program};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::VecDeque;
+use t2opt_core::mapping::PageHomes;
 use t2opt_telemetry::probe::{NoProbe, SimProbe, StallKind};
 use t2opt_telemetry::timeline::{Timeline, TimelineRecorder, TraceConfig};
 
@@ -276,6 +277,9 @@ impl Simulation {
         // ---- Arbitrated-path state (unused on the FIFO fast path) ----
         /// One controller's arbitration-side queue state.
         struct McState {
+            /// The socket this controller belongs to (contiguous groups of
+            /// `mcs_per_socket`; always 0 on single-socket chips).
+            socket: u32,
             /// Admitted requests awaiting arbitration. Each occupies a
             /// queue slot until its transfer *completes*.
             pending: Vec<MemRequest>,
@@ -302,7 +306,8 @@ impl Simulation {
             .map(|_| cfg.policy.build())
             .collect();
         let mut mc_st: Vec<McState> = (0..cfg.n_controllers())
-            .map(|_| McState {
+            .map(|i| McState {
+                socket: cfg.socket_of_controller(i) as u32,
                 pending: Vec::new(),
                 inflight: VecDeque::new(),
                 retry: Vec::new(),
@@ -326,6 +331,25 @@ impl Simulation {
         let mut bank_busy = vec![0u64; cfg.n_banks()];
         let mut fpu_busy = vec![0u64; cfg.core.n_cores];
         let mut pipes: Vec<Vec<u64>> = vec![vec![0u64; cfg.core.mem_pipes]; cfg.core.n_cores];
+
+        // ---- NUMA state (inert on single-socket chips) ----
+        // On a multi-socket chip the raw mapping picks the *local* controller
+        // shape (`raw % mps`); the page's home socket picks which socket's
+        // group serves it. Remote transfers additionally occupy the shared
+        // inter-socket link (one global busy horizon — the coarse
+        // link-occupancy approximation of DESIGN §14) and pay the remote
+        // latency adder. When `numa_on` is false none of this code runs and
+        // the engine is statement-for-statement the single-socket machine.
+        let numa_on = cfg.numa.is_numa();
+        let mps = cfg.mcs_per_socket();
+        let numa_link_cycles = cfg.numa.link_cycles_per_line;
+        let numa_read_extra = cfg.numa.remote_read_extra;
+        let numa_write_extra = cfg.numa.remote_write_extra;
+        let mut homes = PageHomes::new(cfg.placement, cfg.numa.n_sockets, cfg.numa.page_bytes);
+        let mut link_busy = 0u64;
+        let core_socket: Vec<u32> = (0..cfg.core.n_cores)
+            .map(|c| cfg.socket_of_core(c) as u32)
+            .collect();
 
         /// Why a thread currently has no scheduled wake-up.
         #[derive(PartialEq, Eq)]
@@ -578,11 +602,23 @@ impl Simulation {
                     }
                     if let (Some(b), Some(owner)) = (req.bank, req.tid) {
                         // A demand read or RFO: the MSHR it holds resolves,
-                        // and so does the owner thread's wait time.
+                        // and so does the owner thread's wait time. A remote
+                        // line still has to cross the shared inter-socket
+                        // link (occupancy + remote latency adder) before the
+                        // owner's socket sees it.
+                        let completion = if numa_on
+                            && mc_st[mci].socket != core_socket[ts[owner as usize].core]
+                        {
+                            let ls = out.completion.max(link_busy);
+                            link_busy = ls + numa_link_cycles;
+                            link_busy + numa_read_extra
+                        } else {
+                            out.completion
+                        };
                         {
                             let bs = &mut bank_st[b];
                             bs.pending -= 1;
-                            bs.inflight.push_back(out.completion);
+                            bs.inflight.push_back(completion);
                         }
                         for w in std::mem::take(&mut bank_st[b].retry) {
                             probe.stall(w, StallKind::Nack, ts[w as usize].park_start, slot_free);
@@ -594,12 +630,12 @@ impl Simulation {
                         let ready = match req.class {
                             ReqClass::StoreRfo => {
                                 t.stores_pending -= 1;
-                                t.stores.push_back(out.completion);
-                                out.completion
+                                t.stores.push_back(completion);
+                                completion
                             }
                             _ => {
                                 t.loads_pending -= 1;
-                                let data_ready = out.completion + cfg.mem.extra_latency;
+                                let data_ready = completion + cfg.mem.extra_latency;
                                 t.loads.push_back(data_ready);
                                 data_ready
                             }
@@ -764,7 +800,18 @@ impl Simulation {
                             continue;
                         }
                         let bank = cfg.map.bank(addr) as usize;
-                        let mc = cfg.map.controller(addr) as usize;
+                        let raw_mc = cfg.map.controller(addr) as usize;
+                        let my_sock = core_socket[core];
+                        // NUMA controller remap, as on the FIFO fast path.
+                        // The remote link/latency charge happens at service
+                        // time in the arbitration step, where the completion
+                        // is resolved.
+                        let mc = if numa_on {
+                            let home = homes.home(addr, my_sock);
+                            home as usize * mps + raw_mc % mps
+                        } else {
+                            raw_mc
+                        };
                         if !cache.contains(addr) {
                             retain_future(&mut mc_st[mc].inflight, now);
                             retain_future(&mut bank_st[bank].inflight, now);
@@ -833,7 +880,20 @@ impl Simulation {
                             Access::Miss { writeback } => {
                                 stats.l2_misses += 1;
                                 if let Some(victim) = writeback {
-                                    let vmc = cfg.map.controller(victim) as usize;
+                                    let vraw = cfg.map.controller(victim) as usize;
+                                    let (vmc, varrive) = if numa_on {
+                                        let vh = homes.home(victim, my_sock);
+                                        let arr = if vh != my_sock {
+                                            let ls = bank_done.max(link_busy);
+                                            link_busy = ls + numa_link_cycles;
+                                            link_busy + numa_write_extra
+                                        } else {
+                                            bank_done
+                                        };
+                                        (vh as usize * mps + vraw % mps, arr)
+                                    } else {
+                                        (vraw, bank_done)
+                                    };
                                     stats.mc_write_bytes[vmc] += line_bytes;
                                     stats.l2_writebacks += 1;
                                     next_req += 1;
@@ -841,7 +901,7 @@ impl Simulation {
                                         vmc,
                                         MemRequest {
                                             id: next_req,
-                                            arrival: bank_done,
+                                            arrival: varrive,
                                             addr: victim,
                                             class: ReqClass::Writeback,
                                             tid: None,
@@ -945,7 +1005,17 @@ impl Simulation {
                     // completes. The probe occupies the pipe like any other
                     // access.
                     let bank = cfg.map.bank(addr) as usize;
-                    let mc = cfg.map.controller(addr) as usize;
+                    let raw_mc = cfg.map.controller(addr) as usize;
+                    let my_sock = core_socket[core];
+                    // NUMA: the page's home socket selects the controller
+                    // group; the raw mapping selects the controller within
+                    // it. Remote iff the home is not the issuer's socket.
+                    let (mc, remote) = if numa_on {
+                        let home = homes.home(addr, my_sock);
+                        (home as usize * mps + raw_mc % mps, home != my_sock)
+                    } else {
+                        (raw_mc, false)
+                    };
                     if !cache.contains(addr) {
                         prune(&mut mc_admitted[mc], now);
                         prune(&mut bank_inflight[bank], now);
@@ -999,9 +1069,24 @@ impl Simulation {
                             if let Some(victim) = writeback {
                                 // Write-backs come from the L2's eviction
                                 // buffers: southbound transfer, no bank
-                                // MSHR, no thread wait.
-                                let vmc = cfg.map.controller(victim) as usize;
-                                let out = mcs[vmc].service_write(bank_done);
+                                // MSHR, no thread wait. A remote victim's
+                                // line crosses the inter-socket link before
+                                // its home controller can serve it.
+                                let vraw = cfg.map.controller(victim) as usize;
+                                let (vmc, varrive) = if numa_on {
+                                    let vh = homes.home(victim, my_sock);
+                                    let arr = if vh != my_sock {
+                                        let ls = bank_done.max(link_busy);
+                                        link_busy = ls + numa_link_cycles;
+                                        link_busy + numa_write_extra
+                                    } else {
+                                        bank_done
+                                    };
+                                    (vh as usize * mps + vraw % mps, arr)
+                                } else {
+                                    (vraw, bank_done)
+                                };
+                                let out = mcs[vmc].service_write(varrive);
                                 stats.mc_write_bytes[vmc] += line_bytes;
                                 stats.mc_busy_cycles[vmc] += out.busy_added;
                                 stats.l2_writebacks += 1;
@@ -1015,10 +1100,22 @@ impl Simulation {
                                 );
                             }
                             let out = mcs[mc].service_read(bank_done);
+                            // The controller's queue slot frees at its own
+                            // completion; a *remote* line additionally
+                            // crosses the shared link (occupancy) and pays
+                            // the remote latency adder before the issuing
+                            // socket sees it.
+                            let completion = if remote {
+                                let ls = out.completion.max(link_busy);
+                                link_busy = ls + numa_link_cycles;
+                                link_busy + numa_read_extra
+                            } else {
+                                out.completion
+                            };
                             stats.mc_read_bytes[mc] += line_bytes;
                             stats.mc_busy_cycles[mc] += out.busy_added;
                             mc_admitted[mc].push_back(out.completion);
-                            bank_inflight[bank].push_back(out.completion);
+                            bank_inflight[bank].push_back(completion);
                             probe.mc_service(
                                 mc,
                                 bank_done,
@@ -1030,11 +1127,11 @@ impl Simulation {
                             if is_write {
                                 // Store miss: the RFO drains from the store
                                 // buffer; the thread is not blocked.
-                                t.stores.push_back(out.completion);
-                                t.drain_until = t.drain_until.max(out.completion);
+                                t.stores.push_back(completion);
+                                t.drain_until = t.drain_until.max(completion);
                                 push(&mut heap, &mut seq, bank_done, tid);
                             } else {
-                                let data_ready = out.completion + cfg.mem.extra_latency;
+                                let data_ready = completion + cfg.mem.extra_latency;
                                 t.loads.push_back(data_ready);
                                 t.drain_until = t.drain_until.max(data_ready);
                                 if t.loads.len() >= outstanding_limit {
@@ -1108,6 +1205,51 @@ mod tests {
         let mut cfg = ChipConfig::ultrasparc_t2();
         cfg.mem.service_jitter = 0.0;
         cfg
+    }
+
+    #[test]
+    fn numa_remote_read_pays_link_occupancy_and_latency() {
+        use t2opt_core::mapping::PagePlacement;
+        let mut cfg = ChipConfig::preset("2s-numa").unwrap();
+        cfg.mem.service_jitter = 0.0;
+        let run_one = |cfg: ChipConfig| {
+            Simulation::new(cfg)
+                .run(vec![ThreadSpec::new(0, ops(vec![Op::Read(0)]))])
+                .end_cycle
+        };
+        let local = run_one(cfg.clone());
+        let mut rcfg = cfg.clone();
+        rcfg.placement = PagePlacement::Remote;
+        let remote = run_one(rcfg);
+        // One uncontended read: the remote run pays exactly one link
+        // crossing plus the remote latency adder on top of the local time.
+        assert_eq!(
+            remote - local,
+            cfg.numa.link_cycles_per_line + cfg.numa.remote_read_extra
+        );
+    }
+
+    #[test]
+    fn placement_is_inert_on_single_socket_chips() {
+        use t2opt_core::mapping::PagePlacement;
+        let base = exact_cfg();
+        let mut moved = exact_cfg();
+        moved.placement = PagePlacement::Remote;
+        let run = |cfg: ChipConfig| {
+            let programs: Vec<Program> = (0..16)
+                .map(|t| {
+                    Box::new(StreamLoop::new(
+                        vec![StreamSpec::load(t as u64 * 65536)],
+                        256,
+                        8,
+                        0.0,
+                        64,
+                    )) as Program
+                })
+                .collect();
+            Simulation::new(cfg).run_programs(programs, |tid| tid % 8)
+        };
+        assert_eq!(run(base), run(moved));
     }
 
     #[test]

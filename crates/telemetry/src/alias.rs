@@ -33,6 +33,13 @@ pub struct AliasConfig {
     /// Windows whose busiest controller is busy for less than this fraction
     /// of the window are considered idle and skipped (ramp-up/drain tails).
     pub min_activity: f64,
+    /// Number of sockets of the chip under analysis (1 = no NUMA). On a
+    /// multi-socket chip the first-touch controller remap folds the raw
+    /// socket-selector bits away, so congruence mod the *local* period
+    /// (`period / n_sockets`) is what aliases — and streams that look
+    /// spread at the full period can still collide within a socket (see
+    /// [`AliasReport::wrong_socket_streams`]).
+    pub n_sockets: usize,
 }
 
 impl AliasConfig {
@@ -41,6 +48,7 @@ impl AliasConfig {
     pub fn for_chip(spec: &ChipSpec) -> Self {
         AliasConfig {
             period: spec.interleave_period() as u64,
+            n_sockets: spec.n_sockets(),
             ..AliasConfig::default()
         }
     }
@@ -52,6 +60,7 @@ impl Default for AliasConfig {
             period: 512, // the T2 super-line, for drop-in compatibility
             parallelism_threshold: 1.8,
             min_activity: 0.05,
+            n_sockets: 1,
         }
     }
 }
@@ -90,6 +99,18 @@ pub struct AliasReport {
     /// [`AliasReport::period`] — the named culprits. Only populated when
     /// windows were flagged; each group lists ≥ 2 streams.
     pub aliased_streams: Vec<Vec<String>>,
+    /// NUMA only (empty when `n_sockets` = 1): groups congruent mod the
+    /// *socket-local* period **and** mod the full period — they collide on
+    /// the same controller of the same socket sequence. The classic
+    /// wrong-controller aliasing, restated on the folded geometry.
+    pub wrong_controller_streams: Vec<Vec<String>>,
+    /// NUMA only: groups congruent mod the socket-local period whose bases
+    /// *differ* at the raw socket-selector bits. They look spread at the
+    /// full period, but first-touch localization folds them onto one
+    /// socket-local controller — the spread they appear to have exists
+    /// only across sockets, which is exactly what a wrong-socket placement
+    /// squanders.
+    pub wrong_socket_streams: Vec<Vec<String>>,
 }
 
 impl AliasReport {
@@ -129,6 +150,12 @@ impl AliasReport {
         } else {
             congruent_groups(timeline, cfg.period)
         };
+        let (wrong_controller_streams, wrong_socket_streams) =
+            if cfg.n_sockets > 1 && !flags.is_empty() {
+                socket_split_groups(timeline, cfg.period, cfg.n_sockets)
+            } else {
+                (Vec::new(), Vec::new())
+            };
         AliasReport {
             period: cfg.period,
             windows_considered: considered,
@@ -145,6 +172,8 @@ impl AliasReport {
             },
             flags,
             aliased_streams,
+            wrong_controller_streams,
+            wrong_socket_streams,
         }
     }
 
@@ -178,8 +207,59 @@ impl AliasReport {
                 groups.join(" ")
             ));
         }
+        if !self.wrong_socket_streams.is_empty() {
+            let groups: Vec<String> = self
+                .wrong_socket_streams
+                .iter()
+                .map(|g| format!("{{{}}}", g.join(", ")))
+                .collect();
+            s.push_str(&format!(
+                "; wrong-socket (spread only across sockets): {}",
+                groups.join(" ")
+            ));
+        }
         s
     }
+}
+
+/// NUMA classification of the socket-local congruence classes: groups of
+/// ≥ 2 streams congruent mod `period / n_sockets` split into those also
+/// congruent mod the full `period` (wrong-controller) and those spanning
+/// ≥ 2 raw socket residues (wrong-socket). See the [`AliasReport`] field
+/// docs.
+fn socket_split_groups(
+    timeline: &Timeline,
+    period: u64,
+    n_sockets: usize,
+) -> (Vec<Vec<String>>, Vec<Vec<String>>) {
+    let local = (period / n_sockets as u64).max(1);
+    let mut classes: BTreeMap<u64, Vec<(u64, String)>> = BTreeMap::new();
+    for s in &timeline.streams {
+        classes
+            .entry(s.base % local)
+            .or_default()
+            .push((s.base % period, s.name.clone()));
+    }
+    let mut wrong_controller = Vec::new();
+    let mut wrong_socket = Vec::new();
+    for members in classes.into_values() {
+        if members.len() < 2 {
+            continue;
+        }
+        let mut by_full: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+        for (residue, name) in &members {
+            by_full.entry(*residue).or_default().push(name.clone());
+        }
+        for group in by_full.values() {
+            if group.len() >= 2 {
+                wrong_controller.push(group.clone());
+            }
+        }
+        if by_full.len() >= 2 {
+            wrong_socket.push(members.into_iter().map(|(_, n)| n).collect());
+        }
+    }
+    (wrong_controller, wrong_socket)
 }
 
 /// Groups the timeline's stream labels by base address mod `period`;
@@ -319,5 +399,48 @@ mod tests {
         assert_eq!(r.windows_considered, 0);
         assert_eq!(r.flagged_fraction, 0.0);
         assert_eq!(r.mean_effective_parallelism, 0.0);
+    }
+
+    #[test]
+    fn numa_chip_splits_wrong_socket_from_wrong_controller() {
+        // 2s-numa: period 1024, local period 512. A and C share a full-period
+        // residue (same controller, same socket slot: wrong-controller).
+        // B sits 512 past them — spread at the full period but folded onto
+        // the same socket-local controller by first touch: wrong-socket.
+        let busy = vec![[900, 0, 0, 0]];
+        let cfg = AliasConfig::for_chip(&ChipSpec::preset("2s-numa").unwrap());
+        assert_eq!(cfg.period, 1024);
+        assert_eq!(cfg.n_sockets, 2);
+        let r = AliasReport::analyze(&timeline(busy, abc([0, 512, 1024])), &cfg);
+        assert!(r.is_aliased());
+        assert_eq!(r.aliased_streams, vec![vec!["A", "C"]]);
+        assert_eq!(r.wrong_controller_streams, vec![vec!["A", "C"]]);
+        assert_eq!(r.wrong_socket_streams, vec![vec!["A", "B", "C"]]);
+        assert!(r.summary().contains("wrong-socket"));
+        assert!(r.summary().contains("A, B, C"));
+    }
+
+    #[test]
+    fn numa_streams_spread_within_the_socket_are_clean() {
+        // Offsets that differ mod the local period share nothing: no
+        // wrong-controller and no wrong-socket group.
+        let busy = vec![[900, 0, 0, 0]];
+        let cfg = AliasConfig::for_chip(&ChipSpec::preset("2s-numa").unwrap());
+        let r = AliasReport::analyze(&timeline(busy, abc([0, 128, 256])), &cfg);
+        assert!(r.is_aliased());
+        assert!(r.wrong_controller_streams.is_empty());
+        assert!(r.wrong_socket_streams.is_empty());
+    }
+
+    #[test]
+    fn single_socket_chips_report_no_socket_groups() {
+        let busy = vec![[900, 0, 0, 0]];
+        let cfg = AliasConfig::for_chip(&ChipSpec::ultrasparc_t2());
+        assert_eq!(cfg.n_sockets, 1);
+        let r = AliasReport::analyze(&timeline(busy, abc([0, 0, 0])), &cfg);
+        assert_eq!(r.aliased_streams, vec![vec!["A", "B", "C"]]);
+        assert!(r.wrong_controller_streams.is_empty());
+        assert!(r.wrong_socket_streams.is_empty());
+        assert!(!r.summary().contains("wrong-socket"));
     }
 }

@@ -15,7 +15,11 @@ use t2opt_core::chip::PRESET_NAMES;
 /// same residue class.
 fn aliasing_workload(spec: &ChipSpec) -> (Workload, usize) {
     let period = spec.interleave_period();
-    let threads = spec.max_threads().min(16);
+    // 16 threads per socket: single-socket chips keep their historical
+    // 16-thread setup, while NUMA chips get enough concurrency per socket
+    // to leave the latency-bound region (a lone socket's 2-MC "spread"
+    // already hides the convoy at 16 threads total).
+    let threads = spec.max_threads().min(16 * spec.n_sockets());
     let seg_elems = (period / 8).max(256); // per-thread bytes ≡ 0 mod period
     (Workload::triad_smoke(seg_elems * threads, threads), threads)
 }
@@ -92,6 +96,104 @@ fn every_preset_tuner_and_advisor_agree() {
     }
 }
 
+/// Affinity dominates aliasing on every NUMA preset: the advisor's
+/// socket-local, de-aliased layout must beat both the naive packed layout
+/// (wrong offset, right socket) and the same de-aliased offsets with
+/// all-remote pages (right offset, wrong socket). Getting the offset
+/// arithmetic right buys nothing if the pages live across the link.
+#[test]
+fn numa_advisor_beats_packed_and_wrong_socket() {
+    for name in PRESET_NAMES {
+        let spec = ChipSpec::preset(name).expect("registry names resolve");
+        if !spec.sockets.is_numa() {
+            continue;
+        }
+        let chip = ChipConfig::from_spec(&spec);
+        let period = spec.interleave_period();
+        let n_mc = spec.num_controllers();
+        let (workload, threads) = aliasing_workload(&spec);
+        let advisor_offset = spec.advisor().suggest_offsets(n_mc)[1];
+
+        let space = ParamSpace {
+            base_aligns: vec![8192usize.max(period)],
+            seg_aligns: vec![1],
+            shifts: vec![0],
+            block_offsets: vec![0, advisor_offset],
+            placements: PagePlacement::ALL.to_vec(),
+        };
+        let report = Tuner::new(workload, chip, space)
+            .strategy(SearchStrategy::Exhaustive)
+            .run();
+        let gbs_at = |offset: usize, placement: PagePlacement| {
+            report
+                .trials
+                .iter()
+                .find(|t| t.spec.block_offset == offset && t.spec.placement == placement)
+                .unwrap_or_else(|| panic!("{name}: missing trial ({offset}, {placement:?})"))
+                .gbs
+        };
+
+        let packed = gbs_at(0, PagePlacement::FirstTouch);
+        let advised = gbs_at(advisor_offset, PagePlacement::FirstTouch);
+        let wrong_socket = gbs_at(advisor_offset, PagePlacement::Remote);
+        assert!(
+            advised > packed * 1.10,
+            "{name}: local de-aliased layout must beat packed by >10% \
+             ({advised:.2} vs {packed:.2} GB/s, {threads} threads)"
+        );
+        assert!(
+            advised > wrong_socket * 1.25,
+            "{name}: affinity must dominate aliasing — local de-aliased \
+             {advised:.2} GB/s vs wrong-socket-but-right-offset \
+             {wrong_socket:.2} GB/s"
+        );
+    }
+}
+
+/// The tuner's affinity × layout co-optimization rediscovers first-touch
+/// socket-local placement together with a de-aliased offset: across the
+/// full placement × offset grid the measured winner uses first-touch
+/// pages and leaves the aliased residue class.
+#[test]
+fn numa_tuner_rediscovers_socket_local_placement() {
+    for name in PRESET_NAMES {
+        let spec = ChipSpec::preset(name).expect("registry names resolve");
+        if !spec.sockets.is_numa() {
+            continue;
+        }
+        let chip = ChipConfig::from_spec(&spec);
+        let period = spec.interleave_period();
+        let n_mc = spec.num_controllers();
+        let (workload, _) = aliasing_workload(&spec);
+
+        let mut space = ParamSpace::offset_sweep_for(&spec);
+        space.placements = PagePlacement::ALL.to_vec();
+        let report = Tuner::new(workload, chip, space)
+            .strategy(SearchStrategy::Exhaustive)
+            .run();
+
+        let best = &report.best.spec;
+        assert_eq!(
+            best.placement,
+            PagePlacement::FirstTouch,
+            "{name}: the measured winner must keep pages socket-local, got {:?}",
+            best.placement
+        );
+        assert_ne!(
+            best.block_offset % period,
+            0,
+            "{name}: winning offset {} must also de-alias (period {period})",
+            best.block_offset
+        );
+        assert_eq!(
+            best.block_offset % (period / n_mc),
+            0,
+            "{name}: winning offset {} must sit on the controller stride",
+            best.block_offset
+        );
+    }
+}
+
 /// The presets really are different machines: the same aliased workload
 /// yields different interleave periods, and the advisor's offset answer
 /// differs across chips — guarding against a refactor that collapses all
@@ -102,7 +204,7 @@ fn presets_are_genuinely_distinct_topologies() {
         .iter()
         .map(|n| ChipSpec::preset(n).unwrap().interleave_period())
         .collect();
-    assert_eq!(periods, vec![512, 16384, 1024, 256]);
+    assert_eq!(periods, vec![512, 16384, 1024, 256, 1024, 2048]);
 
     let strides: Vec<usize> = PRESET_NAMES
         .iter()
@@ -111,5 +213,5 @@ fn presets_are_genuinely_distinct_topologies() {
             s.advisor().suggest_offsets(s.num_controllers())[1]
         })
         .collect();
-    assert_eq!(strides, vec![128, 4096, 128, 128]);
+    assert_eq!(strides, vec![128, 4096, 128, 128, 128, 128]);
 }
